@@ -1,0 +1,115 @@
+// Command olapbench regenerates the paper's evaluation figures and
+// tables (§5) and the ablations: it generates the synthetic data sets,
+// loads them into the engine, runs every plan cold, and prints
+// paper-style series.
+//
+// Usage:
+//
+//	olapbench [-fig all|4|5|6|7|8|9|10|storage|ablations] [-scale 1.0]
+//	          [-trials 3] [-warm] [-seed N]
+//
+// Absolute times depend on the machine; the shapes (who wins, by what
+// factor, where the array/bitmap crossover falls) are what reproduce the
+// paper. -scale 0.25 shrinks every data set for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 4..10, storage, ablations")
+	scale := flag.Float64("scale", 1.0, "data set scale factor (1.0 = paper size)")
+	trials := flag.Int("trials", 3, "trials per measurement (fastest kept)")
+	warm := flag.Bool("warm", false, "skip the cold-cache protocol")
+	seed := flag.Int64("seed", 0, "data generation seed (0 = fixed default)")
+	diskDir := flag.String("disk", "", "back environments with volume files in this directory (default: in-memory)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	h := bench.NewHarness(bench.Options{
+		Scale:   *scale,
+		Trials:  *trials,
+		Warm:    *warm,
+		Seed:    *seed,
+		DiskDir: *diskDir,
+	})
+
+	type runner struct {
+		name string
+		run  func() error
+	}
+	figure := func(name string, f func() (*bench.Figure, error)) runner {
+		return runner{name: name, run: func() error {
+			fmt.Fprintf(os.Stderr, "building and running %s...\n", name)
+			fig, err := f()
+			if err != nil {
+				return err
+			}
+			if *csv {
+				bench.WriteFigureCSV(os.Stdout, fig)
+			} else {
+				bench.WriteFigure(os.Stdout, fig)
+			}
+			return nil
+		}}
+	}
+	all := []runner{
+		figure("fig4", h.Figure4),
+		figure("fig5", h.Figure5),
+		figure("fig6", h.Figure6),
+		figure("fig7", h.Figure7),
+		figure("fig8", h.Figure8),
+		figure("fig9", h.Figure9),
+		figure("fig10", h.Figure10),
+		{name: "storage", run: func() error {
+			fmt.Fprintln(os.Stderr, "building and running storage table...")
+			rows, err := h.StorageTable()
+			if err != nil {
+				return err
+			}
+			if *csv {
+				bench.WriteStorageCSV(os.Stdout, rows)
+			} else {
+				bench.WriteStorageTable(os.Stdout, rows)
+			}
+			return nil
+		}},
+		figure("ablation-codec", h.CodecAblation),
+		figure("ablation-chunkshape", h.ChunkShapeAblation),
+		figure("ablation-enumeration", h.EnumerationAblation),
+		figure("ablation-factfile", h.FactFileAblation),
+		figure("ablation-bufferpool", h.BufferPoolAblation),
+	}
+
+	want := strings.ToLower(*fig)
+	matched := false
+	for _, r := range all {
+		ok := false
+		switch want {
+		case "all":
+			ok = true
+		case "ablations", "ablation":
+			ok = strings.HasPrefix(r.name, "ablation")
+		default:
+			ok = r.name == want || r.name == "fig"+want
+		}
+		if !ok {
+			continue
+		}
+		matched = true
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "olapbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "olapbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

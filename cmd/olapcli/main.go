@@ -1,0 +1,130 @@
+// Command olapcli runs consolidation queries against a database produced
+// by olapgen (or any program using the repro API).
+//
+// Usage:
+//
+//	olapcli -db sales.db [-engine auto|array|starjoin|bitmap] "select ..."
+//	olapcli -db sales.db            # interactive: one query per line
+//
+// Each result prints the plan the engine chose, the wall time, page I/O,
+// and the rows.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	repro "repro"
+)
+
+func main() {
+	path := flag.String("db", "olap.db", "database path")
+	engineName := flag.String("engine", "auto", "engine: auto, array, starjoin, bitmap")
+	maxRows := flag.Int("rows", 20, "max rows to print (0 = all)")
+	flag.Parse()
+
+	engine, err := parseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+		os.Exit(2)
+	}
+	db, err := repro.Open(repro.Options{Path: *path})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if flag.NArg() > 0 {
+		for _, sql := range flag.Args() {
+			if err := runQuery(db, sql, engine, *maxRows); err != nil {
+				fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("repro OLAP engine — one query per line, blank line or ^D to exit")
+	if s := db.Schema(); s != nil {
+		fmt.Printf("schema: fact %s(%s + %s), dimensions:", s.Fact.Name,
+			strings.Join(dimKeys(s), ", "), s.Fact.Measure)
+		for _, d := range s.Dimensions {
+			fmt.Printf(" %s(%s; %s)", d.Name, d.Key, strings.Join(d.Attrs, ", "))
+		}
+		fmt.Println()
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("olap> ")
+		if !scanner.Scan() {
+			break
+		}
+		sql := strings.TrimSpace(scanner.Text())
+		if sql == "" {
+			break
+		}
+		if err := runQuery(db, sql, engine, *maxRows); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+func dimKeys(s *repro.StarSchema) []string {
+	out := make([]string, 0, len(s.Dimensions))
+	for _, d := range s.Dimensions {
+		out = append(out, d.Key)
+	}
+	return out
+}
+
+func parseEngine(name string) (repro.Engine, error) {
+	switch strings.ToLower(name) {
+	case "auto":
+		return repro.Auto, nil
+	case "array":
+		return repro.ArrayEngine, nil
+	case "starjoin":
+		return repro.StarJoinEngine, nil
+	case "bitmap":
+		return repro.BitmapEngine, nil
+	default:
+		return repro.Auto, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+func runQuery(db *repro.DB, sql string, engine repro.Engine, maxRows int) error {
+	res, err := db.QueryOn(sql, engine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan=%s elapsed=%v io={%s} rows=%d\n",
+		res.Plan, res.Elapsed, res.IO.String(), len(res.Rows))
+	aggNames := make([]string, len(res.Aggs))
+	for i, a := range res.Aggs {
+		aggNames[i] = a.String()
+	}
+	if len(res.GroupAttrs) > 0 || len(aggNames) > 0 {
+		fmt.Printf("%s | %s\n", strings.Join(res.GroupAttrs, ", "), strings.Join(aggNames, ", "))
+	}
+	for i, r := range res.Rows {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		vals := make([]string, len(res.Aggs))
+		for j, a := range res.Aggs {
+			if a == repro.Avg {
+				vals[j] = fmt.Sprintf("%.2f", r.Avg())
+			} else {
+				vals[j] = fmt.Sprintf("%d", r.Value(a))
+			}
+		}
+		fmt.Printf("%s | %s\n", strings.Join(r.Groups, ", "), strings.Join(vals, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	repro "repro"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := map[string]repro.Engine{
+		"auto":     repro.Auto,
+		"ARRAY":    repro.ArrayEngine,
+		"starjoin": repro.StarJoinEngine,
+		"Bitmap":   repro.BitmapEngine,
+	}
+	for name, want := range cases {
+		got, err := parseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("parseEngine(%q) = (%v, %v), want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseEngine("quantum"); err == nil {
+		t.Error("parseEngine accepted unknown engine")
+	}
+}
+
+func TestRunQueryAgainstDB(t *testing.T) {
+	db, err := repro.Open(repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	schema := &repro.StarSchema{
+		Fact: repro.FactSchema{Name: "f", Dims: []string{"d"}, Measure: "v"},
+		Dimensions: []repro.DimensionSchema{
+			{Name: "d", Key: "k", Attrs: []string{"a"}},
+		},
+	}
+	if err := db.CreateStarSchema(schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadDimension("d", []repro.DimensionRow{
+		{Key: 0, Attrs: []string{"x"}}, {Key: 1, Attrs: []string{"y"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadFactRows([]repro.FactTuple{
+		{Keys: []int64{0}, Measure: 5}, {Keys: []int64{1}, Measure: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(db, "select sum(v), a from f, d group by a", repro.Auto, 10); err != nil {
+		t.Fatalf("runQuery: %v", err)
+	}
+	if err := runQuery(db, "not sql", repro.Auto, 10); err == nil {
+		t.Fatal("runQuery accepted garbage")
+	}
+	if got := dimKeys(schema); len(got) != 1 || got[0] != "k" {
+		t.Fatalf("dimKeys = %v", got)
+	}
+}

@@ -1,0 +1,145 @@
+// Command olapgen generates a synthetic OLAP database file using the
+// paper's test schema (§5.1): fact(d0..dn-1, volume) with one dimension
+// table per dimension, each carrying hX1/hX2 hierarchy attributes. The
+// resulting file can be queried with olapcli.
+//
+// Usage:
+//
+//	olapgen -out sales.db -dims 40x40x40x100 -density 0.1 \
+//	        [-facts N] [-h1 10] [-h2 10] [-seed 1] [-chunk 20x20x20x10] \
+//	        [-codec chunk-offset|lzw|dense] [-no-array] [-no-bitmaps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	repro "repro"
+	"repro/internal/datagen"
+)
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	out := flag.String("out", "olap.db", "output database path")
+	dims := flag.String("dims", "40x40x40x100", "dimension sizes, e.g. 40x40x40x100")
+	density := flag.Float64("density", 0.1, "fraction of valid cells (ignored when -facts > 0)")
+	facts := flag.Int("facts", 0, "exact number of valid cells (overrides -density)")
+	h1 := flag.Int("h1", 10, "distinct hX1 values per dimension")
+	h2 := flag.Int("h2", 10, "distinct hX2 values per dimension")
+	seed := flag.Int64("seed", 1, "generation seed")
+	chunkStr := flag.String("chunk", "", "chunk shape, e.g. 20x20x20x10 (default: engine heuristic)")
+	codec := flag.String("codec", "", "chunk codec: chunk-offset (default), lzw, dense")
+	noArray := flag.Bool("no-array", false, "skip building the OLAP array")
+	noBitmaps := flag.Bool("no-bitmaps", false, "skip building bitmap indexes")
+	flag.Parse()
+
+	if err := run(*out, *dims, *density, *facts, *h1, *h2, *seed, *chunkStr, *codec, !*noArray, !*noBitmaps); err != nil {
+		fmt.Fprintf(os.Stderr, "olapgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, dimStr string, density float64, facts, h1, h2 int, seed int64,
+	chunkStr, codec string, buildArray, buildBitmaps bool) error {
+	dims, err := parseDims(dimStr)
+	if err != nil {
+		return err
+	}
+	var chunkShape []int
+	if chunkStr != "" {
+		if chunkShape, err = parseDims(chunkStr); err != nil {
+			return err
+		}
+	}
+	cfg := datagen.Config{
+		DimSizes:   dims,
+		Density:    density,
+		NumFacts:   facts,
+		DistinctH1: fill(len(dims), h1),
+		DistinctH2: fill(len(dims), h2),
+		Seed:       seed,
+	}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d facts over a %s cube (density %.3f%%)\n",
+		ds.NumFacts(), dimStr, ds.Density()*100)
+
+	if _, err := os.Stat(out); err == nil {
+		return fmt.Errorf("%s already exists; remove it first", out)
+	}
+	db, err := repro.Open(repro.Options{Path: out})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	if err := db.CreateStarSchema(ds.Schema()); err != nil {
+		return err
+	}
+	for dim := range ds.Schema().Dimensions {
+		name := ds.Schema().Dimensions[dim].Name
+		err := db.LoadDimensionFunc(name, func(emit func(int64, []string) error) error {
+			return ds.EachDimRow(dim, emit)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Println("loading fact file...")
+	if err := db.LoadFacts(ds.Facts()); err != nil {
+		return err
+	}
+	if buildArray {
+		fmt.Println("building OLAP array...")
+		if err := db.BuildArray(repro.ArrayConfig{ChunkShape: chunkShape, Codec: codec}); err != nil {
+			return err
+		}
+	}
+	if buildBitmaps {
+		fmt.Println("building bitmap indexes...")
+		if err := db.BuildBitmapIndexes(); err != nil {
+			return err
+		}
+	}
+	if err := db.Commit(); err != nil {
+		return err
+	}
+	rep, err := db.Sizes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fact file: %d tuples, %.2f MB\n", rep.FactTuples, mb(rep.FactFileBytes))
+	if rep.ArrayBytes > 0 {
+		fmt.Printf("array:     %d chunks (%s), %.2f MB on disk, %.2f MB encoded\n",
+			rep.ArrayChunks, rep.ArrayCodec, mb(rep.ArrayBytes), mb(rep.ArrayEncodedBytes))
+	}
+	fmt.Printf("database written to %s\n", out)
+	return nil
+}
+
+func fill(n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }

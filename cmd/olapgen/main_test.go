@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	got, err := parseDims("40x40x40x100")
+	if err != nil || len(got) != 4 || got[3] != 100 {
+		t.Fatalf("parseDims = (%v, %v)", got, err)
+	}
+	got, err = parseDims(" 8 x 9 ")
+	if err != nil || len(got) != 2 || got[0] != 8 || got[1] != 9 {
+		t.Fatalf("parseDims with spaces = (%v, %v)", got, err)
+	}
+	for _, bad := range []string{"", "4x", "axb", "0x4", "-3x4"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestFillAndMB(t *testing.T) {
+	f := fill(3, 7)
+	if len(f) != 3 || f[0] != 7 || f[2] != 7 {
+		t.Fatalf("fill = %v", f)
+	}
+	if mb(1<<20) != 1 {
+		t.Fatalf("mb = %v", mb(1<<20))
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gen.db")
+	if err := run(out, "8x8x8", 0.1, 0, 4, 2, 1, "4x4x4", "", true, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("database not written: %v", err)
+	}
+	// Refuses to overwrite.
+	if err := run(out, "8x8x8", 0.1, 0, 4, 2, 1, "", "", true, true); err == nil {
+		t.Fatal("run overwrote an existing database")
+	}
+	// Bad inputs.
+	if err := run(filepath.Join(t.TempDir(), "x.db"), "bogus", 0.1, 0, 4, 2, 1, "", "", true, true); err == nil {
+		t.Fatal("run accepted bogus dims")
+	}
+	if err := run(filepath.Join(t.TempDir(), "y.db"), "8x8", 0.1, 0, 4, 2, 1, "", "nosuch", true, true); err == nil {
+		t.Fatal("run accepted unknown codec")
+	}
+}

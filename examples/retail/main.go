@@ -1,0 +1,152 @@
+// Retail: a larger version of the paper's running example. Generates a
+// year of synthetic sales for a product/store/time star schema, stores
+// it both relationally and as the OLAP array, and races the paper's
+// algorithms against each other on consolidation queries with and
+// without selections.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	repro "repro"
+)
+
+const (
+	numProducts = 200
+	numStores   = 50
+	numDays     = 364
+	density     = 0.08 // fraction of (product, store, day) cells with a sale
+)
+
+func main() {
+	db, err := repro.Open(repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	schema := &repro.StarSchema{
+		Fact: repro.FactSchema{Name: "sales", Dims: []string{"product", "store", "day"}, Measure: "volume"},
+		Dimensions: []repro.DimensionSchema{
+			{Name: "product", Key: "pid", Attrs: []string{"type", "category"}},
+			{Name: "store", Key: "sid", Attrs: []string{"city", "region"}},
+			{Name: "day", Key: "tid", Attrs: []string{"month", "quarter"}},
+		},
+	}
+	if err := db.CreateStarSchema(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	// Dimensions with real hierarchies: type -> category, city ->
+	// region, month -> quarter.
+	categories := []string{"beverages", "snacks", "dairy", "produce"}
+	regions := []string{"midwest", "west", "east", "south"}
+	check(db.LoadDimensionFunc("product", func(emit func(int64, []string) error) error {
+		for p := int64(0); p < numProducts; p++ {
+			typ := fmt.Sprintf("type%02d", p%40)
+			cat := categories[(p%40)%int64(len(categories))]
+			if err := emit(p, []string{typ, cat}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	check(db.LoadDimensionFunc("store", func(emit func(int64, []string) error) error {
+		for s := int64(0); s < numStores; s++ {
+			city := fmt.Sprintf("city%02d", s%20)
+			region := regions[(s%20)%int64(len(regions))]
+			if err := emit(s, []string{city, region}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	check(db.LoadDimensionFunc("day", func(emit func(int64, []string) error) error {
+		for d := int64(0); d < numDays; d++ {
+			month := fmt.Sprintf("month%02d", d/31)
+			quarter := fmt.Sprintf("Q%d", d/91+1)
+			if err := emit(d, []string{month, quarter}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+
+	// Uniform sparse sales.
+	rng := rand.New(rand.NewSource(7))
+	var facts []repro.FactTuple
+	for p := int64(0); p < numProducts; p++ {
+		for s := int64(0); s < numStores; s++ {
+			for d := int64(0); d < numDays; d++ {
+				if rng.Float64() < density {
+					facts = append(facts, repro.FactTuple{
+						Keys:    []int64{p, s, d},
+						Measure: rng.Int63n(500) + 1,
+					})
+				}
+			}
+		}
+	}
+	fmt.Printf("loading %d sales (%.1f%% of the %d-cell cube)\n",
+		len(facts), density*100, numProducts*numStores*numDays)
+	check(db.LoadFactRows(facts))
+	check(db.BuildArray(repro.ArrayConfig{}))
+	check(db.BuildBitmapIndexes())
+
+	sizes, err := db.Sizes()
+	check(err)
+	fmt.Printf("fact file %.2f MB | array %.2f MB encoded (%d chunks, %s)\n\n",
+		mb(sizes.FactFileBytes), mb(sizes.ArrayEncodedBytes), sizes.ArrayChunks, sizes.ArrayCodec)
+
+	queries := []struct {
+		name string
+		sql  string
+		engs []repro.Engine
+	}{
+		{
+			name: "consolidation: volume by category x region x quarter",
+			sql: `select sum(volume), category, region, quarter
+			      from sales, product, store, day
+			      group by category, region, quarter`,
+			engs: []repro.Engine{repro.ArrayEngine, repro.StarJoinEngine},
+		},
+		{
+			name: "selection: beverages in the midwest, by month",
+			sql: `select sum(volume), month
+			      from sales, product, store, day
+			      where product.category = 'beverages' and store.region = 'midwest'
+			      group by month`,
+			engs: []repro.Engine{repro.ArrayEngine, repro.BitmapEngine, repro.StarJoinEngine},
+		},
+		{
+			name: "narrow selection: one type, one city, Q1",
+			sql: `select sum(volume), month
+			      from sales, product, store, day
+			      where product.type = 'type07' and store.city = 'city03'
+			            and day.quarter = 'Q1'
+			      group by month`,
+			engs: []repro.Engine{repro.ArrayEngine, repro.BitmapEngine},
+		},
+	}
+	for _, q := range queries {
+		fmt.Println(q.name)
+		for _, eng := range q.engs {
+			check(db.DropCaches()) // cold, as the paper measures
+			res, err := db.QueryOn(q.sql, eng)
+			check(err)
+			fmt.Printf("  %-24s %10v  %4d rows  %5d pages read\n",
+				res.Plan, res.Elapsed, len(res.Rows), res.IO.PhysicalReads)
+		}
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }

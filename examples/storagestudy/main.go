@@ -1,0 +1,92 @@
+// Storagestudy: reproduces the storage analysis of §3.2 empirically. For
+// a 4-dimensional cube it sweeps density and reports the fact-file
+// footprint against the chunk-offset array and an uncompressed (dense)
+// array, locating the break-even points the paper derives analytically
+// (table beats dense array below rho = p/(n+p); the compressed array
+// beats the table down to "surprisingly low densities").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	fmt.Println("storage study: 24x24x24x60 cube, density sweep")
+	fmt.Printf("%-9s %12s %14s %14s %12s\n",
+		"density", "facts", "fact file", "offset array", "dense array")
+
+	densities := []float64{0.002, 0.005, 0.01, 0.05, 0.10, 0.20, 0.40}
+	var crossover float64 = -1
+	for _, rho := range densities {
+		rep := buildAt(rho)
+		fmt.Printf("%8.1f%% %12d %14s %14s %12s\n",
+			rho*100, rep.FactTuples,
+			bytesStr(rep.FactFileBytes),
+			bytesStr(rep.ArrayEncodedBytes),
+			bytesStr(denseBytes()))
+		if crossover < 0 && rep.ArrayEncodedBytes < rep.FactFileBytes {
+			crossover = rho
+		}
+	}
+	fmt.Println()
+	if crossover >= 0 {
+		fmt.Printf("chunk-offset array smaller than the fact file from %.1f%% density down/up across the sweep\n", crossover*100)
+	}
+	// The paper's analytical break-even for the *uncompressed* array:
+	// rho = p / (n + p) with n dims and p measures.
+	n, p := 4.0, 1.0
+	fmt.Printf("analytical dense-array break-even (rho = p/(n+p)): %.0f%%\n", 100*p/(n+p))
+	fmt.Println("below that density the relational table beats the dense array,")
+	fmt.Println("but chunk-offset compression keeps the array smaller anyway (§3.3).")
+}
+
+var dims = []int{24, 24, 24, 60}
+
+func denseBytes() int64 {
+	cells := int64(1)
+	for _, d := range dims {
+		cells *= int64(d)
+	}
+	return cells*8 + cells/8 // 8 B per cell + validity bitmap
+}
+
+func buildAt(density float64) *repro.SizeReport {
+	ds, err := datagen.Generate(datagen.Config{DimSizes: dims, Density: density, Seed: 5})
+	check(err)
+	db, err := repro.Open(repro.Options{})
+	check(err)
+	defer db.Close()
+	check(db.CreateStarSchema(ds.Schema()))
+	for dim := range ds.Schema().Dimensions {
+		name := ds.Schema().Dimensions[dim].Name
+		check(db.LoadDimensionFunc(name, func(emit func(int64, []string) error) error {
+			return ds.EachDimRow(dim, emit)
+		}))
+	}
+	check(db.LoadFacts(ds.Facts()))
+	check(db.BuildArray(repro.ArrayConfig{}))
+	rep, err := db.Sizes()
+	check(err)
+	return rep
+}
+
+func bytesStr(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package array
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestArrayUpdateCopyOnWrite(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 512)
+	a, ref := buildTestArray(t, bp)
+
+	pagesBefore := bp.Disk().NumPages()
+	next, err := a.Update([]CellUpdate{
+		{Keys: []int64{0, 0}, Value: 999},   // overwrite (cell (0,0) exists)
+		{Keys: []int64{1, 0}, Value: 555},   // insert ((1,0): (1+0)%3 != 0, absent)
+		{Keys: []int64{3, 0}, Delete: true}, // delete ((3,0) exists)
+		{Keys: []int64{5, 2}, Delete: true}, // delete absent: no-op ((5,2): 7%3!=0)
+		{Keys: []int64{2, 3}, Value: -7},    // insert in another chunk ((2,3): 5%3 != 0)
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	pagesAfter := bp.Disk().NumPages()
+
+	// Old version unchanged.
+	for k, want := range ref {
+		v, ok, err := a.Get(k[:])
+		if err != nil || !ok || v != want {
+			t.Fatalf("old version Get(%v) = (%d, %v, %v), want %d", k, v, ok, err, want)
+		}
+	}
+	if v, ok, _ := a.Get([]int64{1, 0}); ok {
+		t.Fatalf("old version sees inserted cell: %d", v)
+	}
+
+	// New version reflects the updates.
+	want := map[[2]int64]int64{}
+	for k, v := range ref {
+		want[k] = v
+	}
+	want[[2]int64{0, 0}] = 999
+	want[[2]int64{1, 0}] = 555
+	delete(want, [2]int64{3, 0})
+	want[[2]int64{2, 3}] = -7
+	for k0 := int64(0); k0 < 6; k0++ {
+		for k1 := int64(0); k1 < 4; k1++ {
+			v, ok, err := next.Get([]int64{k0, k1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, valid := want[[2]int64{k0, k1}]
+			if ok != valid || (ok && v != w) {
+				t.Fatalf("new version Get(%d,%d) = (%d, %v), want (%d, %v)", k0, k1, v, ok, w, valid)
+			}
+		}
+	}
+	if next.NumValidCells() != int64(len(want)) {
+		t.Fatalf("new version cells = %d, want %d", next.NumValidCells(), len(want))
+	}
+
+	// COW: far fewer new pages than a full rebuild (2 chunks re-encoded
+	// + meta + state).
+	grown := pagesAfter - pagesBefore
+	if grown == 0 || grown > 16 {
+		t.Fatalf("update allocated %d pages", grown)
+	}
+
+	// The new version reopens from its state blob.
+	re, err := Open(bp, next.State())
+	if err != nil {
+		t.Fatalf("Open(updated): %v", err)
+	}
+	v, ok, err := re.Get([]int64{1, 0})
+	if err != nil || !ok || v != 555 {
+		t.Fatalf("reopened updated Get = (%d, %v, %v)", v, ok, err)
+	}
+}
+
+func TestArrayUpdateErrorsAndNoop(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 512)
+	a, _ := buildTestArray(t, bp)
+
+	same, err := a.Update(nil)
+	if err != nil || same != a {
+		t.Fatalf("empty update = (%p, %v), want receiver", same, err)
+	}
+	if _, err := a.Update([]CellUpdate{{Keys: []int64{0}, Value: 1}}); err == nil {
+		t.Fatal("update with wrong arity succeeded")
+	}
+	if _, err := a.Update([]CellUpdate{{Keys: []int64{99, 0}, Value: 1}}); err == nil {
+		t.Fatal("update with unknown key succeeded")
+	}
+}
+
+func TestArrayUpdateEmptiesChunk(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 512)
+	a, ref := buildTestArray(t, bp)
+
+	// Delete every valid cell: the store must end empty.
+	var dels []CellUpdate
+	for k := range ref {
+		dels = append(dels, CellUpdate{Keys: []int64{k[0], k[1]}, Delete: true})
+	}
+	next, err := a.Update(dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumValidCells() != 0 {
+		t.Fatalf("cells after full delete = %d", next.NumValidCells())
+	}
+	for k := range ref {
+		if _, ok, _ := next.Get([]int64{k[0], k[1]}); ok {
+			t.Fatalf("cell %v survived deletion", k)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+)
+
+// smallOpts shrinks every data set so the whole figure suite runs in
+// seconds inside the unit tests; the ratios are not meaningful at this
+// scale, but the structure, agreement checks, and formatting are all
+// exercised.
+func smallOpts() Options {
+	return Options{Scale: 0.25, Trials: 1}
+}
+
+func TestEnvBuildAndQuery1(t *testing.T) {
+	cfg, err := datagen.DataSet1(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := BuildEnv(EnvConfig{Data: scaleData(cfg, 0.2)})
+	if err != nil {
+		t.Fatalf("BuildEnv: %v", err)
+	}
+	spec := env.Query1Spec()
+	m, err := env.Run(spec, exec.ArrayEngine, true, 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Rows == 0 || m.Elapsed <= 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+	// Bad spec errors propagate.
+	if _, err := env.SelectSpec(0); err == nil {
+		t.Fatal("SelectSpec(0) succeeded")
+	}
+}
+
+func TestFigure4SmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig, err := h.Figure4()
+	if err != nil {
+		t.Fatalf("Figure4: %v", err)
+	}
+	if len(fig.Points) != 3 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	for _, p := range fig.Points {
+		a, s := p.M["array"], p.M["starjoin"]
+		if a.Rows != s.Rows || a.Sum != s.Sum {
+			t.Fatalf("plans disagree at %s", p.XLabel)
+		}
+		if a.Plan != "array-consolidate" || s.Plan != "starjoin" {
+			t.Fatalf("plans = %s / %s", a.Plan, s.Plan)
+		}
+		if a.Metrics.CellsScanned == 0 || s.Metrics.TuplesScanned == 0 {
+			t.Fatalf("metrics empty at %s", p.XLabel)
+		}
+		if a.Metrics.CellsScanned != s.Metrics.TuplesScanned {
+			t.Fatalf("cells %d != tuples %d", a.Metrics.CellsScanned, s.Metrics.TuplesScanned)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFigure(&buf, fig)
+	if !strings.Contains(buf.String(), "fig4") {
+		t.Fatal("formatted output missing figure id")
+	}
+	buf.Reset()
+	WriteFigureCSV(&buf, fig)
+	if !strings.Contains(buf.String(), "array_seconds") {
+		t.Fatal("CSV output missing series header")
+	}
+	if got := strings.Count(buf.String(), "\n"); got < 5 { // comment + header + 3 points
+		t.Fatalf("CSV output has %d lines", got)
+	}
+}
+
+func TestFigure5SmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig, err := h.Figure5()
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	if len(fig.Points) != len(figure5Densities) {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	// Density increases along the sweep: so must the cell counts.
+	var prev int64 = -1
+	for _, p := range fig.Points {
+		cells := p.M["array"].Metrics.CellsScanned
+		if cells <= prev {
+			t.Fatalf("cells not increasing with density: %d after %d", cells, prev)
+		}
+		prev = cells
+	}
+}
+
+func TestFigure6And8ShareEnvs(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig6, err := h.Figure6()
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	built := len(h.envs)
+	fig8, err := h.Figure8()
+	if err != nil {
+		t.Fatalf("Figure8: %v", err)
+	}
+	if len(h.envs) != built {
+		t.Fatalf("Figure8 rebuilt envs: %d -> %d", built, len(h.envs))
+	}
+	if len(fig6.Points) != len(selectivitySweep) || len(fig8.Points) != 3 {
+		t.Fatalf("points: fig6=%d fig8=%d", len(fig6.Points), len(fig8.Points))
+	}
+	// Selectivity decreases along each sweep (sorted descending).
+	for _, fig := range []*Figure{fig6, fig8} {
+		for i := 1; i < len(fig.Points); i++ {
+			if fig.Points[i].X >= fig.Points[i-1].X {
+				t.Fatalf("%s not sorted by decreasing S", fig.ID)
+			}
+		}
+		if len(fig.Notes) == 0 {
+			t.Fatalf("%s missing crossover note", fig.ID)
+		}
+	}
+	// Bitmap plan must fetch exactly the qualifying tuples.
+	for _, p := range fig6.Points {
+		bm := p.M["bitmap"]
+		if bm.Plan != "bitmap-factfile" {
+			t.Fatalf("bitmap plan = %s", bm.Plan)
+		}
+		if bm.Metrics.TuplesFetched == 0 && p.M["array"].Metrics.ProbeHits > 0 {
+			t.Fatalf("bitmap fetched nothing at %s", p.XLabel)
+		}
+	}
+}
+
+func TestFigure7And9And10(t *testing.T) {
+	h := NewHarness(smallOpts())
+	for _, run := range []func() (*Figure, error){h.Figure7, h.Figure9, h.Figure10} {
+		fig, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Points) == 0 {
+			t.Fatalf("%s empty", fig.ID)
+		}
+	}
+	// Figure 10 uses 3-dimension selections: its specs collapse dim3, so
+	// the group attr count is 3.
+	fig10, err := h.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig10.Points {
+		if p.M["array"].Plan != "array-select-consolidate" {
+			t.Fatalf("fig10 plan = %s", p.M["array"].Plan)
+		}
+	}
+}
+
+func TestStorageTableSmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	rows, err := h.StorageTable()
+	if err != nil {
+		t.Fatalf("StorageTable: %v", err)
+	}
+	if len(rows) != 3+len(figure5Densities) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FactFileBytes <= 0 || r.ArrayBytes <= 0 || r.DenseBytes <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+		// The compressed array must always beat the dense array at the
+		// densities tested (max 20%).
+		if r.ArrayBytes >= r.DenseBytes {
+			t.Fatalf("%s: offset array %d >= dense %d", r.Name, r.ArrayBytes, r.DenseBytes)
+		}
+		// And the encoded array payload must beat the fact file: 12 B
+		// per valid cell vs 24 B per tuple.
+		if r.ArrayBytes >= r.FactFileBytes {
+			t.Fatalf("%s: array %d >= fact file %d", r.Name, r.ArrayBytes, r.FactFileBytes)
+		}
+	}
+	var buf bytes.Buffer
+	WriteStorageTable(&buf, rows)
+	if !strings.Contains(buf.String(), "array/fact") {
+		t.Fatal("storage table header missing")
+	}
+	buf.Reset()
+	WriteStorageCSV(&buf, rows)
+	if !strings.Contains(buf.String(), "fact_file_bytes") {
+		t.Fatal("storage CSV header missing")
+	}
+}
+
+func TestCodecAblationSmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig, err := h.CodecAblation()
+	if err != nil {
+		t.Fatalf("CodecAblation: %v", err)
+	}
+	if len(fig.Points) != 3 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	sums := map[int64]bool{}
+	for _, p := range fig.Points {
+		sums[p.M["array"].Sum] = true
+	}
+	if len(sums) != 1 {
+		t.Fatalf("codecs disagree on Query 1 result: %v", sums)
+	}
+}
+
+func TestChunkShapeAblationSmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig, err := h.ChunkShapeAblation()
+	if err != nil {
+		t.Fatalf("ChunkShapeAblation: %v", err)
+	}
+	if len(fig.Points) != 4 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+}
+
+func TestEnumerationAblationSmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig, err := h.EnumerationAblation()
+	if err != nil {
+		t.Fatalf("EnumerationAblation: %v", err)
+	}
+	for _, p := range fig.Points {
+		co, nv := p.M["chunk-ordered"], p.M["naive"]
+		if co.Sum != nv.Sum || co.Rows != nv.Rows {
+			t.Fatalf("enumeration variants disagree at %s", p.XLabel)
+		}
+		if nv.Metrics.ChunksRead < co.Metrics.ChunksRead {
+			t.Fatalf("naive read fewer chunks (%d < %d) at %s",
+				nv.Metrics.ChunksRead, co.Metrics.ChunksRead, p.XLabel)
+		}
+	}
+}
+
+func TestFactFileAblationSmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig, err := h.FactFileAblation()
+	if err != nil {
+		t.Fatalf("FactFileAblation: %v", err)
+	}
+	if len(fig.Points) != 2 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	// The heap stores identical records plus slot overhead: it must be
+	// at least as large.
+	if !strings.Contains(fig.Points[0].XLabel, "fact-file") {
+		t.Fatalf("labels = %v", fig.Points)
+	}
+}
+
+func TestBufferPoolAblationSmallScale(t *testing.T) {
+	h := NewHarness(smallOpts())
+	fig, err := h.BufferPoolAblation()
+	if err != nil {
+		t.Fatalf("BufferPoolAblation: %v", err)
+	}
+	if len(fig.Points) != 4 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+}
+
+func TestDiskBackedEnv(t *testing.T) {
+	opts := smallOpts()
+	opts.DiskDir = t.TempDir()
+	h := NewHarness(opts)
+	fig, err := h.Figure4()
+	if err != nil {
+		t.Fatalf("disk-backed Figure4: %v", err)
+	}
+	if len(fig.Points) != 3 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	for _, p := range fig.Points {
+		if p.M["array"].Sum != p.M["starjoin"].Sum {
+			t.Fatalf("disk-backed plans disagree at %s", p.XLabel)
+		}
+		if p.M["array"].IO.PhysicalReads == 0 {
+			t.Fatalf("disk-backed cold run did no physical reads at %s", p.XLabel)
+		}
+	}
+}
+
+func TestScaleData(t *testing.T) {
+	cfg := scaleData(mustCfg(), 0.25)
+	for _, d := range cfg.DimSizes {
+		if d < 4 {
+			t.Fatalf("scaled dims = %v", cfg.DimSizes)
+		}
+	}
+	if cfg.NumFacts >= 640000 || cfg.NumFacts < 16 {
+		t.Fatalf("scaled facts = %d", cfg.NumFacts)
+	}
+	// Scale 1 is identity.
+	id := scaleData(mustCfg(), 1)
+	if id.NumFacts != 640000 {
+		t.Fatalf("identity scale changed facts: %d", id.NumFacts)
+	}
+}
+
+func mustCfg() datagen.Config {
+	return datagen.Config{DimSizes: []int{40, 40, 40, 100}, NumFacts: 640000}
+}

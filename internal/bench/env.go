@@ -1,0 +1,200 @@
+// Package bench regenerates every figure of the paper's evaluation (§5):
+// Query 1 consolidations on Data Sets 1 and 2 (Figures 4-5), Query 2
+// selectivity sweeps of the array algorithm against the bitmap-index +
+// fact-file plan (Figures 6-9), Query 3 with selection on three
+// dimensions (Figure 10), the §3.2/§5.5.1 storage comparison, and the
+// ablations DESIGN.md calls out (chunk codec, chunk shape, cross-product
+// enumeration order, fact file vs slotted heap).
+//
+// Runners return structured Figure values that the CLI and EXPERIMENTS.md
+// render as tables; absolute times are machine-dependent but the shapes
+// (who wins, by what factor, where the crossover falls) are what the
+// reproduction checks against the paper.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/factfile"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// EnvConfig describes one experiment database.
+type EnvConfig struct {
+	Data            datagen.Config
+	ChunkShape      []int  // nil = chunk.DefaultChunkShape
+	Codec           string // "" = chunk-offset
+	BuildBitmaps    bool
+	BufferPoolBytes int // 0 = the paper's 16 MB
+	// DiskPath backs the environment with a real volume file instead of
+	// memory, so physical reads hit the file system (olapbench -disk).
+	DiskPath string
+}
+
+// Env is a fully built experiment database: dimension tables, fact file,
+// OLAP array, and (optionally) bitmap indexes over one synthetic data
+// set, in memory.
+type Env struct {
+	Cfg EnvConfig
+	BP  *storage.BufferPool
+	Cat *catalog.Catalog
+	Ex  *exec.Executor
+	DS  *datagen.Dataset
+}
+
+// BuildEnv generates the data set and loads every physical object.
+func BuildEnv(cfg EnvConfig) (*Env, error) {
+	ds, err := datagen.Generate(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	frames := 0
+	if cfg.BufferPoolBytes > 0 {
+		frames = cfg.BufferPoolBytes / storage.PageSize
+	}
+	var disk storage.DiskManager
+	if cfg.DiskPath != "" {
+		d, err := storage.OpenFileDiskManager(cfg.DiskPath)
+		if err != nil {
+			return nil, err
+		}
+		disk = d
+	} else {
+		disk = storage.NewMemDiskManager()
+	}
+	bp := storage.NewBufferPool(disk, frames)
+	cat := catalog.NewCatalog()
+	if err := exec.CreateSchema(bp, cat, ds.Schema()); err != nil {
+		return nil, err
+	}
+	for dim := range ds.Schema().Dimensions {
+		name := ds.Schema().Dimensions[dim].Name
+		dt, err := cat.OpenDimension(bp, name)
+		if err != nil {
+			return nil, err
+		}
+		err = ds.EachDimRow(dim, func(key int64, attrs []string) error {
+			return dt.Insert(key, attrs)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := exec.LoadFacts(bp, cat, ds.Facts()); err != nil {
+		return nil, err
+	}
+	if err := exec.BuildArray(bp, cat, exec.ArrayBuildConfig{
+		ChunkShape: cfg.ChunkShape,
+		Codec:      cfg.Codec,
+	}); err != nil {
+		return nil, err
+	}
+	if cfg.BuildBitmaps {
+		if err := exec.BuildBitmapIndexes(bp, cat); err != nil {
+			return nil, err
+		}
+	}
+	return &Env{Cfg: cfg, BP: bp, Cat: cat, Ex: exec.NewExecutor(bp, cat), DS: ds}, nil
+}
+
+// Array opens the env's OLAP array for direct algorithm calls.
+func (e *Env) Array() (*array.Array, error) { return exec.OpenArray(e.BP, e.Cat) }
+
+// FactFile opens the env's fact file.
+func (e *Env) FactFile() (*factfile.File, error) { return exec.OpenFactFile(e.BP, e.Cat) }
+
+// Dimensions opens the env's dimension tables.
+func (e *Env) Dimensions() ([]*catalog.DimensionTable, error) {
+	return exec.OpenDimensions(e.BP, e.Cat)
+}
+
+// Measurement is one timed query execution.
+type Measurement struct {
+	Plan    string
+	Elapsed time.Duration
+	Metrics core.Metrics
+	IO      storage.Stats
+	Rows    int
+	Sum     int64 // checksum: total of row sums, for cross-plan validation
+}
+
+// Run executes spec on the given engine. When cold is true the buffer
+// pool is dropped first, matching the paper's measurement protocol.
+// trials > 1 repeats the query (cold each time) and keeps the minimum.
+func (e *Env) Run(spec *query.Spec, engine exec.Engine, cold bool, trials int) (Measurement, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	var best Measurement
+	for t := 0; t < trials; t++ {
+		if cold {
+			if err := e.Ex.DropCaches(); err != nil {
+				return Measurement{}, err
+			}
+		}
+		qr, err := e.Ex.Execute(spec, engine)
+		if err != nil {
+			return Measurement{}, err
+		}
+		m := Measurement{
+			Plan:    qr.Plan,
+			Elapsed: qr.Elapsed,
+			Metrics: qr.Metrics,
+			IO:      qr.IO,
+			Rows:    len(qr.Rows),
+		}
+		for _, r := range qr.Rows {
+			m.Sum += r.Sum
+		}
+		if t == 0 || m.Elapsed < best.Elapsed {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// Query1Spec is the paper's Query 1: join every dimension, group by each
+// hX1, sum the volume.
+func (e *Env) Query1Spec() *query.Spec {
+	n := e.Cat.Schema.NumDims()
+	spec := &query.Spec{Aggs: []core.AggFunc{core.Sum}, Group: core.GroupByAttrs(n, 0)}
+	for i := 0; i < n; i++ {
+		spec.GroupAttrs = append(spec.GroupAttrs, e.Cat.Schema.Dimensions[i].Attrs[0])
+	}
+	return spec
+}
+
+// SelectSpec builds a Query 2/3-shaped spec: an equality selection on the
+// hX2 attribute of the first selDims dimensions (value "AA1", which every
+// distinct count >= 2 contains), grouping by hX1 of the same dimensions
+// and collapsing the rest.
+func (e *Env) SelectSpec(selDims int) (*query.Spec, error) {
+	n := e.Cat.Schema.NumDims()
+	if selDims < 1 || selDims > n {
+		return nil, fmt.Errorf("bench: selDims %d out of [1,%d]", selDims, n)
+	}
+	spec := &query.Spec{Aggs: []core.AggFunc{core.Sum}, Group: make(core.GroupSpec, n)}
+	for i := 0; i < selDims; i++ {
+		spec.Selections = append(spec.Selections, core.Selection{Dim: i, Level: 1, Values: []string{"AA1"}})
+		spec.Group[i] = core.DimGroup{Target: core.GroupByLevel, Level: 0}
+		spec.GroupAttrs = append(spec.GroupAttrs, e.Cat.Schema.Dimensions[i].Attrs[0])
+	}
+	return spec, nil
+}
+
+// Selectivity returns the exact fraction of cube cells the spec's
+// selections admit.
+func (e *Env) Selectivity(spec *query.Spec) (float64, error) {
+	arr, err := e.Array()
+	if err != nil {
+		return 0, err
+	}
+	return core.SelectionSelectivity(arr, spec.Selections)
+}

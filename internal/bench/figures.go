@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+)
+
+// Options controls a harness run.
+type Options struct {
+	// Scale shrinks the data sets for quick runs: 1.0 is the paper's
+	// full size, 0.25 divides every dimension by ~4 (and the fact count
+	// by the same volume ratio, preserving density). 0 means 1.0.
+	Scale float64
+	// Trials repeats each measured query, keeping the fastest; 0 = 1.
+	Trials int
+	// Warm skips the cold-cache protocol (the paper measures cold).
+	Warm bool
+	// Seed randomizes data generation; 0 uses a fixed default.
+	Seed int64
+	// DiskDir, when set, backs every environment with a volume file in
+	// that directory instead of memory, so cold-cache queries pay file
+	// system reads.
+	DiskDir string
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 19980223 // ICDE 1998
+	}
+	return o.Seed
+}
+
+// scaleData shrinks a data config by the scale factor, preserving
+// density.
+func scaleData(cfg datagen.Config, scale float64) datagen.Config {
+	if scale >= 1 {
+		return cfg
+	}
+	volRatio := 1.0
+	dims := make([]int, len(cfg.DimSizes))
+	for i, d := range cfg.DimSizes {
+		nd := int(float64(d)*scale + 0.5)
+		if nd < 4 {
+			nd = 4
+		}
+		volRatio *= float64(nd) / float64(d)
+		dims[i] = nd
+	}
+	cfg.DimSizes = dims
+	if cfg.NumFacts > 0 {
+		nf := int(float64(cfg.NumFacts) * volRatio)
+		if nf < 16 {
+			nf = 16
+		}
+		cfg.NumFacts = nf
+	}
+	return cfg
+}
+
+// Point is one x-position of a figure with one measurement per series.
+type Point struct {
+	X      float64
+	XLabel string
+	M      map[string]Measurement
+}
+
+// Figure is a regenerated paper figure (or table).
+type Figure struct {
+	ID     string
+	Title  string
+	XName  string
+	Series []string
+	Points []Point
+	Notes  []string
+}
+
+// Harness runs figures, caching built environments across figures that
+// share a data configuration (Figures 6/8 and 7/9/10 do).
+type Harness struct {
+	Opts Options
+	envs map[string]*Env
+}
+
+// NewHarness creates a harness.
+func NewHarness(opts Options) *Harness {
+	return &Harness{Opts: opts, envs: make(map[string]*Env)}
+}
+
+func (h *Harness) env(cfg EnvConfig) (*Env, error) {
+	key := fmt.Sprintf("%+v", cfg)
+	if e, ok := h.envs[key]; ok {
+		return e, nil
+	}
+	if h.Opts.DiskDir != "" {
+		// Deterministic file name per config so figures sharing a
+		// config share the volume.
+		cfg.DiskPath = filepath.Join(h.Opts.DiskDir,
+			fmt.Sprintf("env-%016x.db", fnvHash(key)))
+	}
+	e, err := BuildEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.envs[key] = e
+	return e, nil
+}
+
+// fnvHash hashes a string (FNV-1a, 64-bit).
+func fnvHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Env builds (or returns the cached) environment for cfg; external
+// callers (the root benchmarks) share the harness cache through it.
+func (h *Harness) Env(cfg EnvConfig) (*Env, error) { return h.env(cfg) }
+
+// DataSet1 returns the scaled Data Set 1 variant config.
+func (h *Harness) DataSet1(variant int) (datagen.Config, error) { return h.dataSet1(variant) }
+
+// DataSet2 returns the scaled Data Set 2 config at the given density.
+func (h *Harness) DataSet2(density float64) datagen.Config {
+	return scaleData(datagen.DataSet2(density, h.Opts.seed()), h.Opts.scale())
+}
+
+func (h *Harness) cold() bool  { return !h.Opts.Warm }
+func (h *Harness) trials() int { return h.Opts.Trials }
+
+// dataSet1 returns the scaled Data Set 1 variant config.
+func (h *Harness) dataSet1(variant int) (datagen.Config, error) {
+	cfg, err := datagen.DataSet1(variant, h.Opts.seed())
+	if err != nil {
+		return cfg, err
+	}
+	return scaleData(cfg, h.Opts.scale()), nil
+}
+
+// checkAgreement verifies that every series computed the same aggregate
+// checksum and row count — the cross-plan equivalence invariant enforced
+// even during benchmarking.
+func checkAgreement(p Point) error {
+	var first *Measurement
+	for name := range p.M {
+		m := p.M[name]
+		if first == nil {
+			first = &m
+			continue
+		}
+		if m.Rows != first.Rows || m.Sum != first.Sum {
+			return fmt.Errorf("bench: plans disagree at %s: %d rows/%d vs %d rows/%d",
+				p.XLabel, m.Rows, m.Sum, first.Rows, first.Sum)
+		}
+	}
+	return nil
+}
+
+// Figure4 regenerates Figure 4: Query 1 on Data Set 1 — the array
+// consolidation against the relational StarJoin as the fourth dimension
+// grows (fixed 640 000 valid cells; density 20% → 10% → 1%).
+func (h *Harness) Figure4() (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4",
+		Title:  "Query 1 on Data Set 1 (fixed valid cells, growing 4th dimension)",
+		XName:  "dim4 size",
+		Series: []string{"array", "starjoin"},
+	}
+	for variant := 0; variant < 3; variant++ {
+		data, err := h.dataSet1(variant)
+		if err != nil {
+			return nil, err
+		}
+		env, err := h.env(EnvConfig{Data: data})
+		if err != nil {
+			return nil, err
+		}
+		spec := env.Query1Spec()
+		p := Point{
+			X:      float64(data.DimSizes[len(data.DimSizes)-1]),
+			XLabel: fmt.Sprintf("%d (density %.1f%%)", data.DimSizes[len(data.DimSizes)-1], env.DS.Density()*100),
+			M:      map[string]Measurement{},
+		}
+		for name, engine := range map[string]exec.Engine{
+			"array": exec.ArrayEngine, "starjoin": exec.StarJoinEngine,
+		} {
+			m, err := env.Run(spec, engine, h.cold(), h.trials())
+			if err != nil {
+				return nil, err
+			}
+			p.M[name] = m
+		}
+		if err := checkAgreement(p); err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, p)
+	}
+	return fig, nil
+}
+
+// figure5Densities are the Data Set 2 densities of §5.4.
+var figure5Densities = []float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.20}
+
+// Figure5 regenerates Figure 5: Query 1 on Data Set 2 — fixed
+// 40×40×40×100 shape, density swept from 0.5% to 20%.
+func (h *Harness) Figure5() (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Query 1 on Data Set 2 (fixed shape, growing density)",
+		XName:  "density",
+		Series: []string{"array", "starjoin"},
+	}
+	for _, density := range figure5Densities {
+		data := scaleData(datagen.DataSet2(density, h.Opts.seed()), h.Opts.scale())
+		env, err := h.env(EnvConfig{Data: data})
+		if err != nil {
+			return nil, err
+		}
+		spec := env.Query1Spec()
+		p := Point{X: density, XLabel: fmt.Sprintf("%.1f%%", density*100), M: map[string]Measurement{}}
+		for name, engine := range map[string]exec.Engine{
+			"array": exec.ArrayEngine, "starjoin": exec.StarJoinEngine,
+		} {
+			m, err := env.Run(spec, engine, h.cold(), h.trials())
+			if err != nil {
+				return nil, err
+			}
+			p.M[name] = m
+		}
+		if err := checkAgreement(p); err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, p)
+	}
+	return fig, nil
+}
+
+// selectivitySweep are the per-dimension distinct counts of §5.6 (s =
+// 1/2 … 1/10 per dimension).
+var selectivitySweep = []int{2, 3, 4, 5, 8, 10}
+
+// selectSweep runs the Query 2/3 machinery: for each distinct count,
+// rebuild the data set with that hX2 cardinality and measure the array
+// selection algorithm against the bitmap + fact-file plan (and the
+// unindexed filtered star join for context).
+func (h *Harness) selectSweep(id, title string, variant, selDims int, distincts []int) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XName:  "selectivity S",
+		Series: []string{"array", "bitmap", "starjoin-filter"},
+	}
+	for _, distinct := range distincts {
+		base, err := h.dataSet1(variant)
+		if err != nil {
+			return nil, err
+		}
+		data := datagen.WithSelectivity(base, distinct)
+		env, err := h.env(EnvConfig{Data: data, BuildBitmaps: true})
+		if err != nil {
+			return nil, err
+		}
+		spec, err := env.SelectSpec(selDims)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := env.Selectivity(spec)
+		if err != nil {
+			return nil, err
+		}
+		p := Point{X: sel, XLabel: fmt.Sprintf("s=1/%d S=%.6f", distinct, sel), M: map[string]Measurement{}}
+		for name, engine := range map[string]exec.Engine{
+			"array":           exec.ArrayEngine,
+			"bitmap":          exec.BitmapEngine,
+			"starjoin-filter": exec.StarJoinEngine,
+		} {
+			m, err := env.Run(spec, engine, h.cold(), h.trials())
+			if err != nil {
+				return nil, err
+			}
+			p.M[name] = m
+		}
+		if err := checkAgreement(p); err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, p)
+	}
+	sort.Slice(fig.Points, func(i, j int) bool { return fig.Points[i].X > fig.Points[j].X })
+	if cross := crossoverNote(fig, "array", "bitmap"); cross != "" {
+		fig.Notes = append(fig.Notes, cross)
+	}
+	return fig, nil
+}
+
+// crossoverNote summarizes who wins where across the sweep (points
+// sorted by decreasing S), mirroring the paper's S ≈ 0.00024 crossover
+// discussion.
+func crossoverNote(fig *Figure, a, b string) string {
+	winner := func(p Point) string {
+		ma, okA := p.M[a]
+		mb, okB := p.M[b]
+		switch {
+		case !okA || !okB:
+			return ""
+		case ma.Elapsed <= mb.Elapsed:
+			return a
+		default:
+			return b
+		}
+	}
+	if len(fig.Points) == 0 {
+		return ""
+	}
+	note := fmt.Sprintf("%s wins at S = %.6f", winner(fig.Points[0]), fig.Points[0].X)
+	prev := winner(fig.Points[0])
+	for _, p := range fig.Points[1:] {
+		if w := winner(p); w != prev {
+			note += fmt.Sprintf("; %s takes over at S = %.6f", w, p.X)
+			prev = w
+		}
+	}
+	return note
+}
+
+// Figure6 regenerates Figure 6: Query 2 (selection on all four
+// dimensions) on the 40×40×40×1000 array across the selectivity sweep.
+func (h *Harness) Figure6() (*Figure, error) {
+	return h.selectSweep("fig6", "Query 2 on the 40x40x40x1000 array", 2, 4, selectivitySweep)
+}
+
+// Figure7 regenerates Figure 7: Query 2 on the 40×40×40×100 array.
+func (h *Harness) Figure7() (*Figure, error) {
+	return h.selectSweep("fig7", "Query 2 on the 40x40x40x100 array", 1, 4, selectivitySweep)
+}
+
+// Figure8 regenerates Figure 8: the low-selectivity zoom of Figure 6
+// where the bitmap + fact-file plan overtakes the array (the paper sees
+// the crossover at S ≈ 0.00024).
+func (h *Harness) Figure8() (*Figure, error) {
+	return h.selectSweep("fig8", "Query 2 on 40x40x40x1000, low-selectivity region", 2, 4, []int{5, 8, 10})
+}
+
+// Figure9 regenerates Figure 9: the low-selectivity zoom on the
+// 40×40×40×100 array.
+func (h *Harness) Figure9() (*Figure, error) {
+	return h.selectSweep("fig9", "Query 2 on 40x40x40x100, low-selectivity region", 1, 4, []int{5, 8, 10})
+}
+
+// Figure10 regenerates Figure 10: Query 3 — selection on three
+// dimensions instead of four, on the 40×40×40×100 array. The paper's
+// point: the relational cost barely moves versus Query 2 because tuple
+// fetching, not the extra bitmap AND, dominates.
+func (h *Harness) Figure10() (*Figure, error) {
+	return h.selectSweep("fig10", "Query 3 (selection on 3 dimensions) on the 40x40x40x100 array", 1, 3, selectivitySweep)
+}
+
+// ratio divides two durations, guarding against a zero denominator.
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// FormatBytes renders a byte count human-readably.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// formatDuration renders a duration with benchmark-friendly precision.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// WriteFigure renders a figure as an aligned text table.
+func WriteFigure(w io.Writer, fig *Figure) {
+	fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title)
+	header := []string{fig.XName}
+	for _, s := range fig.Series {
+		header = append(header, s, s+" I/O")
+	}
+	header = append(header, "speedup")
+	rows := [][]string{header}
+	for _, p := range fig.Points {
+		row := []string{p.XLabel}
+		for _, s := range fig.Series {
+			m, ok := p.M[s]
+			if !ok {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, formatDuration(m.Elapsed),
+				fmt.Sprintf("%dp", m.IO.PhysicalReads))
+		}
+		if len(fig.Series) >= 2 {
+			a, okA := p.M[fig.Series[0]]
+			b, okB := p.M[fig.Series[1]]
+			if okA && okB {
+				row = append(row, fmt.Sprintf("%.2fx", ratio(b.Elapsed, a.Elapsed)))
+			} else {
+				row = append(row, "-")
+			}
+		} else {
+			row = append(row, "-")
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	for _, n := range fig.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteStorageTable renders the storage comparison.
+func WriteStorageTable(w io.Writer, rows []StorageRow) {
+	fmt.Fprintln(w, "== storage: compressed array vs fact file (§3.2/§5.5.1) ==")
+	out := [][]string{{"data set", "density", "facts", "fact file", "array(offset)", "array/fact", "dense array", "chunks"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%.2f%%", r.Density*100),
+			fmt.Sprintf("%d", r.Facts),
+			FormatBytes(r.FactFileBytes),
+			FormatBytes(r.ArrayBytes),
+			fmt.Sprintf("%.2f", float64(r.ArrayBytes)/float64(r.FactFileBytes)),
+			FormatBytes(r.DenseBytes),
+			fmt.Sprintf("%d", r.Chunks),
+		})
+	}
+	writeAligned(w, out)
+	fmt.Fprintln(w)
+}
+
+// WriteFigureCSV renders a figure as CSV: one row per point with
+// X, and per series the elapsed seconds and physical page reads.
+func WriteFigureCSV(w io.Writer, fig *Figure) {
+	fmt.Fprintf(w, "# %s: %s\n", fig.ID, fig.Title)
+	header := []string{"x", "label"}
+	for _, s := range fig.Series {
+		header = append(header, s+"_seconds", s+"_pages", s+"_rows")
+	}
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for _, p := range fig.Points {
+		row := []string{
+			fmt.Sprintf("%g", p.X),
+			fmt.Sprintf("%q", p.XLabel),
+		}
+		for _, s := range fig.Series {
+			m, ok := p.M[s]
+			if !ok {
+				row = append(row, "", "", "")
+				continue
+			}
+			row = append(row,
+				fmt.Sprintf("%.6f", m.Elapsed.Seconds()),
+				fmt.Sprintf("%d", m.IO.PhysicalReads),
+				fmt.Sprintf("%d", m.Rows))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteStorageCSV renders the storage table as CSV.
+func WriteStorageCSV(w io.Writer, rows []StorageRow) {
+	fmt.Fprintln(w, "# storage")
+	fmt.Fprintln(w, "name,density,facts,fact_file_bytes,array_bytes,dense_bytes,chunks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%q,%.6f,%d,%d,%d,%d,%d\n",
+			r.Name, r.Density, r.Facts, r.FactFileBytes, r.ArrayBytes, r.DenseBytes, r.Chunks)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeAligned prints rows with space-aligned columns.
+func writeAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var sb strings.Builder
+		for i, cell := range row {
+			sb.WriteString(cell)
+			if i < len(row)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)+2))
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+}

@@ -1,0 +1,246 @@
+// Package bitmap implements word-aligned bitmaps, a run-length-encoded
+// serialization, and the bitmap join index of §4.4 of the paper: one
+// bitmap per (dimension attribute, value) pair over the fact table's
+// tuple numbers, with bit t set when fact tuple t joins to a dimension
+// tuple carrying that value. The relational selection algorithm fetches
+// the bitmaps for the selected values, ANDs them, and drives a fact-file
+// fetch with the result.
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a fixed-length bitmap. The zero value is unusable; use New.
+type Bitmap struct {
+	n     uint64
+	words []uint64
+}
+
+// New returns a bitmap of n bits, all zero.
+func New(n uint64) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len reports the bitmap length in bits.
+func (b *Bitmap) Len() uint64 { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i uint64) {
+	if i >= b.n {
+		panic(fmt.Sprintf("bitmap: Set(%d) on %d-bit bitmap", i, b.n))
+	}
+	b.words[i/64] |= 1 << (i % 64)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i uint64) {
+	if i >= b.n {
+		panic(fmt.Sprintf("bitmap: Clear(%d) on %d-bit bitmap", i, b.n))
+	}
+	b.words[i/64] &^= 1 << (i % 64)
+}
+
+// Test reports bit i.
+func (b *Bitmap) Test(i uint64) bool {
+	if i >= b.n {
+		panic(fmt.Sprintf("bitmap: Test(%d) on %d-bit bitmap", i, b.n))
+	}
+	return b.words[i/64]&(1<<(i%64)) != 0
+}
+
+// SetAll sets every bit. This seeds the ResultBitmap of the relational
+// selection algorithm ("Set all bits of ResultBitmap to ones").
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimTail()
+}
+
+// ClearAll zeroes every bit.
+func (b *Bitmap) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trimTail zeroes the bits past n in the last word so Count and NextSet
+// never see ghosts.
+func (b *Bitmap) trimTail() {
+	if rem := b.n % 64; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// And intersects b with o in place. Lengths must match.
+func (b *Bitmap) And(o *Bitmap) {
+	b.checkLen(o, "And")
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Or unions o into b in place. Lengths must match.
+func (b *Bitmap) Or(o *Bitmap) {
+	b.checkLen(o, "Or")
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// AndNot clears in b every bit set in o. Lengths must match.
+func (b *Bitmap) AndNot(o *Bitmap) {
+	b.checkLen(o, "AndNot")
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+// Not complements b in place.
+func (b *Bitmap) Not() {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	b.trimTail()
+}
+
+func (b *Bitmap) checkLen(o *Bitmap, op string) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("bitmap: %s of %d-bit and %d-bit bitmaps", op, b.n, o.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() uint64 {
+	var c uint64
+	for _, w := range b.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{n: b.n, words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+// Equal reports whether b and o have the same length and bits.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the position of the first set bit >= from; ok is false
+// when no set bit remains. It satisfies the fact file's BitIterator.
+func (b *Bitmap) NextSet(from uint64) (uint64, bool) {
+	if from >= b.n {
+		return 0, false
+	}
+	wi := from / 64
+	w := b.words[wi] >> (from % 64)
+	if w != 0 {
+		return from + uint64(bits.TrailingZeros64(w)), true
+	}
+	for wi++; wi < uint64(len(b.words)); wi++ {
+		if b.words[wi] != 0 {
+			return wi*64 + uint64(bits.TrailingZeros64(b.words[wi])), true
+		}
+	}
+	return 0, false
+}
+
+// ForEach invokes fn for every set bit in ascending order; fn returning
+// false stops the iteration.
+func (b *Bitmap) ForEach(fn func(i uint64) bool) {
+	for pos, ok := b.NextSet(0); ok; pos, ok = b.NextSet(pos + 1) {
+		if !fn(pos) {
+			return
+		}
+	}
+}
+
+// Marshal serializes the bitmap with word-level run-length encoding:
+// the header is the bit length, followed by runs. A run is a control
+// varint c: even c encodes c/2 zero words; odd c encodes (c+1)/2 literal
+// words, whose bytes follow. Sparse bitmaps — the common case for
+// low-cardinality attribute values — compress to a few bytes per run of
+// empty words.
+func (b *Bitmap) Marshal() []byte {
+	out := make([]byte, 0, 16+len(b.words))
+	out = binary.AppendUvarint(out, b.n)
+	i := 0
+	for i < len(b.words) {
+		if b.words[i] == 0 {
+			j := i
+			for j < len(b.words) && b.words[j] == 0 {
+				j++
+			}
+			out = binary.AppendUvarint(out, uint64(j-i)*2)
+			i = j
+		} else {
+			j := i
+			for j < len(b.words) && b.words[j] != 0 {
+				j++
+			}
+			out = binary.AppendUvarint(out, uint64(j-i)*2-1)
+			for ; i < j; i++ {
+				out = binary.LittleEndian.AppendUint64(out, b.words[i])
+			}
+		}
+	}
+	return out
+}
+
+// Unmarshal parses a bitmap produced by Marshal.
+func Unmarshal(data []byte) (*Bitmap, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("bitmap: corrupt header")
+	}
+	data = data[sz:]
+	b := New(n)
+	i := 0
+	for len(data) > 0 {
+		c, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("bitmap: corrupt run control")
+		}
+		data = data[sz:]
+		if c%2 == 0 {
+			i += int(c / 2)
+			if i > len(b.words) {
+				return nil, fmt.Errorf("bitmap: zero run past end")
+			}
+			continue
+		}
+		lit := int((c + 1) / 2)
+		if i+lit > len(b.words) || len(data) < lit*8 {
+			return nil, fmt.Errorf("bitmap: literal run past end")
+		}
+		for k := 0; k < lit; k++ {
+			b.words[i] = binary.LittleEndian.Uint64(data[k*8:])
+			i++
+		}
+		data = data[lit*8:]
+	}
+	if i != len(b.words) {
+		return nil, fmt.Errorf("bitmap: truncated: %d of %d words", i, len(b.words))
+	}
+	b.trimTail()
+	return b, nil
+}
+
+// SizeBytes reports the in-memory footprint of the raw bitmap in bytes.
+func (b *Bitmap) SizeBytes() int64 { return int64(len(b.words)) * 8 }

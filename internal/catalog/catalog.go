@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// catalogRoot is the superblock root name under which the catalog blob is
+// published.
+const catalogRoot = "catalog"
+
+// Catalog is the persistent database catalog: the star schema plus the
+// storage roots of every physical object. It is serialized as JSON into a
+// blob whose reference lives in the superblock; updates write a new blob
+// and atomically switch the root (the shadow-root commit protocol).
+type Catalog struct {
+	Schema *StarSchema `json:"schema,omitempty"`
+
+	// DimHeaps maps dimension name to its heap-file root page.
+	DimHeaps map[string]uint64 `json:"dim_heaps,omitempty"`
+
+	// FactRoot is the fact file's header page; 0 means not loaded.
+	FactRoot uint64 `json:"fact_root,omitempty"`
+
+	// FactTuples caches the fact cardinality for planning.
+	FactTuples uint64 `json:"fact_tuples,omitempty"`
+
+	// ArrayState is the OLAP Array ADT's master blob (its dimension
+	// maps, IndexToIndex arrays, and chunk store reference); 0 means no
+	// array has been built.
+	ArrayState uint64 `json:"array_state,omitempty"`
+
+	// BitmapIndexes maps "dim.attr" to the bitmap index blob.
+	BitmapIndexes map[string]uint64 `json:"bitmap_indexes,omitempty"`
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		DimHeaps:      make(map[string]uint64),
+		BitmapIndexes: make(map[string]uint64),
+	}
+}
+
+// BitmapKey names a bitmap index in the catalog.
+func BitmapKey(dim, attr string) string { return dim + "." + attr }
+
+// Save serializes the catalog to a new blob and publishes it in the
+// superblock. The caller commits the WAL afterwards.
+func (c *Catalog) Save(bp *storage.BufferPool, sb *storage.Superblock) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("catalog: marshal: %w", err)
+	}
+	ref, _, err := storage.NewLOBStore(bp).Write(data)
+	if err != nil {
+		return fmt.Errorf("catalog: write blob: %w", err)
+	}
+	return sb.SetRoot(catalogRoot, uint64(ref.First))
+}
+
+// Load reads the catalog published in the superblock; a database with no
+// catalog yet yields an empty catalog.
+func Load(bp *storage.BufferPool, sb *storage.Superblock) (*Catalog, error) {
+	root, ok, err := sb.GetRoot(catalogRoot)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return NewCatalog(), nil
+	}
+	data, err := storage.NewLOBStore(bp).Read(storage.LOBRef{First: storage.PageID(root)})
+	if err != nil {
+		return nil, fmt.Errorf("catalog: read blob: %w", err)
+	}
+	c := NewCatalog()
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, fmt.Errorf("catalog: unmarshal: %w", err)
+	}
+	if c.DimHeaps == nil {
+		c.DimHeaps = make(map[string]uint64)
+	}
+	if c.BitmapIndexes == nil {
+		c.BitmapIndexes = make(map[string]uint64)
+	}
+	return c, nil
+}
+
+// OpenDimension opens the named dimension table from the catalog.
+func (c *Catalog) OpenDimension(bp *storage.BufferPool, name string) (*DimensionTable, error) {
+	if c.Schema == nil {
+		return nil, fmt.Errorf("catalog: no schema defined")
+	}
+	ds := c.Schema.Dim(name)
+	if ds == nil {
+		return nil, fmt.Errorf("catalog: unknown dimension %s", name)
+	}
+	root, ok := c.DimHeaps[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: dimension %s has no storage", name)
+	}
+	return OpenDimensionTable(bp, *ds, storage.PageID(root)), nil
+}

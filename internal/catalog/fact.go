@@ -1,0 +1,55 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Fact tuples are fixed length: one 32-bit foreign key per dimension
+// followed by a 64-bit measure. 32-bit keys keep fact records as dense as
+// the paper's fact file intends (its whole point is minimal per-tuple
+// footprint); dimension cardinalities beyond 2^31 are rejected at encode
+// time.
+
+// FactRecordSize returns the record length for an n-dimensional schema.
+func FactRecordSize(n int) int { return 4*n + 8 }
+
+// EncodeFact serializes keys and the measure into out, which must have
+// FactRecordSize(len(keys)) bytes.
+func EncodeFact(out []byte, keys []int64, measure int64) error {
+	if len(out) != FactRecordSize(len(keys)) {
+		return fmt.Errorf("catalog: fact buffer %d bytes, want %d", len(out), FactRecordSize(len(keys)))
+	}
+	for i, k := range keys {
+		if k < 0 || k > math.MaxInt32 {
+			return fmt.Errorf("catalog: fact key %d out of int32 range: %d", i, k)
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(k))
+	}
+	binary.LittleEndian.PutUint64(out[len(keys)*4:], uint64(measure))
+	return nil
+}
+
+// DecodeFact parses a fact record into keys (len n, reused) and the
+// measure.
+func DecodeFact(rec []byte, keys []int64) (int64, error) {
+	if len(rec) != FactRecordSize(len(keys)) {
+		return 0, fmt.Errorf("catalog: fact record %d bytes, want %d", len(rec), FactRecordSize(len(keys)))
+	}
+	for i := range keys {
+		keys[i] = int64(binary.LittleEndian.Uint32(rec[i*4:]))
+	}
+	return int64(binary.LittleEndian.Uint64(rec[len(keys)*4:])), nil
+}
+
+// FactKey extracts the i-th dimension key without decoding the rest; the
+// hot loops of the relational operators use it.
+func FactKey(rec []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint32(rec[i*4:]))
+}
+
+// FactMeasure extracts the measure of an n-dimensional fact record.
+func FactMeasure(rec []byte, n int) int64 {
+	return int64(binary.LittleEndian.Uint64(rec[n*4:]))
+}

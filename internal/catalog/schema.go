@@ -1,0 +1,135 @@
+// Package catalog defines the star-schema metadata (§2.2 of the paper)
+// and the storage of dimension tables, and persists the database catalog:
+// schemas plus the storage roots of every physical object (dimension heap
+// files, the fact file, the OLAP array, bitmap indices).
+package catalog
+
+import (
+	"fmt"
+)
+
+// DimensionSchema describes one dimension table: a key attribute
+// (functionally determining the rest) and an ordered list of hierarchy
+// attributes, finest first — e.g. Store(sid; sname, city, region).
+type DimensionSchema struct {
+	Name  string   `json:"name"`
+	Key   string   `json:"key"`
+	Attrs []string `json:"attrs"`
+}
+
+// AttrLevel returns the position of attr within the dimension's
+// hierarchy attributes, or -1 when absent. The key attribute is not an
+// attr level.
+func (d *DimensionSchema) AttrLevel(attr string) int {
+	for i, a := range d.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural well-formedness.
+func (d *DimensionSchema) Validate() error {
+	if d.Name == "" || d.Key == "" {
+		return fmt.Errorf("catalog: dimension needs a name and a key attribute")
+	}
+	seen := map[string]bool{d.Key: true}
+	for _, a := range d.Attrs {
+		if a == "" {
+			return fmt.Errorf("catalog: dimension %s has an empty attribute name", d.Name)
+		}
+		if seen[a] {
+			return fmt.Errorf("catalog: dimension %s repeats attribute %s", d.Name, a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// FactSchema describes the fact table: one foreign key per dimension (in
+// dimension order) and a single measure. The paper's data model allows p
+// measures; the engine implements p = 1, which is what every experiment
+// in the paper uses.
+type FactSchema struct {
+	Name    string   `json:"name"`
+	Dims    []string `json:"dims"`
+	Measure string   `json:"measure"`
+}
+
+// StarSchema is a complete star schema: the fact schema plus its
+// dimension tables, with dimension order shared between the two.
+type StarSchema struct {
+	Fact       FactSchema        `json:"fact"`
+	Dimensions []DimensionSchema `json:"dimensions"`
+}
+
+// Validate checks cross-references between fact and dimensions.
+func (s *StarSchema) Validate() error {
+	if s.Fact.Name == "" || s.Fact.Measure == "" {
+		return fmt.Errorf("catalog: fact table needs a name and a measure")
+	}
+	if len(s.Fact.Dims) == 0 {
+		return fmt.Errorf("catalog: fact table has no dimensions")
+	}
+	if len(s.Fact.Dims) != len(s.Dimensions) {
+		return fmt.Errorf("catalog: fact lists %d dimensions but schema has %d",
+			len(s.Fact.Dims), len(s.Dimensions))
+	}
+	names := map[string]bool{}
+	for i, d := range s.Dimensions {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if names[d.Name] {
+			return fmt.Errorf("catalog: duplicate dimension %s", d.Name)
+		}
+		names[d.Name] = true
+		if s.Fact.Dims[i] != d.Name {
+			return fmt.Errorf("catalog: fact dimension %d is %s but schema dimension %d is %s",
+				i, s.Fact.Dims[i], i, d.Name)
+		}
+	}
+	return nil
+}
+
+// NumDims returns the dimensionality of the schema.
+func (s *StarSchema) NumDims() int { return len(s.Dimensions) }
+
+// DimIndex returns the position of the named dimension, or -1.
+func (s *StarSchema) DimIndex(name string) int {
+	for i, d := range s.Dimensions {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Dim returns the named dimension's schema, or nil.
+func (s *StarSchema) Dim(name string) *DimensionSchema {
+	if i := s.DimIndex(name); i >= 0 {
+		return &s.Dimensions[i]
+	}
+	return nil
+}
+
+// ResolveAttr finds which dimension owns attr and at which hierarchy
+// level. Attribute names must be unique across the schema for unqualified
+// references (the paper's test schema uses h01, h11, ... which are).
+func (s *StarSchema) ResolveAttr(attr string) (dim int, level int, err error) {
+	dim, level = -1, -1
+	for i := range s.Dimensions {
+		if l := s.Dimensions[i].AttrLevel(attr); l >= 0 {
+			if dim >= 0 {
+				return -1, -1, fmt.Errorf("catalog: attribute %s is ambiguous (%s and %s)",
+					attr, s.Dimensions[dim].Name, s.Dimensions[i].Name)
+			}
+			dim, level = i, l
+		}
+	}
+	if dim < 0 {
+		return -1, -1, fmt.Errorf("catalog: unknown attribute %s", attr)
+	}
+	return dim, level, nil
+}

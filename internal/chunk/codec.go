@@ -1,0 +1,201 @@
+package chunk
+
+import (
+	"bytes"
+	"compress/lzw"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cell is one valid array cell within a chunk: its offsetInChunk and its
+// measure value.
+type Cell struct {
+	Offset uint32
+	Value  int64
+}
+
+// Codec encodes and decodes the valid cells of one chunk. Encode requires
+// cells sorted by ascending offset with no duplicates (the paper sorts
+// each chunk's cells by offset so probes can binary search); Decode
+// returns cells in that same order.
+type Codec interface {
+	// Name identifies the codec in chunk store metadata.
+	Name() string
+	// Encode serializes cells for a chunk with the given cell capacity.
+	Encode(cells []Cell, capacity int) ([]byte, error)
+	// Decode parses data produced by Encode with the same capacity.
+	Decode(data []byte, capacity int) ([]Cell, error)
+}
+
+// CodecByName returns the codec registered under name.
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case CodecOffset:
+		return OffsetCodec{}, nil
+	case CodecDense:
+		return DenseCodec{}, nil
+	case CodecLZW:
+		return LZWCodec{}, nil
+	default:
+		return nil, fmt.Errorf("chunk: unknown codec %q", name)
+	}
+}
+
+// Codec names.
+const (
+	CodecOffset = "chunk-offset"
+	CodecDense  = "dense"
+	CodecLZW    = "lzw"
+)
+
+// checkSorted validates Encode's input contract.
+func checkSorted(cells []Cell, capacity int) error {
+	for i, c := range cells {
+		if int(c.Offset) >= capacity {
+			return fmt.Errorf("chunk: cell offset %d >= capacity %d", c.Offset, capacity)
+		}
+		if i > 0 && cells[i-1].Offset >= c.Offset {
+			return fmt.Errorf("chunk: cells not strictly sorted at %d (%d then %d)",
+				i, cells[i-1].Offset, c.Offset)
+		}
+	}
+	return nil
+}
+
+// OffsetCodec is the paper's chunk-offset compression (§3.3): each valid
+// cell is stored as a fixed-width (offsetInChunk, value) pair, sorted by
+// offset. Fixed width keeps the pairs binary-searchable directly.
+type OffsetCodec struct{}
+
+// Name implements Codec.
+func (OffsetCodec) Name() string { return CodecOffset }
+
+const offsetPairSize = 4 + 8
+
+// Encode implements Codec.
+func (OffsetCodec) Encode(cells []Cell, capacity int) ([]byte, error) {
+	if err := checkSorted(cells, capacity); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(cells)*offsetPairSize)
+	for i, c := range cells {
+		binary.LittleEndian.PutUint32(out[i*offsetPairSize:], c.Offset)
+		binary.LittleEndian.PutUint64(out[i*offsetPairSize+4:], uint64(c.Value))
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (c OffsetCodec) Decode(data []byte, capacity int) ([]Cell, error) {
+	return c.DecodeInto(data, capacity, nil)
+}
+
+// DecodeInto decodes into dst (grown as needed), so scan loops can reuse
+// one cell buffer across chunks.
+func (OffsetCodec) DecodeInto(data []byte, capacity int, dst []Cell) ([]Cell, error) {
+	if len(data)%offsetPairSize != 0 {
+		return nil, fmt.Errorf("chunk: offset-coded chunk of %d bytes", len(data))
+	}
+	n := len(data) / offsetPairSize
+	if cap(dst) < n {
+		dst = make([]Cell, n)
+	}
+	cells := dst[:n]
+	for i := range cells {
+		cells[i].Offset = binary.LittleEndian.Uint32(data[i*offsetPairSize:])
+		cells[i].Value = int64(binary.LittleEndian.Uint64(data[i*offsetPairSize+4:]))
+	}
+	if err := checkSorted(cells, capacity); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// SearchCells binary-searches offset-sorted cells for the given offset,
+// as the selection algorithm probes chunks (§4.2). It returns the cell
+// value and whether a valid cell exists at that offset.
+func SearchCells(cells []Cell, offset uint32) (int64, bool) {
+	i := sort.Search(len(cells), func(i int) bool { return cells[i].Offset >= offset })
+	if i < len(cells) && cells[i].Offset == offset {
+		return cells[i].Value, true
+	}
+	return 0, false
+}
+
+// DenseCodec materializes every cell slot of the chunk: a validity bitmap
+// (capacity bits) followed by capacity fixed-width values. It is the
+// uncompressed baseline of §3.2 — storage is allocated "for every array
+// cell, regardless of whether the cell contains valid data or not".
+type DenseCodec struct{}
+
+// Name implements Codec.
+func (DenseCodec) Name() string { return CodecDense }
+
+// Encode implements Codec.
+func (DenseCodec) Encode(cells []Cell, capacity int) ([]byte, error) {
+	if err := checkSorted(cells, capacity); err != nil {
+		return nil, err
+	}
+	bmBytes := (capacity + 7) / 8
+	out := make([]byte, bmBytes+capacity*8)
+	for _, c := range cells {
+		out[c.Offset/8] |= 1 << (c.Offset % 8)
+		binary.LittleEndian.PutUint64(out[bmBytes+int(c.Offset)*8:], uint64(c.Value))
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (DenseCodec) Decode(data []byte, capacity int) ([]Cell, error) {
+	bmBytes := (capacity + 7) / 8
+	if len(data) != bmBytes+capacity*8 {
+		return nil, fmt.Errorf("chunk: dense chunk of %d bytes, want %d", len(data), bmBytes+capacity*8)
+	}
+	var cells []Cell
+	for off := 0; off < capacity; off++ {
+		if data[off/8]&(1<<(off%8)) != 0 {
+			v := int64(binary.LittleEndian.Uint64(data[bmBytes+off*8:]))
+			cells = append(cells, Cell{Offset: uint32(off), Value: v})
+		}
+	}
+	return cells, nil
+}
+
+// LZWCodec stores the dense representation compressed with LZW — the
+// compression Paradise applied to its generic multi-dimensional arrays
+// [Wel84], which the OLAP Array ADT replaced with chunk-offset
+// compression. Kept as an ablation codec.
+type LZWCodec struct{}
+
+// Name implements Codec.
+func (LZWCodec) Name() string { return CodecLZW }
+
+// Encode implements Codec.
+func (LZWCodec) Encode(cells []Cell, capacity int) ([]byte, error) {
+	dense, err := DenseCodec{}.Encode(cells, capacity)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w := lzw.NewWriter(&buf, lzw.LSB, 8)
+	if _, err := w.Write(dense); err != nil {
+		return nil, fmt.Errorf("chunk: lzw encode: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("chunk: lzw close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (LZWCodec) Decode(data []byte, capacity int) ([]Cell, error) {
+	r := lzw.NewReader(bytes.NewReader(data), lzw.LSB, 8)
+	defer r.Close()
+	dense, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: lzw decode: %w", err)
+	}
+	return DenseCodec{}.Decode(dense, capacity)
+}

@@ -1,0 +1,363 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// ErrStopScan stops a chunk scan early without error.
+var ErrStopScan = errors.New("chunk: stop scan")
+
+// chunkEntry is the per-chunk metadata: the blob holding the encoded
+// chunk, its encoded length, and its valid-cell count. The paper (§3.3)
+// keeps exactly this: "we use some meta data to hold the OID and the
+// length of each chunk".
+type chunkEntry struct {
+	ref   storage.LOBRef
+	bytes uint64
+	cells uint64
+}
+
+// Store is a persistent chunked array: one blob per non-empty chunk plus
+// a metadata directory blob. A Store is immutable once built; rebuilding
+// writes a new Store.
+type Store struct {
+	bp      *storage.BufferPool
+	lob     *storage.LOBStore
+	geom    *Geometry
+	codec   Codec
+	entries []chunkEntry
+	meta    storage.LOBRef
+
+	totalPages int64
+	validCells int64
+
+	// One-chunk decode cache for point reads. Stores are single-reader
+	// per goroutine (clone the Store for concurrent readers).
+	cacheChunk int
+	cacheCells []Cell
+
+	// Scratch buffers reused by ScanChunks so a full-array scan does not
+	// allocate per chunk.
+	scratchEnc   []byte
+	scratchCells []Cell
+}
+
+// Builder accumulates cells and writes them out as a Store.
+type Builder struct {
+	geom  *Geometry
+	codec Codec
+	cells map[int][]Cell // chunk number -> unsorted cells
+	n     int64
+}
+
+// NewBuilder creates a builder for the given geometry and codec.
+func NewBuilder(geom *Geometry, codec Codec) *Builder {
+	return &Builder{geom: geom, codec: codec, cells: make(map[int][]Cell)}
+}
+
+// Add records a valid cell at coords. Coordinates are validated;
+// duplicate cells are detected when the store is written.
+func (b *Builder) Add(coords []int, value int64) error {
+	if err := b.geom.CheckCoords(coords); err != nil {
+		return err
+	}
+	cn, off := b.geom.Locate(coords)
+	b.cells[cn] = append(b.cells[cn], Cell{Offset: uint32(off), Value: value})
+	b.n++
+	return nil
+}
+
+// AddAt records a valid cell by (chunk number, offset), for callers that
+// already computed the location.
+func (b *Builder) AddAt(chunkNum, offset int, value int64) error {
+	if chunkNum < 0 || chunkNum >= b.geom.NumChunks() {
+		return fmt.Errorf("chunk: chunk number %d out of [0,%d)", chunkNum, b.geom.NumChunks())
+	}
+	if offset < 0 || offset >= b.geom.ChunkCapacity() || !b.geom.ValidOffset(chunkNum, offset) {
+		return fmt.Errorf("chunk: offset %d invalid in chunk %d", offset, chunkNum)
+	}
+	b.cells[chunkNum] = append(b.cells[chunkNum], Cell{Offset: uint32(offset), Value: value})
+	b.n++
+	return nil
+}
+
+// NumCells reports how many cells have been added.
+func (b *Builder) NumCells() int64 { return b.n }
+
+// Write sorts, encodes, and persists every chunk through bp, returning
+// the resulting Store. Chunks are written in ascending chunk-number
+// order, so with an appending volume the physical layout matches chunk
+// order — the property the selection algorithm's chunk-ordered
+// cross-product enumeration exploits (§4.2).
+func (b *Builder) Write(bp *storage.BufferPool) (*Store, error) {
+	s := &Store{
+		bp:         bp,
+		lob:        storage.NewLOBStore(bp),
+		geom:       b.geom,
+		codec:      b.codec,
+		entries:    make([]chunkEntry, b.geom.NumChunks()),
+		cacheChunk: -1,
+	}
+	for cn := 0; cn < b.geom.NumChunks(); cn++ {
+		cells := b.cells[cn]
+		if len(cells) == 0 {
+			s.entries[cn] = chunkEntry{ref: storage.InvalidLOBRef}
+			continue
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Offset < cells[j].Offset })
+		for i := 1; i < len(cells); i++ {
+			if cells[i].Offset == cells[i-1].Offset {
+				return nil, fmt.Errorf("chunk: duplicate cell at chunk %d offset %d", cn, cells[i].Offset)
+			}
+		}
+		enc, err := b.codec.Encode(cells, b.geom.ChunkCapacity())
+		if err != nil {
+			return nil, fmt.Errorf("chunk: encode chunk %d: %w", cn, err)
+		}
+		ref, pages, err := s.lob.Write(enc)
+		if err != nil {
+			return nil, fmt.Errorf("chunk: write chunk %d: %w", cn, err)
+		}
+		s.entries[cn] = chunkEntry{ref: ref, bytes: uint64(len(enc)), cells: uint64(len(cells))}
+		s.totalPages += int64(pages)
+		s.validCells += int64(len(cells))
+	}
+
+	// The directory records the store's total footprint including the
+	// directory blob itself, so its own page count must be added before
+	// marshaling. Updating the count can change the uvarint width and
+	// hence the blob size, so iterate to a fixpoint (converges in at
+	// most a couple of rounds).
+	chunkPages := s.totalPages
+	for {
+		metaPages := int64(storage.BlobPages(len(s.marshalMeta())))
+		if s.totalPages == chunkPages+metaPages {
+			break
+		}
+		s.totalPages = chunkPages + metaPages
+	}
+	meta := s.marshalMeta()
+	ref, _, err := s.lob.Write(meta)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: write metadata: %w", err)
+	}
+	s.meta = ref
+	return s, nil
+}
+
+// marshalMeta serializes the store directory.
+func (s *Store) marshalMeta() []byte {
+	out := s.geom.Marshal()
+	name := s.codec.Name()
+	out = binary.AppendUvarint(out, uint64(len(name)))
+	out = append(out, name...)
+	out = binary.AppendUvarint(out, uint64(s.totalPages))
+	out = binary.AppendUvarint(out, uint64(s.validCells))
+	for _, e := range s.entries {
+		out = binary.AppendUvarint(out, uint64(e.ref.First))
+		out = binary.AppendUvarint(out, e.bytes)
+		out = binary.AppendUvarint(out, e.cells)
+	}
+	return out
+}
+
+// Open loads a Store from its metadata blob reference.
+func Open(bp *storage.BufferPool, meta storage.LOBRef) (*Store, error) {
+	lob := storage.NewLOBStore(bp)
+	data, err := lob.Read(meta)
+	if err != nil {
+		return nil, err
+	}
+	geom, used, err := UnmarshalGeometry(data)
+	if err != nil {
+		return nil, err
+	}
+	data = data[used:]
+	nameLen, sz := binary.Uvarint(data)
+	if sz <= 0 || uint64(len(data)-sz) < nameLen {
+		return nil, fmt.Errorf("chunk: corrupt codec name")
+	}
+	data = data[sz:]
+	codec, err := CodecByName(string(data[:nameLen]))
+	if err != nil {
+		return nil, err
+	}
+	data = data[nameLen:]
+	totalPages, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("chunk: corrupt page count")
+	}
+	data = data[sz:]
+	validCells, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("chunk: corrupt cell count")
+	}
+	data = data[sz:]
+	s := &Store{
+		bp:         bp,
+		lob:        lob,
+		geom:       geom,
+		codec:      codec,
+		entries:    make([]chunkEntry, geom.NumChunks()),
+		meta:       meta,
+		totalPages: int64(totalPages),
+		validCells: int64(validCells),
+		cacheChunk: -1,
+	}
+	for i := range s.entries {
+		ref, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("chunk: corrupt entry %d", i)
+		}
+		data = data[sz:]
+		nbytes, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("chunk: corrupt entry %d length", i)
+		}
+		data = data[sz:]
+		ncells, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("chunk: corrupt entry %d cells", i)
+		}
+		data = data[sz:]
+		s.entries[i] = chunkEntry{ref: storage.LOBRef{First: storage.PageID(ref)}, bytes: nbytes, cells: ncells}
+	}
+	return s, nil
+}
+
+// Meta returns the metadata blob reference identifying this store.
+func (s *Store) Meta() storage.LOBRef { return s.meta }
+
+// Geometry returns the store's geometry.
+func (s *Store) Geometry() *Geometry { return s.geom }
+
+// CodecName returns the codec used to encode chunks.
+func (s *Store) CodecName() string { return s.codec.Name() }
+
+// NumValidCells reports the number of stored (valid) cells.
+func (s *Store) NumValidCells() int64 { return s.validCells }
+
+// SizeBytes reports the on-disk footprint of the store in bytes.
+func (s *Store) SizeBytes() int64 { return s.totalPages * storage.PageSize }
+
+// EncodedBytes reports the total encoded chunk payload in bytes — the
+// paper's compressed-array size metric, before page rounding.
+func (s *Store) EncodedBytes() int64 {
+	var n int64
+	for _, e := range s.entries {
+		n += int64(e.bytes)
+	}
+	return n
+}
+
+// ChunkCells reports the valid-cell count of one chunk without reading it.
+func (s *Store) ChunkCells(chunkNum int) int64 { return int64(s.entries[chunkNum].cells) }
+
+// Clone returns a Store sharing the immutable directory but with its own
+// decode cache and scratch buffers, for use from another goroutine.
+func (s *Store) Clone() *Store {
+	c := *s
+	c.cacheChunk = -1
+	c.cacheCells = nil
+	c.scratchEnc = nil
+	c.scratchCells = nil
+	return &c
+}
+
+// ReadChunk returns the decoded, offset-sorted cells of the chunk. Empty
+// chunks decode to nil. The returned slice is owned by the caller.
+func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
+	if chunkNum < 0 || chunkNum >= len(s.entries) {
+		return nil, fmt.Errorf("chunk: chunk number %d out of [0,%d)", chunkNum, len(s.entries))
+	}
+	e := s.entries[chunkNum]
+	if !e.ref.Valid() {
+		return nil, nil
+	}
+	data, err := s.lob.Read(e.ref)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: read chunk %d: %w", chunkNum, err)
+	}
+	cells, err := s.codec.Decode(data, s.geom.ChunkCapacity())
+	if err != nil {
+		return nil, fmt.Errorf("chunk: decode chunk %d: %w", chunkNum, err)
+	}
+	if uint64(len(cells)) != e.cells {
+		return nil, fmt.Errorf("chunk: chunk %d decoded %d cells, directory says %d", chunkNum, len(cells), e.cells)
+	}
+	return cells, nil
+}
+
+// Get returns the value of the cell at coords and whether it is valid.
+// Point reads cache the last decoded chunk.
+func (s *Store) Get(coords []int) (int64, bool, error) {
+	if err := s.geom.CheckCoords(coords); err != nil {
+		return 0, false, err
+	}
+	cn, off := s.geom.Locate(coords)
+	if cn != s.cacheChunk {
+		cells, err := s.ReadChunk(cn)
+		if err != nil {
+			return 0, false, err
+		}
+		s.cacheChunk = cn
+		s.cacheCells = cells
+	}
+	v, ok := SearchCells(s.cacheCells, uint32(off))
+	return v, ok, nil
+}
+
+// ScanChunks invokes fn for every non-empty chunk in ascending chunk
+// order with its decoded cells. The cells slice is reused between calls
+// and is valid only during the callback. Return ErrStopScan from fn to
+// stop early.
+func (s *Store) ScanChunks(fn func(chunkNum int, cells []Cell) error) error {
+	for cn := range s.entries {
+		if !s.entries[cn].ref.Valid() {
+			continue
+		}
+		cells, err := s.readChunkScratch(cn)
+		if err != nil {
+			return err
+		}
+		if err := fn(cn, cells); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// readChunkScratch reads and decodes a chunk into the store's scratch
+// buffers. The result is invalidated by the next readChunkScratch call.
+func (s *Store) readChunkScratch(cn int) ([]Cell, error) {
+	e := s.entries[cn]
+	data, err := s.lob.ReadInto(e.ref, s.scratchEnc)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: read chunk %d: %w", cn, err)
+	}
+	s.scratchEnc = data
+	var cells []Cell
+	if oc, ok := s.codec.(OffsetCodec); ok {
+		cells, err = oc.DecodeInto(data, s.geom.ChunkCapacity(), s.scratchCells)
+		if err == nil {
+			s.scratchCells = cells
+		}
+	} else {
+		cells, err = s.codec.Decode(data, s.geom.ChunkCapacity())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chunk: decode chunk %d: %w", cn, err)
+	}
+	if uint64(len(cells)) != e.cells {
+		return nil, fmt.Errorf("chunk: chunk %d decoded %d cells, directory says %d", cn, len(cells), e.cells)
+	}
+	return cells, nil
+}

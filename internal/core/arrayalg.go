@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/chunk"
+)
+
+// groupMapper is the phase-1 state of the array algorithms: for each
+// dimension, a table mapping base array index to result-cube group index,
+// plus the result cube itself. The tables are the loaded IndexToIndex
+// arrays of §3.4 (or identity/constant tables for key-grouped and
+// collapsed dimensions).
+type groupMapper struct {
+	maps   [][]int32 // per dim: base index -> group index (nil = collapse)
+	result *Result
+}
+
+// newArrayGroupMapper builds the mapper from the ADT's dimension state.
+func newArrayGroupMapper(a *array.Array, spec GroupSpec) (*groupMapper, error) {
+	dims := a.Dims()
+	if len(spec) != len(dims) {
+		return nil, fmt.Errorf("core: group spec has %d entries for %d dimensions", len(spec), len(dims))
+	}
+	gm := &groupMapper{maps: make([][]int32, len(dims))}
+	var groupDims []int
+	var labels [][]string
+	for i, dg := range spec {
+		d := dims[i]
+		switch dg.Target {
+		case Collapse:
+			// nil map: every base index folds into the same group.
+		case GroupByKey:
+			tab := make([]int32, d.Size())
+			lab := make([]string, d.Size())
+			for b := range tab {
+				tab[b] = int32(b)
+				lab[b] = keyLabel(d.Keys[b])
+			}
+			gm.maps[i] = tab
+			groupDims = append(groupDims, i)
+			labels = append(labels, lab)
+		case GroupByLevel:
+			if dg.Level < 0 || dg.Level >= len(d.Levels) {
+				return nil, fmt.Errorf("core: dimension %s has no attribute level %d", d.Name, dg.Level)
+			}
+			l := d.Levels[dg.Level]
+			gm.maps[i] = l.I2I
+			groupDims = append(groupDims, i)
+			labels = append(labels, l.Dict)
+		default:
+			return nil, fmt.Errorf("core: unknown group target %d", dg.Target)
+		}
+	}
+	res, err := newResult(groupDims, labels)
+	if err != nil {
+		return nil, err
+	}
+	gm.result = res
+	return gm, nil
+}
+
+// cellIndex maps full array coordinates to the result cube's linear
+// index.
+func (gm *groupMapper) cellIndex(coords []int) int {
+	idx := 0
+	li := 0
+	for i, tab := range gm.maps {
+		if tab == nil {
+			continue
+		}
+		idx += int(tab[coords[i]]) * gm.result.strides[li]
+		li++
+	}
+	return idx
+}
+
+// ArrayConsolidate evaluates a consolidation query on the OLAP Array ADT
+// with the algorithm of §4.1: load the IndexToIndex arrays, then scan the
+// input array once, mapping every valid cell's indices to its result cell
+// and aggregating in place. The star join and the aggregation are fused;
+// every lookup is position-based.
+func ArrayConsolidate(a *array.Array, spec GroupSpec) (*Result, Metrics, error) {
+	var m Metrics
+	gm, err := newArrayGroupMapper(a, spec)
+	if err != nil {
+		return nil, m, err
+	}
+	g := a.Geometry()
+	shape := g.ChunkShape()
+	n := g.NumDims()
+	coords := make([]int, n)
+	err = a.Store().ScanChunks(func(cn int, cells []chunk.Cell) error {
+		m.ChunksRead++
+		// The chunk's start coordinates are fixed for every cell in it,
+		// so per cell only the in-chunk digits of offsetInChunk need
+		// extracting.
+		start := g.ChunkStart(cn)
+		for _, c := range cells {
+			off := int(c.Offset)
+			for i := n - 1; i >= 0; i-- {
+				side := shape[i]
+				coords[i] = start[i] + off%side
+				off /= side
+			}
+			gm.result.add(gm.cellIndex(coords), c.Value)
+		}
+		m.CellsScanned += int64(len(cells))
+		return nil
+	})
+	if err != nil {
+		return nil, m, err
+	}
+	return gm.result, m, nil
+}
+
+// dimChunkLists buckets one dimension's selected base indices by the
+// chunk coordinate along that dimension: entry c holds the in-chunk
+// coordinates selected inside chunk-slab c, ascending.
+type dimChunkLists struct {
+	chunkCoords []int   // chunk coordinates with at least one selected index
+	inChunk     [][]int // parallel to chunkCoords
+}
+
+// bucketIndexList splits a sorted base-index list by chunk slab.
+func bucketIndexList(list []int, chunkSide int) dimChunkLists {
+	var out dimChunkLists
+	for _, idx := range list {
+		cc := idx / chunkSide
+		n := len(out.chunkCoords)
+		if n == 0 || out.chunkCoords[n-1] != cc {
+			out.chunkCoords = append(out.chunkCoords, cc)
+			out.inChunk = append(out.inChunk, nil)
+			n++
+		}
+		out.inChunk[n-1] = append(out.inChunk[n-1], idx%chunkSide)
+	}
+	return out
+}
+
+// intersectSorted intersects two ascending int slices.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionSorted merges two ascending int slices, dropping duplicates.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// selectionIndexLists resolves the per-dimension final index lists of
+// §4.2: for each dimension, the B-tree index lists of the selected values
+// are retrieved and merged (values on one attribute union; predicates on
+// different attributes of the same dimension intersect). Dimensions with
+// no predicate yield the full index range.
+func selectionIndexLists(a *array.Array, sels []Selection) ([][]int, error) {
+	dims := a.Dims()
+	lists := make([][]int, len(dims))
+	for i, d := range dims {
+		all := make([]int, d.Size())
+		for b := range all {
+			all[b] = b
+		}
+		lists[i] = all
+	}
+	for _, s := range sels {
+		if s.Dim < 0 || s.Dim >= len(dims) {
+			return nil, fmt.Errorf("core: selection on dimension %d of %d", s.Dim, len(dims))
+		}
+		d := dims[s.Dim]
+		if s.Level < 0 || s.Level >= len(d.Levels) {
+			return nil, fmt.Errorf("core: dimension %s has no attribute level %d", d.Name, s.Level)
+		}
+		var merged []int
+		for _, v := range s.Values {
+			list, err := d.Levels[s.Level].IndexList(v)
+			if err != nil {
+				return nil, err
+			}
+			merged = unionSorted(merged, list)
+		}
+		lists[s.Dim] = intersectSorted(lists[s.Dim], merged)
+	}
+	return lists, nil
+}
+
+// ArraySelectConsolidate evaluates a consolidation with selection on the
+// OLAP Array ADT with the algorithm of §4.2:
+//
+//  1. probe the per-attribute B-trees for the selected values' index
+//     lists and merge them into a final list per dimension;
+//  2. enumerate the cross-product of the final lists in chunk-number
+//     order, skipping chunks that overlap no cross-product element (or
+//     hold no valid cells) without reading them;
+//  3. within a chunk, generate elements in increasing chunk-offset order
+//     and probe the offset-sorted cells by binary search, aggregating
+//     the hits into the result cube.
+func ArraySelectConsolidate(a *array.Array, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	var m Metrics
+	gm, err := newArrayGroupMapper(a, spec)
+	if err != nil {
+		return nil, m, err
+	}
+	lists, err := selectionIndexLists(a, sels)
+	if err != nil {
+		return nil, m, err
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return gm.result, m, nil // some predicate selected nothing
+		}
+	}
+
+	g := a.Geometry()
+	shape := g.ChunkShape()
+	n := g.NumDims()
+	buckets := make([]dimChunkLists, n)
+	for i := range lists {
+		buckets[i] = bucketIndexList(lists[i], shape[i])
+	}
+
+	// Enumerate chunk-coordinate combinations in lexicographic order,
+	// which is ascending chunk-number order.
+	chunkSel := make([]int, n) // position into buckets[i].chunkCoords
+	chunkCoords := make([]int, n)
+	coords := make([]int, n)
+	inChunkSel := make([]int, n)
+	store := a.Store()
+
+	var probeChunk func() error
+	probeChunk = func() error {
+		for i := range chunkCoords {
+			chunkCoords[i] = buckets[i].chunkCoords[chunkSel[i]]
+		}
+		cn := g.ChunkNumber(chunkCoords)
+		if store.ChunkCells(cn) == 0 {
+			return nil // chunk holds no valid cells: skip without reading
+		}
+		cells, err := store.ReadChunk(cn)
+		if err != nil {
+			return err
+		}
+		m.ChunksRead++
+
+		// Cross product of in-chunk coordinate lists, lexicographic =
+		// ascending offsetInChunk.
+		inLists := make([][]int, n)
+		for i := range inLists {
+			inLists[i] = buckets[i].inChunk[chunkSel[i]]
+		}
+		for i := range inChunkSel {
+			inChunkSel[i] = 0
+		}
+		for {
+			offset := 0
+			for i := 0; i < n; i++ {
+				offset = offset*shape[i] + inLists[i][inChunkSel[i]]
+			}
+			m.Probes++
+			if v, ok := chunk.SearchCells(cells, uint32(offset)); ok {
+				m.ProbeHits++
+				for i := 0; i < n; i++ {
+					coords[i] = chunkCoords[i]*shape[i] + inLists[i][inChunkSel[i]]
+				}
+				gm.result.add(gm.cellIndex(coords), v)
+			}
+			// Advance the odometer.
+			i := n - 1
+			for ; i >= 0; i-- {
+				inChunkSel[i]++
+				if inChunkSel[i] < len(inLists[i]) {
+					break
+				}
+				inChunkSel[i] = 0
+			}
+			if i < 0 {
+				return nil
+			}
+		}
+	}
+
+	for {
+		if err := probeChunk(); err != nil {
+			return nil, m, err
+		}
+		i := n - 1
+		for ; i >= 0; i-- {
+			chunkSel[i]++
+			if chunkSel[i] < len(buckets[i].chunkCoords) {
+				break
+			}
+			chunkSel[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return gm.result, m, nil
+}
+
+// SelectionSelectivity estimates the fraction of the cube's cells that
+// satisfy the selections, assuming independence — the S = s^r of §5.6.
+// Used by the harness to label benchmark series.
+func SelectionSelectivity(a *array.Array, sels []Selection) (float64, error) {
+	lists, err := selectionIndexLists(a, sels)
+	if err != nil {
+		return 0, err
+	}
+	s := 1.0
+	for i, l := range lists {
+		s *= float64(len(l)) / float64(a.Dims()[i].Size())
+	}
+	return s, nil
+}

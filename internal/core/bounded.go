@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/chunk"
+)
+
+// ArrayConsolidateBounded evaluates a consolidation with bounded result
+// memory — the extension §4.1 describes but does not implement ("our
+// algorithm would need to be extended to compute the result OLAP object
+// chunk by chunk, where each chunk fits in memory"). The result cube is
+// partitioned into slabs along its first grouped dimension, each at most
+// maxCells cells; the input array is scanned once per slab and only
+// cells mapping into the current slab are aggregated. Rows are returned
+// sorted as SortedRows would sort them.
+//
+// maxCells <= 0 selects a single pass (plain ArrayConsolidate).
+func ArrayConsolidateBounded(a *array.Array, spec GroupSpec, maxCells int) ([]Row, Metrics, error) {
+	var m Metrics
+	if maxCells <= 0 {
+		res, m, err := ArrayConsolidate(a, spec)
+		if err != nil {
+			return nil, m, err
+		}
+		return res.SortedRows(), m, nil
+	}
+
+	gm, err := newArrayGroupMapper(a, spec)
+	if err != nil {
+		return nil, m, err
+	}
+	labels := gm.result.labels
+	if len(labels) == 0 {
+		// Fully collapsed: one cell, no partitioning needed.
+		res, m, err := ArrayConsolidate(a, spec)
+		if err != nil {
+			return nil, m, err
+		}
+		return res.SortedRows(), m, nil
+	}
+
+	// Slab width along the first grouped dimension.
+	restCells := 1
+	for _, lab := range labels[1:] {
+		restCells *= len(lab)
+	}
+	if restCells > maxCells {
+		return nil, m, fmt.Errorf("core: result rows of %d cells exceed the %d-cell bound; partitioning is along the first grouped dimension only", restCells, maxCells)
+	}
+	slabWidth := maxCells / restCells
+	if slabWidth < 1 {
+		slabWidth = 1
+	}
+	firstCard := len(labels[0])
+
+	// Identify the dimension position of the first grouped dim and its
+	// per-base-index group table, to filter cells per pass.
+	firstDim := gm.result.groupDims[0]
+	firstTab := gm.maps[firstDim]
+
+	g := a.Geometry()
+	shape := g.ChunkShape()
+	n := g.NumDims()
+	var rows []Row
+	coords := make([]int, n)
+
+	for lo := 0; lo < firstCard; lo += slabWidth {
+		hi := lo + slabWidth
+		if hi > firstCard {
+			hi = firstCard
+		}
+		// A fresh mapper per slab with the first dimension's labels
+		// restricted to [lo, hi).
+		slabLabels := append([][]string{labels[0][lo:hi]}, labels[1:]...)
+		slab, err := newResult(gm.result.groupDims, slabLabels)
+		if err != nil {
+			return nil, m, err
+		}
+		err = a.Store().ScanChunks(func(cn int, cells []chunk.Cell) error {
+			m.ChunksRead++
+			start := g.ChunkStart(cn)
+			for _, c := range cells {
+				off := int(c.Offset)
+				for i := n - 1; i >= 0; i-- {
+					side := shape[i]
+					coords[i] = start[i] + off%side
+					off /= side
+				}
+				fg := int(firstTab[coords[firstDim]])
+				if fg < lo || fg >= hi {
+					continue
+				}
+				// Compute the slab-local index: like cellIndex but with
+				// the first grouped dim offset by lo.
+				idx := 0
+				li := 0
+				for i, tab := range gm.maps {
+					if tab == nil {
+						continue
+					}
+					gidx := int(tab[coords[i]])
+					if i == firstDim {
+						gidx -= lo
+					}
+					idx += gidx * slab.strides[li]
+					li++
+				}
+				slab.add(idx, c.Value)
+			}
+			m.CellsScanned += int64(len(cells))
+			return nil
+		})
+		if err != nil {
+			return nil, m, err
+		}
+		rows = append(rows, slab.Rows()...)
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i].Groups {
+			if rows[i].Groups[k] != rows[j].Groups[k] {
+				return rows[i].Groups[k] < rows[j].Groups[k]
+			}
+		}
+		return false
+	})
+	return rows, m, nil
+}

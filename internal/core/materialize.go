@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/chunk"
+	"repro/internal/storage"
+)
+
+// MaterializeOptions controls MaterializeResult.
+type MaterializeOptions struct {
+	// DimNames names the result dimensions (one per grouped dimension);
+	// nil derives "g0", "g1", ...
+	DimNames []string
+	// AttrName names each result dimension's single attribute (the
+	// group label); empty derives "label".
+	AttrName string
+	// Agg selects which aggregate becomes the stored measure (Sum by
+	// default). Avg is not materializable exactly as int64 and is
+	// rejected — store Sum and Count instead.
+	Agg AggFunc
+	// ChunkShape and Codec configure the result array's chunk store.
+	ChunkShape []int
+	Codec      chunk.Codec
+}
+
+// resultFacts streams a Result's non-empty cells as fact tuples.
+type resultFacts struct {
+	cells    [][]int
+	measures []int64
+	pos      int
+	keys     []int64
+}
+
+func (s *resultFacts) Next() ([]int64, int64, bool, error) {
+	if s.pos >= len(s.cells) {
+		return nil, 0, false, nil
+	}
+	for i, c := range s.cells[s.pos] {
+		s.keys[i] = int64(c)
+	}
+	m := s.measures[s.pos]
+	s.pos++
+	return s.keys, m, true, nil
+}
+
+// MaterializeResult persists a consolidation result as a new OLAP Array
+// ADT instance — the paper's "result OLAP Array object" (§4.1): one
+// dimension per grouped dimension (members = the groups, with the group
+// label as the single hierarchy attribute) and the chosen aggregate as
+// the cell measure. The returned array and dimension tables can be
+// consolidated again, queried, or recorded in a catalog.
+func MaterializeResult(bp *storage.BufferPool, res *Result, opt MaterializeOptions) (*array.Array, []*catalog.DimensionTable, error) {
+	labels := res.GroupLabels()
+	if len(labels) == 0 {
+		return nil, nil, fmt.Errorf("core: cannot materialize a fully collapsed result")
+	}
+	if opt.Agg == Avg {
+		return nil, nil, fmt.Errorf("core: avg is not distributive; materialize sum and count instead")
+	}
+	attr := opt.AttrName
+	if attr == "" {
+		attr = "label"
+	}
+
+	dims := make([]*catalog.DimensionTable, len(labels))
+	for i, lab := range labels {
+		name := fmt.Sprintf("g%d", i)
+		if i < len(opt.DimNames) && opt.DimNames[i] != "" {
+			name = opt.DimNames[i]
+		}
+		dt, err := catalog.CreateDimensionTable(bp, catalog.DimensionSchema{
+			Name: name, Key: "id", Attrs: []string{attr},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for idx, l := range lab {
+			if err := dt.Insert(int64(idx), []string{l}); err != nil {
+				return nil, nil, err
+			}
+		}
+		dims[i] = dt
+	}
+
+	src := &resultFacts{keys: make([]int64, len(labels))}
+	err := res.EachCell(func(coords []int, row Row) error {
+		src.cells = append(src.cells, append([]int(nil), coords...))
+		src.measures = append(src.measures, row.Value(opt.Agg))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	arr, err := array.Build(bp, dims, src, array.BuildConfig{
+		ChunkShape: opt.ChunkShape,
+		Codec:      opt.Codec,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return arr, dims, nil
+}

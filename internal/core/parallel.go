@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/array"
+)
+
+// ArrayConsolidateParallel is ArrayConsolidate with the chunk scan
+// partitioned across workers — a first cut of the parallelization the
+// paper lists as future work (§6). Each worker owns a cloned chunk-store
+// cursor and a private result cube; the partials merge at the end (every
+// tracked aggregate is distributive). The buffer pool is shared and
+// thread-safe, so workers contend only on page fetches.
+func ArrayConsolidateParallel(a *array.Array, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return ArrayConsolidate(a, spec)
+	}
+	g := a.Geometry()
+	numChunks := g.NumChunks()
+	if workers > numChunks {
+		workers = numChunks
+	}
+	if workers <= 1 {
+		return ArrayConsolidate(a, spec)
+	}
+
+	type partial struct {
+		res *Result
+		m   Metrics
+		err error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	shape := g.ChunkShape()
+	n := g.NumDims()
+	for w := 0; w < workers; w++ {
+		lo := numChunks * w / workers
+		hi := numChunks * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			gm, err := newArrayGroupMapper(a, spec)
+			if err != nil {
+				parts[w].err = err
+				return
+			}
+			store := a.Store().Clone()
+			coords := make([]int, n)
+			for cn := lo; cn < hi; cn++ {
+				if store.ChunkCells(cn) == 0 {
+					continue
+				}
+				cells, err := store.ReadChunk(cn)
+				if err != nil {
+					parts[w].err = err
+					return
+				}
+				parts[w].m.ChunksRead++
+				start := g.ChunkStart(cn)
+				for _, c := range cells {
+					off := int(c.Offset)
+					for i := n - 1; i >= 0; i-- {
+						side := shape[i]
+						coords[i] = start[i] + off%side
+						off /= side
+					}
+					gm.result.add(gm.cellIndex(coords), c.Value)
+				}
+				parts[w].m.CellsScanned += int64(len(cells))
+			}
+			parts[w].res = gm.result
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var total Metrics
+	var out *Result
+	for w := range parts {
+		if parts[w].err != nil {
+			return nil, total, parts[w].err
+		}
+		total.ChunksRead += parts[w].m.ChunksRead
+		total.CellsScanned += parts[w].m.CellsScanned
+		if out == nil {
+			out = parts[w].res
+			continue
+		}
+		if err := out.Merge(parts[w].res); err != nil {
+			return nil, total, err
+		}
+	}
+	if out == nil {
+		return nil, total, fmt.Errorf("core: parallel consolidation produced no partials")
+	}
+	return out, total, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/factfile"
+)
+
+// ReferenceConsolidate evaluates a consolidation (optionally with
+// selection) with the most direct implementation possible — materialize
+// every joined tuple in memory and group with plain maps. It exists
+// purely as a test oracle: every production algorithm must produce
+// exactly its rows.
+func ReferenceConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
+	sels []Selection, spec GroupSpec) ([]Row, error) {
+	if len(spec) != len(dims) {
+		return nil, fmt.Errorf("core: group spec has %d entries for %d dimensions", len(spec), len(dims))
+	}
+	// Load the dimensions fully.
+	type dimData struct {
+		attrs map[int64][]string
+	}
+	dd := make([]dimData, len(dims))
+	for i, dt := range dims {
+		dd[i].attrs = make(map[int64][]string)
+		err := dt.Scan(func(key int64, attrs []string) error {
+			dd[i].attrs[key] = attrs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Selections grouped by dimension.
+	byDim := make([][]Selection, len(dims))
+	for _, s := range sels {
+		if s.Dim < 0 || s.Dim >= len(dims) {
+			return nil, fmt.Errorf("core: selection on dimension %d", s.Dim)
+		}
+		byDim[s.Dim] = append(byDim[s.Dim], s)
+	}
+
+	type acc struct {
+		row Row
+	}
+	groups := map[string]*acc{}
+	n := len(dims)
+	keys := make([]int64, n)
+	err := ff.Scan(func(_ uint64, rec []byte) error {
+		measure, err := catalog.DecodeFact(rec, keys)
+		if err != nil {
+			return err
+		}
+		var labels []string
+		for i := range dims {
+			attrs, ok := dd[i].attrs[keys[i]]
+			if !ok {
+				return nil // dangling key: inner join drops it
+			}
+			for _, s := range byDim[i] {
+				match := false
+				for _, v := range s.Values {
+					if attrs[s.Level] == v {
+						match = true
+						break
+					}
+				}
+				if !match {
+					return nil
+				}
+			}
+			switch spec[i].Target {
+			case Collapse:
+			case GroupByKey:
+				labels = append(labels, keyLabel(keys[i]))
+			case GroupByLevel:
+				labels = append(labels, attrs[spec[i].Level])
+			}
+		}
+		gk := fmt.Sprintf("%q", labels)
+		a, ok := groups[gk]
+		if !ok {
+			a = &acc{row: Row{Groups: append([]string(nil), labels...), Min: measure, Max: measure}}
+			groups[gk] = a
+		}
+		a.row.Sum += measure
+		a.row.Count++
+		if measure < a.row.Min {
+			a.row.Min = measure
+		}
+		if measure > a.row.Max {
+			a.row.Max = measure
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(groups))
+	for _, a := range groups {
+		rows = append(rows, a.row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i].Groups {
+			if rows[i].Groups[k] != rows[j].Groups[k] {
+				return rows[i].Groups[k] < rows[j].Groups[k]
+			}
+		}
+		return false
+	})
+	return rows, nil
+}
+
+// RowsEqual compares two row slices field by field; both must be sorted
+// the same way (use SortedRows / ReferenceConsolidate order).
+func RowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Groups) != len(b[i].Groups) {
+			return false
+		}
+		for g := range a[i].Groups {
+			if a[i].Groups[g] != b[i].Groups[g] {
+				return false
+			}
+		}
+		if a[i].Sum != b[i].Sum || a[i].Count != b[i].Count ||
+			a[i].Min != b[i].Min || a[i].Max != b[i].Max {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffRows renders the first difference between two sorted row slices,
+// for test failure messages.
+func DiffRows(a, b []Row) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !RowsEqual(a[i:i+1], b[i:i+1]) {
+			return fmt.Sprintf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return ""
+}

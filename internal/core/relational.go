@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/catalog"
+	"repro/internal/factfile"
+	"repro/internal/storage"
+)
+
+// dimHash is the relational algorithms' per-dimension in-memory hash
+// table (§4.3): dimension key -> group index, built by scanning the
+// dimension table. Value-based, in deliberate contrast with the array
+// algorithms' position-based IndexToIndex lookups.
+type dimHash map[int64]int32
+
+// relGroupState holds the phase-1 output of the relational algorithms:
+// one hash table per grouped dimension, plus the result cube.
+type relGroupState struct {
+	hashes []dimHash // per dim; nil for collapsed dims
+	result *Result
+}
+
+// buildRelGroupState scans the dimension tables and builds the per-
+// dimension hash tables mapping keys to group indices, with group labels
+// assigned in first-seen order.
+func buildRelGroupState(dims []*catalog.DimensionTable, spec GroupSpec) (*relGroupState, error) {
+	if len(spec) != len(dims) {
+		return nil, fmt.Errorf("core: group spec has %d entries for %d dimensions", len(spec), len(dims))
+	}
+	st := &relGroupState{hashes: make([]dimHash, len(dims))}
+	var groupDims []int
+	var labels [][]string
+	for i, dg := range spec {
+		dt := dims[i]
+		switch dg.Target {
+		case Collapse:
+			// No hash table needed.
+		case GroupByKey, GroupByLevel:
+			if dg.Target == GroupByLevel && (dg.Level < 0 || dg.Level >= len(dt.Schema.Attrs)) {
+				return nil, fmt.Errorf("core: dimension %s has no attribute level %d", dt.Schema.Name, dg.Level)
+			}
+			h := make(dimHash)
+			var lab []string
+			codes := map[string]int32{}
+			err := dt.Scan(func(key int64, attrs []string) error {
+				var group string
+				if dg.Target == GroupByKey {
+					group = keyLabel(key)
+				} else {
+					group = attrs[dg.Level]
+				}
+				code, ok := codes[group]
+				if !ok {
+					code = int32(len(lab))
+					codes[group] = code
+					lab = append(lab, group)
+				}
+				h[key] = code
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			st.hashes[i] = h
+			groupDims = append(groupDims, i)
+			labels = append(labels, lab)
+		default:
+			return nil, fmt.Errorf("core: unknown group target %d", dg.Target)
+		}
+	}
+	res, err := newResult(groupDims, labels)
+	if err != nil {
+		return nil, err
+	}
+	st.result = res
+	return st, nil
+}
+
+// groupIndex probes the dimension hash tables for the tuple's group
+// indices and combines them into the aggregation-table key. ok is false
+// when a key has no dimension row (a dangling foreign key, which the
+// star join drops, matching inner-join semantics).
+func (st *relGroupState) groupIndex(keys []int64) (int, bool) {
+	idx := 0
+	li := 0
+	for i, h := range st.hashes {
+		if h == nil {
+			continue
+		}
+		code, ok := h[keys[i]]
+		if !ok {
+			return 0, false
+		}
+		idx += int(code) * st.result.strides[li]
+		li++
+	}
+	return idx, true
+}
+
+// aggTable is the relational aggregation hash table (§4.3): the paper
+// probes a hash of the group-by values for each joined tuple. The key is
+// the packed group index; the hash probe per fact tuple is the
+// value-based cost the paper contrasts with array positions.
+type aggTable map[int]struct{}
+
+// StarJoinConsolidate evaluates a consolidation with the relational
+// StarJoin operator of §4.3: build an in-memory hash table per dimension
+// (key -> group-by value), then scan the fact file once; for each tuple,
+// probe every dimension hash, locate the group in the aggregation hash
+// table, and fold the measure in.
+func StarJoinConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec) (*Result, Metrics, error) {
+	return starJoin(ff, dims, nil, spec)
+}
+
+// StarJoinSelectConsolidate is StarJoinConsolidate with selection
+// predicates applied during the fact scan (no bitmap index): each
+// selected dimension contributes an in-memory set of qualifying keys and
+// non-members are dropped tuple by tuple. This is the "no index"
+// relational baseline the bitmap algorithm of §4.5 is built to beat.
+func StarJoinSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	return starJoin(ff, dims, sels, spec)
+}
+
+func starJoin(ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	var m Metrics
+	st, err := buildRelGroupState(dims, spec)
+	if err != nil {
+		return nil, m, err
+	}
+	filters, err := selectionKeySets(dims, sels)
+	if err != nil {
+		return nil, m, err
+	}
+
+	n := len(dims)
+	keys := make([]int64, n)
+	agg := make(aggTable)
+	err = ff.Scan(func(_ uint64, rec []byte) error {
+		m.TuplesScanned++
+		for i := range keys {
+			keys[i] = catalog.FactKey(rec, i)
+		}
+		for i, f := range filters {
+			if f != nil {
+				if _, ok := f[keys[i]]; !ok {
+					return nil
+				}
+			}
+		}
+		idx, ok := st.groupIndex(keys)
+		if !ok {
+			return nil
+		}
+		// The aggregation-hash probe: membership is tracked in a real
+		// hash table so the per-tuple hashing cost is paid as in the
+		// paper's operator; the accumulator array is its entry payload.
+		agg[idx] = struct{}{}
+		st.result.add(idx, catalog.FactMeasure(rec, n))
+		return nil
+	})
+	if err != nil {
+		return nil, m, err
+	}
+	return st.result, m, nil
+}
+
+// selectionKeySets builds, per dimension, the set of dimension keys
+// satisfying the selections (nil for unselected dimensions).
+func selectionKeySets(dims []*catalog.DimensionTable, sels []Selection) ([]map[int64]struct{}, error) {
+	if len(sels) == 0 {
+		return make([]map[int64]struct{}, len(dims)), nil
+	}
+	// Group selections per dimension.
+	byDim := make([][]Selection, len(dims))
+	for _, s := range sels {
+		if s.Dim < 0 || s.Dim >= len(dims) {
+			return nil, fmt.Errorf("core: selection on dimension %d of %d", s.Dim, len(dims))
+		}
+		if s.Level < 0 || s.Level >= len(dims[s.Dim].Schema.Attrs) {
+			return nil, fmt.Errorf("core: dimension %s has no attribute level %d", dims[s.Dim].Schema.Name, s.Level)
+		}
+		byDim[s.Dim] = append(byDim[s.Dim], s)
+	}
+	out := make([]map[int64]struct{}, len(dims))
+	for i, ds := range byDim {
+		if len(ds) == 0 {
+			continue
+		}
+		set := make(map[int64]struct{})
+		err := dims[i].Scan(func(key int64, attrs []string) error {
+			for _, s := range ds {
+				match := false
+				for _, v := range s.Values {
+					if attrs[s.Level] == v {
+						match = true
+						break
+					}
+				}
+				if !match {
+					return nil
+				}
+			}
+			set[key] = struct{}{}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = set
+	}
+	return out, nil
+}
+
+// BuildBitmapIndexes creates the join bitmap indices of §4.4: for every
+// hierarchy attribute of every dimension, one bitmap per distinct value
+// over the fact file's tuple numbers. Built ahead of query time, as in
+// the paper. Returns the indexes keyed by catalog.BitmapKey.
+func BuildBitmapIndexes(ff *factfile.File, dims []*catalog.DimensionTable) (map[string]*bitmap.Index, error) {
+	// Per dimension: key -> attribute values.
+	attrMaps := make([]map[int64][]string, len(dims))
+	for i, dt := range dims {
+		attrMaps[i] = make(map[int64][]string)
+		err := dt.Scan(func(key int64, attrs []string) error {
+			attrMaps[i][key] = attrs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]*bitmap.Index)
+	for _, dt := range dims {
+		for _, attr := range dt.Schema.Attrs {
+			out[catalog.BitmapKey(dt.Schema.Name, attr)] = bitmap.NewIndex(ff.NumTuples())
+		}
+	}
+	err := ff.Scan(func(tup uint64, rec []byte) error {
+		for i, dt := range dims {
+			key := catalog.FactKey(rec, i)
+			attrs, ok := attrMaps[i][key]
+			if !ok {
+				return fmt.Errorf("core: fact tuple %d references unknown %s key %d", tup, dt.Schema.Name, key)
+			}
+			for li, attr := range dt.Schema.Attrs {
+				out[catalog.BitmapKey(dt.Schema.Name, attr)].Add(attrs[li], tup)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BitmapIndexSource provides single-value bitmaps from the join bitmap
+// index on a (dimension, attr) pair — the §4.5 access pattern ("retrieve
+// the bitmaps for the selected values"). ok is false when no fact tuple
+// carries the value; an error means the index itself is missing or
+// unreadable.
+type BitmapIndexSource interface {
+	BitmapFor(dim, attr, value string) (bm *bitmap.Bitmap, ok bool, err error)
+}
+
+// BitmapSelectConsolidate evaluates a consolidation with selection using
+// the relational algorithm of §4.5: start from an all-ones ResultBitmap,
+// AND in the bitmaps of the selected values dimension by dimension, then
+// fetch exactly the qualifying tuples from the fact file and aggregate
+// them (with the same per-dimension group hash tables as the star join).
+func BitmapSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
+	src BitmapIndexSource, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	var m Metrics
+	st, err := buildRelGroupState(dims, spec)
+	if err != nil {
+		return nil, m, err
+	}
+
+	result := bitmap.New(ff.NumTuples())
+	result.SetAll()
+	for _, s := range sels {
+		if s.Dim < 0 || s.Dim >= len(dims) {
+			return nil, m, fmt.Errorf("core: selection on dimension %d of %d", s.Dim, len(dims))
+		}
+		dt := dims[s.Dim]
+		if s.Level < 0 || s.Level >= len(dt.Schema.Attrs) {
+			return nil, m, fmt.Errorf("core: dimension %s has no attribute level %d", dt.Schema.Name, s.Level)
+		}
+		// Values within one predicate union (OR), then AND into the
+		// running ResultBitmap. Only the selected values' bitmaps are
+		// retrieved from the index.
+		merged := bitmap.New(ff.NumTuples())
+		for _, v := range s.Values {
+			bm, ok, err := src.BitmapFor(dt.Schema.Name, dt.Schema.Attrs[s.Level], v)
+			if err != nil {
+				return nil, m, err
+			}
+			if ok {
+				m.BitmapsRead++
+				merged.Or(bm)
+				m.BitmapANDs++
+			}
+		}
+		result.And(merged)
+		m.BitmapANDs++
+	}
+
+	n := len(dims)
+	keys := make([]int64, n)
+	agg := make(aggTable)
+	err = ff.FetchBits(result, func(_ uint64, rec []byte) error {
+		m.TuplesFetched++
+		for i := range keys {
+			keys[i] = catalog.FactKey(rec, i)
+		}
+		idx, ok := st.groupIndex(keys)
+		if !ok {
+			return nil
+		}
+		agg[idx] = struct{}{}
+		st.result.add(idx, catalog.FactMeasure(rec, n))
+		return nil
+	})
+	if err != nil {
+		return nil, m, err
+	}
+	return st.result, m, nil
+}
+
+// MemBitmapSource adapts an in-memory index map to BitmapIndexSource.
+type MemBitmapSource map[string]*bitmap.Index
+
+// BitmapFor implements BitmapIndexSource.
+func (s MemBitmapSource) BitmapFor(dim, attr, value string) (*bitmap.Bitmap, bool, error) {
+	ix, ok := s[catalog.BitmapKey(dim, attr)]
+	if !ok {
+		return nil, false, fmt.Errorf("core: no bitmap index on %s.%s", dim, attr)
+	}
+	bm, ok := ix.Get(value)
+	return bm, ok, nil
+}
+
+// LOBBitmapSource serves single value bitmaps from index blobs recorded
+// in a catalog, reading only the directory plus the requested values'
+// payload ranges. Index readers are cached per attribute.
+type LOBBitmapSource struct {
+	Lob     *storage.LOBStore
+	Refs    map[string]uint64 // catalog.BitmapIndexes
+	readers map[string]*bitmap.IndexReader
+}
+
+// BitmapFor implements BitmapIndexSource.
+func (s *LOBBitmapSource) BitmapFor(dim, attr, value string) (*bitmap.Bitmap, bool, error) {
+	key := catalog.BitmapKey(dim, attr)
+	if s.readers == nil {
+		s.readers = make(map[string]*bitmap.IndexReader)
+	}
+	r, ok := s.readers[key]
+	if !ok {
+		ref, exists := s.Refs[key]
+		if !exists {
+			return nil, false, fmt.Errorf("core: no bitmap index on %s.%s (build indexes first)", dim, attr)
+		}
+		var err error
+		r, err = bitmap.OpenIndexReader(s.Lob, storage.LOBRef{First: storage.PageID(ref)})
+		if err != nil {
+			return nil, false, err
+		}
+		s.readers[key] = r
+	}
+	return r.ReadBitmap(value)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+)
+
+// GroupLabels returns, per grouped dimension in dimension order, the
+// label of each group index.
+func (r *Result) GroupLabels() [][]string { return r.labels }
+
+// EachCell invokes fn for every non-empty result cell with its group
+// coordinates (one per grouped dimension, in dimension order) and its
+// aggregate state. The coords slice is reused between calls.
+func (r *Result) EachCell(fn func(coords []int, row Row) error) error {
+	coords := make([]int, len(r.labels))
+	for idx, c := range r.counts {
+		if c == 0 {
+			continue
+		}
+		rem := idx
+		for i := range r.labels {
+			coords[i] = rem / r.strides[i]
+			rem %= r.strides[i]
+		}
+		row := Row{Sum: r.sums[idx], Count: c, Min: r.mins[idx], Max: r.maxs[idx]}
+		if err := fn(coords, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge folds other into r cell by cell. Both results must come from the
+// same grouping (identical group dimensions and labels); the parallel
+// consolidation merges per-worker partial results this way.
+func (r *Result) Merge(other *Result) error {
+	if len(r.labels) != len(other.labels) || r.cells != other.cells {
+		return fmt.Errorf("core: merge of incompatible results")
+	}
+	for i := range r.labels {
+		if len(r.labels[i]) != len(other.labels[i]) {
+			return fmt.Errorf("core: merge of incompatible results")
+		}
+	}
+	for idx, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		if r.counts[idx] == 0 {
+			r.mins[idx] = other.mins[idx]
+			r.maxs[idx] = other.maxs[idx]
+		} else {
+			if other.mins[idx] < r.mins[idx] {
+				r.mins[idx] = other.mins[idx]
+			}
+			if other.maxs[idx] > r.maxs[idx] {
+				r.maxs[idx] = other.maxs[idx]
+			}
+		}
+		r.sums[idx] += other.sums[idx]
+		r.counts[idx] += c
+	}
+	return nil
+}
+
+// RollUp aggregates away the drop-th grouped dimension (an index into
+// GroupDims, not a dimension position), producing the coarser result one
+// level up the cube lattice. All tracked aggregates are distributive
+// (sum, count, min, max), so rolling up a materialized result is exact.
+func (r *Result) RollUp(drop int) (*Result, error) {
+	if drop < 0 || drop >= len(r.groupDims) {
+		return nil, fmt.Errorf("core: RollUp(%d) of a %d-dimension result", drop, len(r.groupDims))
+	}
+	outDims := make([]int, 0, len(r.groupDims)-1)
+	outLabels := make([][]string, 0, len(r.labels)-1)
+	for i := range r.groupDims {
+		if i == drop {
+			continue
+		}
+		outDims = append(outDims, r.groupDims[i])
+		outLabels = append(outLabels, r.labels[i])
+	}
+	out, err := newResult(outDims, outLabels)
+	if err != nil {
+		return nil, err
+	}
+	coords := make([]int, len(r.labels))
+	for idx, c := range r.counts {
+		if c == 0 {
+			continue
+		}
+		rem := idx
+		for i := range r.labels {
+			coords[i] = rem / r.strides[i]
+			rem %= r.strides[i]
+		}
+		outIdx := 0
+		oi := 0
+		for i := range r.labels {
+			if i == drop {
+				continue
+			}
+			outIdx += coords[i] * out.strides[oi]
+			oi++
+		}
+		// Fold the full aggregate state, not just one value.
+		if out.counts[outIdx] == 0 {
+			out.mins[outIdx] = r.mins[idx]
+			out.maxs[outIdx] = r.maxs[idx]
+		} else {
+			if r.mins[idx] < out.mins[outIdx] {
+				out.mins[outIdx] = r.mins[idx]
+			}
+			if r.maxs[idx] > out.maxs[outIdx] {
+				out.maxs[outIdx] = r.maxs[idx]
+			}
+		}
+		out.sums[outIdx] += r.sums[idx]
+		out.counts[outIdx] += c
+	}
+	return out, nil
+}

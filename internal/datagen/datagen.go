@@ -1,0 +1,274 @@
+// Package datagen generates the synthetic OLAP data sets of §5.4 of the
+// paper: an n-dimensional cube with a configurable number of uniformly
+// distributed valid cells, and dimension tables whose hX1 / hX2 hierarchy
+// attributes are uniformly distributed with configurable distinct counts.
+//
+// Generation is fully deterministic given the seed: cell positions come
+// from a seeded RNG and measures are derived from the cell id by a
+// splitmix64 hash, so the fact file and the OLAP array can be loaded from
+// two independent passes over the same logical data.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/catalog"
+)
+
+// Config describes one synthetic data set.
+type Config struct {
+	// DimSizes are the dimension member counts, e.g. 40×40×40×1000.
+	DimSizes []int
+	// DistinctH1 is the number of distinct hX1 (grouping attribute)
+	// values per dimension; 0 entries default to 10.
+	DistinctH1 []int
+	// DistinctH2 is the number of distinct hX2 (selection attribute)
+	// values per dimension; 0 entries default to 10. The paper varies
+	// this from 2 to 10 to sweep selectivity in Queries 2 and 3.
+	DistinctH2 []int
+	// NumFacts is the number of valid cells. If 0, Density is used.
+	NumFacts int
+	// Density is the fraction of valid cells, used when NumFacts is 0.
+	Density float64
+	// MeasureMax bounds measures to [0, MeasureMax); 0 defaults to 100.
+	MeasureMax int64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Dataset is a generated data set: schema, dimension rows, and a stream
+// of fact tuples.
+type Dataset struct {
+	cfg     Config
+	schema  *catalog.StarSchema
+	cellIDs []int64 // sorted ids of valid cells (row-major over the cube)
+	numCell int64
+}
+
+// Generate validates the config and materializes the valid-cell set.
+func Generate(cfg Config) (*Dataset, error) {
+	if len(cfg.DimSizes) == 0 {
+		return nil, fmt.Errorf("datagen: no dimensions")
+	}
+	n := int64(1)
+	for i, d := range cfg.DimSizes {
+		if d <= 0 {
+			return nil, fmt.Errorf("datagen: dimension %d has size %d", i, d)
+		}
+		n *= int64(d)
+	}
+	if cfg.MeasureMax <= 0 {
+		cfg.MeasureMax = 100
+	}
+	target := int64(cfg.NumFacts)
+	if target == 0 {
+		if cfg.Density < 0 || cfg.Density > 1 {
+			return nil, fmt.Errorf("datagen: density %v out of [0,1]", cfg.Density)
+		}
+		target = int64(cfg.Density*float64(n) + 0.5)
+	}
+	if target > n {
+		return nil, fmt.Errorf("datagen: %d facts exceed the %d-cell cube", target, n)
+	}
+	if target > n*3/4 && n > (1<<24) {
+		return nil, fmt.Errorf("datagen: density %.2f too high for a %d-cell cube", float64(target)/float64(n), n)
+	}
+
+	ds := &Dataset{cfg: cfg, numCell: n}
+	ds.buildSchema()
+
+	// Uniform distinct cells by rejection sampling, then sorted so the
+	// fact stream visits the cube in row-major order — matching the
+	// paper's "one tuple was generated for each cell of the array that
+	// had valid data".
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seen := make(map[int64]struct{}, target)
+	ids := make([]int64, 0, target)
+	for int64(len(ids)) < target {
+		id := rng.Int63n(n)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ds.cellIDs = ids
+	return ds, nil
+}
+
+// buildSchema constructs the paper's test star schema (§5.1) generalized
+// to len(DimSizes) dimensions: fact(d0..dn-1, volume), dimI(dI, hI1, hI2).
+func (ds *Dataset) buildSchema() {
+	nd := len(ds.cfg.DimSizes)
+	s := &catalog.StarSchema{
+		Fact: catalog.FactSchema{Name: "fact", Measure: "volume"},
+	}
+	for i := 0; i < nd; i++ {
+		name := fmt.Sprintf("dim%d", i)
+		s.Fact.Dims = append(s.Fact.Dims, name)
+		s.Dimensions = append(s.Dimensions, catalog.DimensionSchema{
+			Name: name,
+			Key:  fmt.Sprintf("d%d", i),
+			Attrs: []string{
+				fmt.Sprintf("h%d1", i),
+				fmt.Sprintf("h%d2", i),
+			},
+		})
+	}
+	ds.schema = s
+}
+
+// Schema returns the star schema of the data set.
+func (ds *Dataset) Schema() *catalog.StarSchema { return ds.schema }
+
+// NumFacts returns the number of valid cells.
+func (ds *Dataset) NumFacts() int { return len(ds.cellIDs) }
+
+// NumCells returns the logical cube size.
+func (ds *Dataset) NumCells() int64 { return ds.numCell }
+
+// Density returns the achieved fraction of valid cells.
+func (ds *Dataset) Density() float64 {
+	return float64(len(ds.cellIDs)) / float64(ds.numCell)
+}
+
+func (ds *Dataset) distinct(of []int, dim int) int {
+	if dim < len(of) && of[dim] > 0 {
+		return of[dim]
+	}
+	return 10
+}
+
+// blockValue partitions the key range [0, size) into `distinct` equal
+// contiguous blocks and returns the block of key. The paper's dimensions
+// are "hierarchically structured" (§5.1): members sharing a hierarchy
+// value are adjacent in key order, the natural layout of a dimension
+// table sorted by its hierarchy. This clustering is what lets the §4.2
+// selection algorithm skip chunks — at S = 0.0001 the paper's query
+// touches ~80 of 800 chunks, which only happens when the selected
+// members are contiguous.
+func (ds *Dataset) blockValue(dim int, key int64, distinct int) int64 {
+	size := int64(ds.cfg.DimSizes[dim])
+	if int64(distinct) > size {
+		distinct = int(size)
+	}
+	return key * int64(distinct) / size
+}
+
+// H1Value returns the hX1 attribute value of member key of dimension
+// dim: uniform over DistinctH1 contiguous key blocks.
+func (ds *Dataset) H1Value(dim int, key int64) string {
+	return fmt.Sprintf("A%d", ds.blockValue(dim, key, ds.distinct(ds.cfg.DistinctH1, dim)))
+}
+
+// H2Value returns the hX2 attribute value — the paper's selected values
+// are spelled "AA1", "AA2", ... — uniform over DistinctH2 contiguous key
+// blocks.
+func (ds *Dataset) H2Value(dim int, key int64) string {
+	return fmt.Sprintf("AA%d", ds.blockValue(dim, key, ds.distinct(ds.cfg.DistinctH2, dim)))
+}
+
+// EachDimRow invokes fn for every member of dimension dim in key order.
+func (ds *Dataset) EachDimRow(dim int, fn func(key int64, attrs []string) error) error {
+	if dim < 0 || dim >= len(ds.cfg.DimSizes) {
+		return fmt.Errorf("datagen: dimension %d out of range", dim)
+	}
+	for k := int64(0); k < int64(ds.cfg.DimSizes[dim]); k++ {
+		if err := fn(k, []string{ds.H1Value(dim, k), ds.H2Value(dim, k)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitmix64 hashes a cell id to a deterministic pseudo-random value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Measure returns the measure of the cell with the given id.
+func (ds *Dataset) Measure(id int64) int64 {
+	return int64(splitmix64(uint64(id)+uint64(ds.cfg.Seed)) % uint64(ds.cfg.MeasureMax))
+}
+
+// decodeCell converts a row-major cell id into per-dimension keys.
+func (ds *Dataset) decodeCell(id int64, keys []int64) {
+	for i := len(ds.cfg.DimSizes) - 1; i >= 0; i-- {
+		sz := int64(ds.cfg.DimSizes[i])
+		keys[i] = id % sz
+		id /= sz
+	}
+}
+
+// FactStream is a restartable pull cursor over the fact tuples in
+// row-major cell order. It implements the array loader's FactSource.
+type FactStream struct {
+	ds   *Dataset
+	pos  int
+	keys []int64
+}
+
+// Facts returns a fresh cursor positioned at the first fact.
+func (ds *Dataset) Facts() *FactStream {
+	return &FactStream{ds: ds, keys: make([]int64, len(ds.cfg.DimSizes))}
+}
+
+// Next returns the next fact tuple. The keys slice is reused between
+// calls.
+func (s *FactStream) Next() ([]int64, int64, bool, error) {
+	if s.pos >= len(s.ds.cellIDs) {
+		return nil, 0, false, nil
+	}
+	id := s.ds.cellIDs[s.pos]
+	s.pos++
+	s.ds.decodeCell(id, s.keys)
+	return s.keys, s.ds.Measure(id), true, nil
+}
+
+// Reset rewinds the cursor to the first fact.
+func (s *FactStream) Reset() { s.pos = 0 }
+
+// DataSet1 returns the paper's Data Set 1 configurations (§5.4): three
+// 4-dimensional arrays, 40×40×40×{50,100,1000}, each with 640 000 valid
+// cells (densities 20%, 10%, 1%). variant selects the fourth dimension
+// size: 0→50, 1→100, 2→1000.
+func DataSet1(variant int, seed int64) (Config, error) {
+	last := map[int]int{0: 50, 1: 100, 2: 1000}
+	d4, ok := last[variant]
+	if !ok {
+		return Config{}, fmt.Errorf("datagen: DataSet1 variant %d (want 0, 1, or 2)", variant)
+	}
+	return Config{
+		DimSizes: []int{40, 40, 40, d4},
+		NumFacts: 640000,
+		Seed:     seed,
+	}, nil
+}
+
+// DataSet2 returns the paper's Data Set 2 configuration (§5.4): a
+// 40×40×40×100 array with density ranging from 0.5% to 20%.
+func DataSet2(density float64, seed int64) Config {
+	return Config{
+		DimSizes: []int{40, 40, 40, 100},
+		Density:  density,
+		Seed:     seed,
+	}
+}
+
+// WithSelectivity returns a copy of cfg with every dimension's hX2
+// attribute given the distinct count that yields per-dimension
+// selectivity 1/distinct — the knob swept in Queries 2 and 3 (§5.6).
+func WithSelectivity(cfg Config, distinct int) Config {
+	h2 := make([]int, len(cfg.DimSizes))
+	for i := range h2 {
+		h2[i] = distinct
+	}
+	cfg.DistinctH2 = h2
+	return cfg
+}

@@ -1,0 +1,251 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	ds, err := Generate(Config{DimSizes: []int{10, 10, 10}, NumFacts: 250, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if ds.NumFacts() != 250 || ds.NumCells() != 1000 {
+		t.Fatalf("facts=%d cells=%d", ds.NumFacts(), ds.NumCells())
+	}
+	if got := ds.Density(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("Density = %v", got)
+	}
+}
+
+func TestGenerateByDensity(t *testing.T) {
+	ds, err := Generate(Config{DimSizes: []int{20, 20}, Density: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumFacts() != 40 {
+		t.Fatalf("NumFacts = %d, want 40", ds.NumFacts())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{DimSizes: []int{0}},
+		{DimSizes: []int{4}, NumFacts: 5},
+		{DimSizes: []int{4}, Density: 1.5},
+		{DimSizes: []int{4}, Density: -0.1},
+	}
+	for i, c := range cases {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFactsAreDistinctSortedDeterministic(t *testing.T) {
+	gen := func() ([][4]int64, []int64) {
+		ds, err := Generate(Config{DimSizes: []int{7, 5, 6, 9}, NumFacts: 400, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cells [][4]int64
+		var measures []int64
+		s := ds.Facts()
+		for {
+			keys, m, ok, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			cells = append(cells, [4]int64{keys[0], keys[1], keys[2], keys[3]})
+			measures = append(measures, m)
+		}
+		return cells, measures
+	}
+	c1, m1 := gen()
+	c2, m2 := gen()
+	if len(c1) != 400 {
+		t.Fatalf("stream yielded %d facts", len(c1))
+	}
+	seen := map[[4]int64]bool{}
+	for i, c := range c1 {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+		if c != c2[i] || m1[i] != m2[i] {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+		for d, k := range c {
+			limit := []int64{7, 5, 6, 9}[d]
+			if k < 0 || k >= limit {
+				t.Fatalf("cell %v out of bounds", c)
+			}
+		}
+		if i > 0 && !lessCells(c1[i-1], c) {
+			t.Fatalf("cells not in row-major order at %d: %v then %v", i, c1[i-1], c)
+		}
+	}
+}
+
+func lessCells(a, b [4]int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestFactStreamReset(t *testing.T) {
+	ds, err := Generate(Config{DimSizes: []int{5, 5}, NumFacts: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Facts()
+	k1, m1, ok, _ := s.Next()
+	if !ok {
+		t.Fatal("empty stream")
+	}
+	first := append([]int64(nil), k1...)
+	for {
+		_, _, ok, _ := s.Next()
+		if !ok {
+			break
+		}
+	}
+	s.Reset()
+	k2, m2, ok, _ := s.Next()
+	if !ok || m1 != m2 || k2[0] != first[0] || k2[1] != first[1] {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestDimRowsAndAttributes(t *testing.T) {
+	ds, err := Generate(Config{
+		DimSizes:   []int{12, 8},
+		DistinctH1: []int{4, 0}, // dim1 defaults to 10 -> capped by size at use
+		DistinctH2: []int{3, 2},
+		NumFacts:   5,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	h1 := map[string]int{}
+	h2 := map[string]int{}
+	err = ds.EachDimRow(0, func(key int64, attrs []string) error {
+		if len(attrs) != 2 {
+			t.Fatalf("attrs = %v", attrs)
+		}
+		h1[attrs[0]]++
+		h2[attrs[1]]++
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 12 {
+		t.Fatalf("dim0 rows = %d", count)
+	}
+	if len(h1) != 4 {
+		t.Fatalf("h01 distinct = %d, want 4", len(h1))
+	}
+	if len(h2) != 3 {
+		t.Fatalf("h02 distinct = %d, want 3", len(h2))
+	}
+	// Uniformity: 12 keys in 3 equal blocks -> each value 4 times.
+	for v, n := range h2 {
+		if n != 4 {
+			t.Fatalf("h02 value %s appears %d times", v, n)
+		}
+	}
+	// Hierarchical clustering (§5.1): members sharing a value are
+	// contiguous in key order.
+	if ds.H2Value(0, 0) != "AA0" || ds.H2Value(0, 3) != "AA0" ||
+		ds.H2Value(0, 4) != "AA1" || ds.H2Value(0, 11) != "AA2" {
+		t.Fatalf("H2 blocks = %s %s %s %s", ds.H2Value(0, 0), ds.H2Value(0, 3),
+			ds.H2Value(0, 4), ds.H2Value(0, 11))
+	}
+	if err := ds.EachDimRow(5, func(int64, []string) error { return nil }); err == nil {
+		t.Fatal("EachDimRow out of range succeeded")
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	ds, err := Generate(Config{DimSizes: []int{4, 4, 4, 4}, NumFacts: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated schema invalid: %v", err)
+	}
+	if s.NumDims() != 4 || s.Fact.Measure != "volume" {
+		t.Fatalf("schema = %+v", s)
+	}
+	if s.Dimensions[2].Attrs[0] != "h21" || s.Dimensions[2].Attrs[1] != "h22" {
+		t.Fatalf("dim2 attrs = %v", s.Dimensions[2].Attrs)
+	}
+}
+
+func TestDataSet1Presets(t *testing.T) {
+	wantLast := []int{50, 100, 1000}
+	for v, last := range wantLast {
+		cfg, err := DataSet1(v, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.DimSizes[3] != last || cfg.NumFacts != 640000 {
+			t.Fatalf("DataSet1(%d) = %+v", v, cfg)
+		}
+		cells := int64(40 * 40 * 40 * last)
+		wantDensity := 640000.0 / float64(cells)
+		if math.Abs(wantDensity-[]float64{0.2, 0.1, 0.01}[v]) > 1e-9 {
+			t.Fatalf("DataSet1(%d) density = %v", v, wantDensity)
+		}
+	}
+	if _, err := DataSet1(9, 1); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+}
+
+func TestDataSet2AndSelectivity(t *testing.T) {
+	cfg := DataSet2(0.05, 3)
+	if cfg.DimSizes[3] != 100 || cfg.Density != 0.05 {
+		t.Fatalf("DataSet2 = %+v", cfg)
+	}
+	cfg = WithSelectivity(cfg, 5)
+	for _, d := range cfg.DistinctH2 {
+		if d != 5 {
+			t.Fatalf("WithSelectivity = %v", cfg.DistinctH2)
+		}
+	}
+}
+
+func TestMeasureBounds(t *testing.T) {
+	ds, err := Generate(Config{DimSizes: []int{30, 30}, NumFacts: 300, MeasureMax: 7, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Facts()
+	hist := map[int64]int{}
+	for {
+		_, m, ok, _ := s.Next()
+		if !ok {
+			break
+		}
+		if m < 0 || m >= 7 {
+			t.Fatalf("measure %d out of [0,7)", m)
+		}
+		hist[m]++
+	}
+	if len(hist) < 5 {
+		t.Fatalf("measures poorly distributed: %v", hist)
+	}
+}

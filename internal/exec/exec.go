@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/factfile"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Engine selects the evaluation strategy.
+type Engine int8
+
+// Engines. Auto picks the array when one is built (the ADT dispatch of
+// the paper's Paradise integration), otherwise the best relational plan
+// available.
+const (
+	Auto Engine = iota
+	// ArrayEngine evaluates on the OLAP Array ADT (§4.1 / §4.2).
+	ArrayEngine
+	// StarJoinEngine evaluates with the relational StarJoin operator
+	// (§4.3), filtering during the scan when selections are present.
+	StarJoinEngine
+	// BitmapEngine evaluates selections with the bitmap-index +
+	// fact-file algorithm (§4.5); queries without selections fall back
+	// to the star join, as in the paper.
+	BitmapEngine
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case Auto:
+		return "auto"
+	case ArrayEngine:
+		return "array"
+	case StarJoinEngine:
+		return "starjoin"
+	case BitmapEngine:
+		return "bitmap"
+	default:
+		return fmt.Sprintf("engine(%d)", int8(e))
+	}
+}
+
+// QueryResult is the executor's output: result rows plus plan name,
+// algorithm metrics, wall time, and buffer pool I/O deltas.
+type QueryResult struct {
+	Rows       []core.Row
+	GroupAttrs []string
+	Aggs       []core.AggFunc
+	Plan       string
+	Metrics    core.Metrics
+	Elapsed    time.Duration
+	IO         storage.Stats
+}
+
+// Executor runs compiled queries against the objects in a catalog. It
+// caches opened handles; it is not safe for concurrent use (clone one
+// executor per goroutine).
+type Executor struct {
+	bp  *storage.BufferPool
+	cat *catalog.Catalog
+
+	dims []*catalog.DimensionTable
+	ff   *factfile.File
+	arr  *array.Array
+}
+
+// NewExecutor creates an executor over the catalog's objects.
+func NewExecutor(bp *storage.BufferPool, cat *catalog.Catalog) *Executor {
+	return &Executor{bp: bp, cat: cat}
+}
+
+// InvalidateHandles drops cached object handles; call after catalog
+// mutations (new loads or builds).
+func (e *Executor) InvalidateHandles() {
+	e.dims, e.ff, e.arr = nil, nil, nil
+}
+
+// DropCaches empties the buffer pool, emulating the paper's cold-cache
+// measurement protocol. Cached object handles survive (they hold page
+// ids, not pages), but the array's chunk-decode cache is dropped.
+func (e *Executor) DropCaches() error {
+	e.arr = nil // also discards the array's chunk-decode cache
+	return e.bp.DropAll()
+}
+
+func (e *Executor) dimensions() ([]*catalog.DimensionTable, error) {
+	if e.dims == nil {
+		dims, err := OpenDimensions(e.bp, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		e.dims = dims
+	}
+	return e.dims, nil
+}
+
+func (e *Executor) factFile() (*factfile.File, error) {
+	if e.ff == nil {
+		ff, err := OpenFactFile(e.bp, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		e.ff = ff
+	}
+	return e.ff, nil
+}
+
+func (e *Executor) arrayADT() (*array.Array, error) {
+	if e.arr == nil {
+		arr, err := OpenArray(e.bp, e.cat)
+		if err != nil {
+			return nil, err
+		}
+		e.arr = arr
+	}
+	return e.arr, nil
+}
+
+// HasArray reports whether an OLAP array is built.
+func (e *Executor) HasArray() bool { return e.cat.ArrayState != 0 }
+
+// HasBitmapIndexes reports whether bitmap indices cover every selection
+// in spec.
+func (e *Executor) HasBitmapIndexes(spec *query.Spec) bool {
+	if e.cat.Schema == nil {
+		return false
+	}
+	for _, s := range spec.Selections {
+		d := e.cat.Schema.Dimensions[s.Dim]
+		if _, ok := e.cat.BitmapIndexes[catalog.BitmapKey(d.Name, d.Attrs[s.Level])]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// plan resolves Auto to a concrete engine.
+func (e *Executor) plan(spec *query.Spec, engine Engine) Engine {
+	if engine != Auto {
+		return engine
+	}
+	if e.HasArray() {
+		return ArrayEngine
+	}
+	if len(spec.Selections) > 0 && e.HasBitmapIndexes(spec) {
+		return BitmapEngine
+	}
+	return StarJoinEngine
+}
+
+// Execute runs a compiled query on the chosen engine.
+func (e *Executor) Execute(spec *query.Spec, engine Engine) (*QueryResult, error) {
+	concrete := e.plan(spec, engine)
+	ioBefore := e.bp.Stats()
+	start := time.Now()
+
+	var (
+		res      *core.Result
+		metrics  core.Metrics
+		planName string
+		err      error
+	)
+	switch concrete {
+	case ArrayEngine:
+		var arr *array.Array
+		arr, err = e.arrayADT()
+		if err != nil {
+			break
+		}
+		if len(spec.Selections) > 0 {
+			planName = "array-select-consolidate"
+			res, metrics, err = core.ArraySelectConsolidate(arr, spec.Selections, spec.Group)
+		} else {
+			planName = "array-consolidate"
+			res, metrics, err = core.ArrayConsolidate(arr, spec.Group)
+		}
+	case StarJoinEngine:
+		var dims []*catalog.DimensionTable
+		var ff *factfile.File
+		if dims, err = e.dimensions(); err != nil {
+			break
+		}
+		if ff, err = e.factFile(); err != nil {
+			break
+		}
+		if len(spec.Selections) > 0 {
+			planName = "starjoin-filter"
+			res, metrics, err = core.StarJoinSelectConsolidate(ff, dims, spec.Selections, spec.Group)
+		} else {
+			planName = "starjoin"
+			res, metrics, err = core.StarJoinConsolidate(ff, dims, spec.Group)
+		}
+	case BitmapEngine:
+		var dims []*catalog.DimensionTable
+		var ff *factfile.File
+		if dims, err = e.dimensions(); err != nil {
+			break
+		}
+		if ff, err = e.factFile(); err != nil {
+			break
+		}
+		if len(spec.Selections) == 0 {
+			// The paper's bitmap algorithm exists for selections; a
+			// selection-free consolidation runs the star join.
+			planName = "starjoin"
+			res, metrics, err = core.StarJoinConsolidate(ff, dims, spec.Group)
+		} else {
+			planName = "bitmap-factfile"
+			src := &core.LOBBitmapSource{Lob: storage.NewLOBStore(e.bp), Refs: e.cat.BitmapIndexes}
+			res, metrics, err = core.BitmapSelectConsolidate(ff, dims, src, spec.Selections, spec.Group)
+		}
+	default:
+		return nil, fmt.Errorf("exec: unknown engine %v", concrete)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	return &QueryResult{
+		Rows:       res.SortedRows(),
+		GroupAttrs: spec.GroupAttrs,
+		Aggs:       spec.Aggs,
+		Plan:       planName,
+		Metrics:    metrics,
+		Elapsed:    time.Since(start),
+		IO:         e.bp.Stats().Sub(ioBefore),
+	}, nil
+}
+
+// ExecuteSQL parses, compiles, and executes a SQL-subset query.
+func (e *Executor) ExecuteSQL(sql string, engine Engine) (*QueryResult, error) {
+	spec, err := query.ParseAndCompile(sql, e.cat.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(spec, engine)
+}

@@ -1,0 +1,346 @@
+package factfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func newTestFile(t *testing.T, recSize, extentPages, frames int) (*File, *storage.BufferPool) {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), frames)
+	f, err := Create(bp, recSize, extentPages)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return f, bp
+}
+
+func rec8(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestFactFileAppendGet(t *testing.T) {
+	f, bp := newTestFile(t, 8, 2, 16)
+	const n = 5000 // spans several extents: 1024 recs/page * 2 pages = 2048/extent
+	for i := uint64(0); i < n; i++ {
+		tup, err := f.Append(rec8(i * 3))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if tup != i {
+			t.Fatalf("Append returned tuple %d, want %d", tup, i)
+		}
+	}
+	if f.NumTuples() != n {
+		t.Fatalf("NumTuples = %d, want %d", f.NumTuples(), n)
+	}
+	for _, i := range []uint64{0, 1, 1023, 1024, 2047, 2048, n - 1} {
+		got, err := f.Get(i, nil)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != i*3 {
+			t.Fatalf("Get(%d) = %d, want %d", i, v, i*3)
+		}
+	}
+	if _, err := f.Get(n, nil); err == nil {
+		t.Fatal("Get past end succeeded")
+	}
+	if bp.PinnedPages() != 0 {
+		t.Fatalf("%d pages still pinned", bp.PinnedPages())
+	}
+}
+
+func TestFactFileScanOrder(t *testing.T) {
+	f, _ := newTestFile(t, 8, 2, 16)
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		if _, err := f.Append(rec8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var next uint64
+	err := f.Scan(func(tup uint64, rec []byte) error {
+		if tup != next {
+			return fmt.Errorf("scan out of order: got %d, want %d", tup, next)
+		}
+		if v := binary.LittleEndian.Uint64(rec); v != tup {
+			return fmt.Errorf("tuple %d holds %d", tup, v)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("scan visited %d tuples, want %d", next, n)
+	}
+}
+
+func TestFactFileScanEarlyStop(t *testing.T) {
+	f, _ := newTestFile(t, 8, 2, 16)
+	for i := uint64(0); i < 100; i++ {
+		f.Append(rec8(i))
+	}
+	seen := 0
+	err := f.Scan(func(tup uint64, rec []byte) error {
+		seen++
+		if seen == 10 {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil || seen != 10 {
+		t.Fatalf("early stop: seen=%d err=%v", seen, err)
+	}
+}
+
+func TestFactFileAppendBatch(t *testing.T) {
+	f, _ := newTestFile(t, 8, 2, 16)
+	const n = 4000
+	batch := make([]byte, 0, n*8)
+	for i := uint64(0); i < n; i++ {
+		batch = append(batch, rec8(i+7)...)
+	}
+	first, err := f.AppendBatch(batch)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if first != 0 || f.NumTuples() != n {
+		t.Fatalf("AppendBatch first=%d count=%d", first, f.NumTuples())
+	}
+	for _, i := range []uint64{0, 500, n - 1} {
+		got, err := f.Get(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != i+7 {
+			t.Fatalf("Get(%d) = %d, want %d", i, v, i+7)
+		}
+	}
+	if _, err := f.AppendBatch(make([]byte, 12)); err == nil {
+		t.Fatal("AppendBatch with ragged bytes succeeded")
+	}
+}
+
+func TestFactFileRecordSizeValidation(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 8)
+	if _, err := Create(bp, 0, 4); err == nil {
+		t.Fatal("Create with record size 0 succeeded")
+	}
+	if _, err := Create(bp, storage.PageSize+1, 4); err == nil {
+		t.Fatal("Create with oversized record succeeded")
+	}
+	f, err := Create(bp, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(make([]byte, 8)); err == nil {
+		t.Fatal("Append with wrong record size succeeded")
+	}
+}
+
+func TestFactFileReopen(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 32)
+	f, err := Create(bp, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		if _, err := f.Append(rec8(i * 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := f.Root()
+
+	f2, err := Open(bp, root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if f2.NumTuples() != n || f2.RecordSize() != 8 {
+		t.Fatalf("reopened: tuples=%d recSize=%d", f2.NumTuples(), f2.RecordSize())
+	}
+	for _, i := range []uint64{0, 2500, n - 1} {
+		got, err := f2.Get(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != i*2 {
+			t.Fatalf("Get(%d) after reopen = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestFactFileDirectoryOverflow(t *testing.T) {
+	// Force more extents than the header page can hold directly.
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 64)
+	f, err := Create(bp, storage.PageSize, 1) // 1 record per page, 1 page per extent
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := hdrMaxEntries + 50
+	rec := make([]byte, storage.PageSize)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(rec, uint64(i))
+		if _, err := f.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	f2, err := Open(bp, f.Root())
+	if err != nil {
+		t.Fatalf("Open with overflow directory: %v", err)
+	}
+	for _, i := range []uint64{0, uint64(hdrMaxEntries) - 1, uint64(hdrMaxEntries), uint64(n) - 1} {
+		got, err := f2.Get(i, nil)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != i {
+			t.Fatalf("Get(%d) = %d", i, v)
+		}
+	}
+}
+
+func TestFactFileDeepDirectoryOverflow(t *testing.T) {
+	// Force the directory into a second overflow page: header holds
+	// hdrMaxEntries extents, each overflow page ovfMaxEntries more.
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 128)
+	f, err := Create(bp, storage.PageSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := hdrMaxEntries + ovfMaxEntries + 10
+	rec := make([]byte, storage.PageSize)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(rec, uint64(i*3))
+		if _, err := f.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	f2, err := Open(bp, f.Root())
+	if err != nil {
+		t.Fatalf("Open with two overflow pages: %v", err)
+	}
+	for _, i := range []uint64{0, uint64(hdrMaxEntries), uint64(hdrMaxEntries + ovfMaxEntries), uint64(n) - 1} {
+		got, err := f2.Get(i, nil)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != i*3 {
+			t.Fatalf("Get(%d) = %d, want %d", i, v, i*3)
+		}
+	}
+	if f2.SizeBytes() <= int64(n)*storage.PageSize {
+		t.Fatalf("SizeBytes %d should include directory pages", f2.SizeBytes())
+	}
+}
+
+// sliceBits adapts a sorted []uint64 to the BitIterator interface.
+type sliceBits []uint64
+
+func (s sliceBits) NextSet(from uint64) (uint64, bool) {
+	for _, v := range s {
+		if v >= from {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func TestFactFileFetchBits(t *testing.T) {
+	f, bp := newTestFile(t, 8, 2, 16)
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		f.Append(rec8(i * 10))
+	}
+	want := []uint64{0, 1, 2, 1023, 1024, 2999}
+	var got []uint64
+	before := bp.Stats()
+	err := f.FetchBits(sliceBits(want), func(tup uint64, rec []byte) error {
+		if v := binary.LittleEndian.Uint64(rec); v != tup*10 {
+			return fmt.Errorf("tuple %d holds %d", tup, v)
+		}
+		got = append(got, tup)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("FetchBits visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FetchBits visited %v, want %v", got, want)
+		}
+	}
+	// Tuples 0,1,2 share a page; 1023 is on page 0 too (1024 recs/page).
+	// So pages touched: page0 (0,1,2,1023), page1 (1024), page2 (2999).
+	if d := bp.Stats().Sub(before); d.LogicalReads > 4 {
+		t.Errorf("FetchBits made %d page fetches, want <= 4 (page sharing)", d.LogicalReads)
+	}
+}
+
+func TestFactFileFetchBitsOutOfRange(t *testing.T) {
+	f, _ := newTestFile(t, 8, 2, 16)
+	f.Append(rec8(1))
+	err := f.FetchBits(sliceBits{5}, func(uint64, []byte) error { return nil })
+	if err == nil {
+		t.Fatal("FetchBits past end succeeded")
+	}
+}
+
+func TestFactFileSizeBytes(t *testing.T) {
+	f, _ := newTestFile(t, 8, 4, 16)
+	if got := f.SizeBytes(); got != storage.PageSize { // header only
+		t.Fatalf("empty SizeBytes = %d", got)
+	}
+	f.Append(rec8(0))
+	if got := f.SizeBytes(); got != 5*storage.PageSize { // header + one 4-page extent
+		t.Fatalf("SizeBytes after one append = %d, want %d", got, 5*storage.PageSize)
+	}
+}
+
+// Property: random record contents round-trip positionally through
+// Append/Get across extent boundaries and under buffer churn.
+func TestFactFileQuickRoundtrip(t *testing.T) {
+	f := func(seed int64, count uint16) bool {
+		bp := storage.NewBufferPool(storage.NewMemDiskManager(), 4)
+		ff, err := Create(bp, 24, 2)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%2000 + 1
+		recs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			rec := make([]byte, 24)
+			rng.Read(rec)
+			recs[i] = rec
+			if _, err := ff.Append(rec); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < 50; i++ {
+			j := uint64(rng.Intn(n))
+			got, err := ff.Get(j, nil)
+			if err != nil || !bytes.Equal(got, recs[j]) {
+				return false
+			}
+		}
+		return bp.PinnedPages() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package heap implements slotted-page heap files: variable-length record
+// storage addressed by RID (page, slot). Dimension tables are stored in
+// heap files, exactly the structure whose per-tuple overhead the paper's
+// "fact file" exists to avoid for the fact table.
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Data page layout:
+//
+//	[0:8)   next data page id
+//	[8:10)  slot count
+//	[10:12) free-end offset (records are packed downward from PageSize)
+//	[12:)   slot array: 2-byte record offset + 2-byte record length
+//
+// A slot with offset 0 is a tombstone (page offsets below the slot array
+// are never 0).
+const (
+	pageNextOff     = 0
+	pageSlotCntOff  = 8
+	pageFreeEndOff  = 10
+	pageSlotsOff    = 12
+	slotSize        = 4
+	tombstoneOffset = 0
+
+	// MaxRecordSize is the largest record a heap file accepts.
+	MaxRecordSize = storage.PageSize - pageSlotsOff - slotSize
+)
+
+// Header page layout:
+//
+//	[0:8)   first data page id
+//	[8:16)  last data page id
+//	[16:24) number of data pages
+//	[24:32) live tuple count
+const (
+	hdrFirstOff  = 0
+	hdrLastOff   = 8
+	hdrNPagesOff = 16
+	hdrNTupsOff  = 24
+)
+
+// RID addresses a record within a heap file.
+type RID struct {
+	Page storage.PageID
+	Slot uint16
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("rid(%d,%d)", uint64(r.Page), r.Slot) }
+
+// ErrNotFound is returned for RIDs that do not address a live record.
+var ErrNotFound = errors.New("heap: record not found")
+
+// File is a heap file. It is addressed by the page id of its header page,
+// which callers persist (in the catalog or a superblock root).
+type File struct {
+	bp  *storage.BufferPool
+	hdr storage.PageID
+}
+
+// Create allocates a new empty heap file and returns it. The returned
+// file's Root() must be recorded by the caller to reopen it later.
+func Create(bp *storage.BufferPool) (*File, error) {
+	id, buf, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	storage.PutUint64(buf, hdrFirstOff, uint64(storage.InvalidPageID))
+	storage.PutUint64(buf, hdrLastOff, uint64(storage.InvalidPageID))
+	storage.PutUint64(buf, hdrNPagesOff, 0)
+	storage.PutUint64(buf, hdrNTupsOff, 0)
+	if err := bp.Unpin(id, true); err != nil {
+		return nil, err
+	}
+	return &File{bp: bp, hdr: id}, nil
+}
+
+// Open returns a heap file rooted at hdr.
+func Open(bp *storage.BufferPool, hdr storage.PageID) *File {
+	return &File{bp: bp, hdr: hdr}
+}
+
+// Root returns the header page id identifying this file.
+func (f *File) Root() storage.PageID { return f.hdr }
+
+// NumTuples reports the number of live records.
+func (f *File) NumTuples() (uint64, error) {
+	buf, err := f.bp.FetchPage(f.hdr)
+	if err != nil {
+		return 0, err
+	}
+	n := storage.GetUint64(buf, hdrNTupsOff)
+	return n, f.bp.Unpin(f.hdr, false)
+}
+
+// NumPages reports the number of data pages (excluding the header page).
+func (f *File) NumPages() (uint64, error) {
+	buf, err := f.bp.FetchPage(f.hdr)
+	if err != nil {
+		return 0, err
+	}
+	n := storage.GetUint64(buf, hdrNPagesOff)
+	return n, f.bp.Unpin(f.hdr, false)
+}
+
+// SizeBytes reports the on-disk footprint of the file in bytes (data
+// pages plus the header page). The storage study uses this to compare a
+// slotted table against the fact file and the compressed array.
+func (f *File) SizeBytes() (int64, error) {
+	n, err := f.NumPages()
+	if err != nil {
+		return 0, err
+	}
+	return int64(n+1) * storage.PageSize, nil
+}
+
+func pageFree(buf []byte) int {
+	slots := int(storage.GetUint16(buf, pageSlotCntOff))
+	freeEnd := int(storage.GetUint16(buf, pageFreeEndOff))
+	return freeEnd - (pageSlotsOff + slots*slotSize)
+}
+
+func initDataPage(buf []byte) {
+	storage.PutUint64(buf, pageNextOff, uint64(storage.InvalidPageID))
+	storage.PutUint16(buf, pageSlotCntOff, 0)
+	storage.PutUint16(buf, pageFreeEndOff, storage.PageSize)
+}
+
+// Insert appends a record and returns its RID.
+func (f *File) Insert(rec []byte) (RID, error) {
+	if len(rec) > MaxRecordSize {
+		return RID{}, fmt.Errorf("heap: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	hdr, err := f.bp.FetchPageForWrite(f.hdr)
+	if err != nil {
+		return RID{}, err
+	}
+	last := storage.PageID(storage.GetUint64(hdr, hdrLastOff))
+
+	// Try the last data page first.
+	if last.Valid() {
+		buf, err := f.bp.FetchPageForWrite(last)
+		if err != nil {
+			f.bp.Unpin(f.hdr, false)
+			return RID{}, err
+		}
+		if pageFree(buf) >= len(rec)+slotSize {
+			rid := insertInto(buf, last, rec)
+			if err := f.bp.Unpin(last, true); err != nil {
+				f.bp.Unpin(f.hdr, false)
+				return RID{}, err
+			}
+			storage.PutUint64(hdr, hdrNTupsOff, storage.GetUint64(hdr, hdrNTupsOff)+1)
+			return rid, f.bp.Unpin(f.hdr, true)
+		}
+		if err := f.bp.Unpin(last, false); err != nil {
+			f.bp.Unpin(f.hdr, false)
+			return RID{}, err
+		}
+	}
+
+	// Allocate a fresh data page and link it in.
+	newID, buf, err := f.bp.NewPage()
+	if err != nil {
+		f.bp.Unpin(f.hdr, false)
+		return RID{}, err
+	}
+	initDataPage(buf)
+	rid := insertInto(buf, newID, rec)
+	if err := f.bp.Unpin(newID, true); err != nil {
+		f.bp.Unpin(f.hdr, false)
+		return RID{}, err
+	}
+
+	if last.Valid() {
+		lbuf, err := f.bp.FetchPageForWrite(last)
+		if err != nil {
+			f.bp.Unpin(f.hdr, false)
+			return RID{}, err
+		}
+		storage.PutUint64(lbuf, pageNextOff, uint64(newID))
+		if err := f.bp.Unpin(last, true); err != nil {
+			f.bp.Unpin(f.hdr, false)
+			return RID{}, err
+		}
+	} else {
+		storage.PutUint64(hdr, hdrFirstOff, uint64(newID))
+	}
+	storage.PutUint64(hdr, hdrLastOff, uint64(newID))
+	storage.PutUint64(hdr, hdrNPagesOff, storage.GetUint64(hdr, hdrNPagesOff)+1)
+	storage.PutUint64(hdr, hdrNTupsOff, storage.GetUint64(hdr, hdrNTupsOff)+1)
+	return rid, f.bp.Unpin(f.hdr, true)
+}
+
+// insertInto places rec on the page, which must have room.
+func insertInto(buf []byte, pid storage.PageID, rec []byte) RID {
+	slots := int(storage.GetUint16(buf, pageSlotCntOff))
+	freeEnd := int(storage.GetUint16(buf, pageFreeEndOff))
+	off := freeEnd - len(rec)
+	copy(buf[off:freeEnd], rec)
+	slotOff := pageSlotsOff + slots*slotSize
+	storage.PutUint16(buf, slotOff, uint16(off))
+	storage.PutUint16(buf, slotOff+2, uint16(len(rec)))
+	storage.PutUint16(buf, pageSlotCntOff, uint16(slots+1))
+	storage.PutUint16(buf, pageFreeEndOff, uint16(off))
+	return RID{Page: pid, Slot: uint16(slots)}
+}
+
+// Get returns a copy of the record at rid.
+func (f *File) Get(rid RID) ([]byte, error) {
+	buf, err := f.bp.FetchPage(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer f.bp.Unpin(rid.Page, false)
+	slots := int(storage.GetUint16(buf, pageSlotCntOff))
+	if int(rid.Slot) >= slots {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	slotOff := pageSlotsOff + int(rid.Slot)*slotSize
+	off := int(storage.GetUint16(buf, slotOff))
+	if off == tombstoneOffset {
+		return nil, fmt.Errorf("%w: %v (deleted)", ErrNotFound, rid)
+	}
+	n := int(storage.GetUint16(buf, slotOff+2))
+	out := make([]byte, n)
+	copy(out, buf[off:off+n])
+	return out, nil
+}
+
+// Update rewrites the record at rid in place. The new record must have
+// the same length as the old one (the engine stores fixed-layout records,
+// so this is not a practical restriction).
+func (f *File) Update(rid RID, rec []byte) error {
+	buf, err := f.bp.FetchPageForWrite(rid.Page)
+	if err != nil {
+		return err
+	}
+	slots := int(storage.GetUint16(buf, pageSlotCntOff))
+	if int(rid.Slot) >= slots {
+		f.bp.Unpin(rid.Page, false)
+		return fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	slotOff := pageSlotsOff + int(rid.Slot)*slotSize
+	off := int(storage.GetUint16(buf, slotOff))
+	n := int(storage.GetUint16(buf, slotOff+2))
+	if off == tombstoneOffset {
+		f.bp.Unpin(rid.Page, false)
+		return fmt.Errorf("%w: %v (deleted)", ErrNotFound, rid)
+	}
+	if n != len(rec) {
+		f.bp.Unpin(rid.Page, false)
+		return fmt.Errorf("heap: update length %d != stored length %d", len(rec), n)
+	}
+	copy(buf[off:off+n], rec)
+	return f.bp.Unpin(rid.Page, true)
+}
+
+// Delete tombstones the record at rid. The space is not reclaimed.
+func (f *File) Delete(rid RID) error {
+	buf, err := f.bp.FetchPageForWrite(rid.Page)
+	if err != nil {
+		return err
+	}
+	slots := int(storage.GetUint16(buf, pageSlotCntOff))
+	if int(rid.Slot) >= slots {
+		f.bp.Unpin(rid.Page, false)
+		return fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	slotOff := pageSlotsOff + int(rid.Slot)*slotSize
+	if storage.GetUint16(buf, slotOff) == tombstoneOffset {
+		f.bp.Unpin(rid.Page, false)
+		return fmt.Errorf("%w: %v (deleted)", ErrNotFound, rid)
+	}
+	storage.PutUint16(buf, slotOff, tombstoneOffset)
+	if err := f.bp.Unpin(rid.Page, true); err != nil {
+		return err
+	}
+	hdr, err := f.bp.FetchPageForWrite(f.hdr)
+	if err != nil {
+		return err
+	}
+	storage.PutUint64(hdr, hdrNTupsOff, storage.GetUint64(hdr, hdrNTupsOff)-1)
+	return f.bp.Unpin(f.hdr, true)
+}
+
+// Scan invokes fn for every live record in file order. The record slice
+// passed to fn is only valid during the call. Returning a non-nil error
+// from fn stops the scan and propagates the error; return ErrStopScan to
+// stop early without error.
+func (f *File) Scan(fn func(rid RID, rec []byte) error) error {
+	hdr, err := f.bp.FetchPage(f.hdr)
+	if err != nil {
+		return err
+	}
+	page := storage.PageID(storage.GetUint64(hdr, hdrFirstOff))
+	if err := f.bp.Unpin(f.hdr, false); err != nil {
+		return err
+	}
+	for page.Valid() {
+		buf, err := f.bp.FetchPage(page)
+		if err != nil {
+			return err
+		}
+		slots := int(storage.GetUint16(buf, pageSlotCntOff))
+		for s := 0; s < slots; s++ {
+			slotOff := pageSlotsOff + s*slotSize
+			off := int(storage.GetUint16(buf, slotOff))
+			if off == tombstoneOffset {
+				continue
+			}
+			n := int(storage.GetUint16(buf, slotOff+2))
+			if err := fn(RID{Page: page, Slot: uint16(s)}, buf[off:off+n]); err != nil {
+				f.bp.Unpin(page, false)
+				if errors.Is(err, ErrStopScan) {
+					return nil
+				}
+				return err
+			}
+		}
+		next := storage.PageID(storage.GetUint64(buf, pageNextOff))
+		if err := f.bp.Unpin(page, false); err != nil {
+			return err
+		}
+		page = next
+	}
+	return nil
+}
+
+// ErrStopScan stops a Scan early without reporting an error.
+var ErrStopScan = errors.New("heap: stop scan")

@@ -1,0 +1,289 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func newTestFile(t *testing.T, frames int) (*File, *storage.BufferPool) {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), frames)
+	f, err := Create(bp)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return f, bp
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	f, bp := newTestFile(t, 8)
+	recs := [][]byte{
+		[]byte("hello"),
+		[]byte(""),
+		bytes.Repeat([]byte("x"), 1000),
+	}
+	var rids []RID
+	for _, r := range recs {
+		rid, err := f.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		rids = append(rids, rid)
+	}
+	for i, rid := range rids {
+		got, err := f.Get(rid)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", rid, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("Get(%v) = %q, want %q", rid, got, recs[i])
+		}
+	}
+	n, err := f.NumTuples()
+	if err != nil || n != 3 {
+		t.Fatalf("NumTuples = (%d, %v), want 3", n, err)
+	}
+	if bp.PinnedPages() != 0 {
+		t.Fatalf("%d pages still pinned", bp.PinnedPages())
+	}
+}
+
+func TestHeapSpillsAcrossPages(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	rec := bytes.Repeat([]byte("a"), 3000) // ~2 per page
+	const n = 20
+	var rids []RID
+	for i := 0; i < n; i++ {
+		rec[0] = byte(i)
+		rid, err := f.Insert(rec)
+		if err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		rids = append(rids, rid)
+	}
+	pages, err := f.NumPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages < 8 {
+		t.Fatalf("only %d data pages for %d x 3000-byte records", pages, n)
+	}
+	for i, rid := range rids {
+		got, err := f.Get(rid)
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if got[0] != byte(i) || len(got) != 3000 {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func TestHeapScanOrderAndContent(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	const n = 500
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d", i))
+		if _, err := f.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	err := f.Scan(func(rid RID, rec []byte) error {
+		want := fmt.Sprintf("record-%04d", i)
+		if string(rec) != want {
+			return fmt.Errorf("scan item %d = %q, want %q", i, rec, want)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scan visited %d records, want %d", i, n)
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	for i := 0; i < 10; i++ {
+		if _, err := f.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	err := f.Scan(func(rid RID, rec []byte) error {
+		seen++
+		if seen == 3 {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan with early stop: %v", err)
+	}
+	if seen != 3 {
+		t.Fatalf("scan visited %d records after stop, want 3", seen)
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	rid, err := f.Insert([]byte("aaaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(rid, []byte("bbbb")); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	got, err := f.Get(rid)
+	if err != nil || string(got) != "bbbb" {
+		t.Fatalf("Get after update = (%q, %v)", got, err)
+	}
+	if err := f.Update(rid, []byte("toolong")); err == nil {
+		t.Fatal("Update with different length succeeded")
+	}
+	if err := f.Update(RID{Page: rid.Page, Slot: 99}, []byte("bbbb")); err == nil {
+		t.Fatal("Update of bogus slot succeeded")
+	}
+}
+
+func TestHeapDelete(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	a, _ := f.Insert([]byte("a"))
+	b, _ := f.Insert([]byte("b"))
+	c, _ := f.Insert([]byte("c"))
+	if err := f.Delete(b); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := f.Get(b); err == nil {
+		t.Fatal("Get of deleted record succeeded")
+	}
+	if err := f.Delete(b); err == nil {
+		t.Fatal("double Delete succeeded")
+	}
+	n, _ := f.NumTuples()
+	if n != 2 {
+		t.Fatalf("NumTuples after delete = %d, want 2", n)
+	}
+	var seen []string
+	f.Scan(func(rid RID, rec []byte) error {
+		seen = append(seen, string(rec))
+		return nil
+	})
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "c" {
+		t.Fatalf("scan after delete = %v", seen)
+	}
+	_, _ = a, c
+}
+
+func TestHeapRejectsOversizedRecord(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	if _, err := f.Insert(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized insert succeeded")
+	}
+	if _, err := f.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Fatalf("max-size insert failed: %v", err)
+	}
+}
+
+func TestHeapSizeBytes(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	sz, err := f.SizeBytes()
+	if err != nil || sz != storage.PageSize { // header only
+		t.Fatalf("empty SizeBytes = (%d, %v)", sz, err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Insert(bytes.Repeat([]byte("x"), 3000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz, err = f.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, _ := f.NumPages()
+	if sz != int64(pages+1)*storage.PageSize {
+		t.Fatalf("SizeBytes = %d with %d data pages", sz, pages)
+	}
+}
+
+func TestHeapReopenByRoot(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemDiskManager(), 8)
+	f, err := Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := f.Insert([]byte("persisted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := f.Root()
+
+	f2 := Open(bp, root)
+	got, err := f2.Get(rid)
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("Get after reopen = (%q, %v)", got, err)
+	}
+}
+
+func TestHeapGetErrors(t *testing.T) {
+	f, _ := newTestFile(t, 8)
+	rid, _ := f.Insert([]byte("x"))
+	if _, err := f.Get(RID{Page: rid.Page, Slot: 5}); err == nil {
+		t.Fatal("Get of out-of-range slot succeeded")
+	}
+	if RID.String(rid) == "" {
+		t.Fatal("RID.String empty")
+	}
+}
+
+// Property: a random sequence of inserts is fully recoverable by Get and
+// by Scan, in order, under heavy page churn (tiny buffer pool).
+func TestHeapQuickInsertRoundtrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		bp := storage.NewBufferPool(storage.NewMemDiskManager(), 4)
+		hf, err := Create(bp)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%64 + 1
+		recs := make([][]byte, n)
+		rids := make([]RID, n)
+		for i := 0; i < n; i++ {
+			rec := make([]byte, rng.Intn(2048))
+			rng.Read(rec)
+			recs[i] = rec
+			rid, err := hf.Insert(rec)
+			if err != nil {
+				return false
+			}
+			rids[i] = rid
+		}
+		for i := range recs {
+			got, err := hf.Get(rids[i])
+			if err != nil || !bytes.Equal(got, recs[i]) {
+				return false
+			}
+		}
+		i := 0
+		err = hf.Scan(func(rid RID, rec []byte) error {
+			if rid != rids[i] || !bytes.Equal(rec, recs[i]) {
+				return fmt.Errorf("mismatch at %d", i)
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == n && bp.PinnedPages() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

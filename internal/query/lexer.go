@@ -1,0 +1,108 @@
+// Package query implements a small SQL subset covering the paper's query
+// templates (Queries 1-3 in §5.2): consolidation queries over a star
+// schema — SELECT with one aggregate and group attributes, FROM the fact
+// and dimension tables, WHERE with star-join equi-predicates and equality
+// (or IN-list) selections on dimension attributes, and GROUP BY.
+//
+// Parsed queries are compiled against a catalog.StarSchema into the
+// engine-neutral core.GroupSpec / core.Selection form that every
+// evaluation algorithm consumes.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // ( ) , . = *
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lowercased; strings unquoted
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes the input. Identifiers are case-folded; string literals
+// accept single or double quotes with doubled-quote escaping.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'' || c == '"':
+			quote := byte(c)
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+				}
+				if input[j] == quote {
+					if j+1 < len(input) && input[j+1] == quote {
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case isIdentStart(c):
+			j := i
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			out = append(out, token{kind: tokIdent, text: strings.ToLower(input[i:j]), pos: i})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i + 1
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9') {
+				j++
+			}
+			out = append(out, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case strings.ContainsRune("(),.=*", c):
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(input)})
+	return out, nil
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}

@@ -1,0 +1,278 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// AttrRef is a possibly-qualified attribute reference (table.attr or
+// attr).
+type AttrRef struct {
+	Table string // empty when unqualified
+	Attr  string
+}
+
+// String implements fmt.Stringer.
+func (r AttrRef) String() string {
+	if r.Table == "" {
+		return r.Attr
+	}
+	return r.Table + "." + r.Attr
+}
+
+// JoinPred is an equi-join predicate between two attribute references.
+type JoinPred struct {
+	Left, Right AttrRef
+}
+
+// SelPred is a selection predicate: attribute equals (or is in) a set of
+// string literals.
+type SelPred struct {
+	Attr   AttrRef
+	Values []string
+}
+
+// AggCall is one aggregate in the select list.
+type AggCall struct {
+	Func core.AggFunc
+	Arg  string // measure name, or "*" for count(*)
+}
+
+// Query is the parsed form of a consolidation query.
+type Query struct {
+	Aggs       []AggCall
+	Select     []AttrRef
+	Tables     []string
+	Joins      []JoinPred
+	Selections []SelPred
+	GroupBy    []AttrRef
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one consolidation query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKeyword consumes the identifier kw if it is next.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("query: expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+// acceptSymbol consumes the symbol s if it is next.
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("query: expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", fmt.Errorf("query: expected identifier, found %s", p.peek())
+}
+
+// parseAttrRef parses ident or ident.ident.
+func (p *parser) parseAttrRef() (AttrRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return AttrRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		second, err := p.expectIdent()
+		if err != nil {
+			return AttrRef{}, err
+		}
+		return AttrRef{Table: first, Attr: second}, nil
+	}
+	return AttrRef{Attr: first}, nil
+}
+
+var aggNames = map[string]core.AggFunc{
+	"sum":   core.Sum,
+	"count": core.Count,
+	"min":   core.Min,
+	"max":   core.Max,
+	"avg":   core.Avg,
+}
+
+// parseQuery parses the full statement.
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	// Select list: aggregate calls and attribute refs, in any mix.
+	for {
+		t := p.peek()
+		if t.kind == tokIdent {
+			if agg, isAgg := aggNames[t.text]; isAgg && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+				p.pos += 2 // consume name and "("
+				call := AggCall{Func: agg}
+				if p.acceptSymbol("*") {
+					call.Arg = "*"
+				} else {
+					arg, err := p.expectIdent()
+					if err != nil {
+						return nil, err
+					}
+					call.Arg = arg
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				q.Aggs = append(q.Aggs, call)
+			} else {
+				ref, err := p.parseAttrRef()
+				if err != nil {
+					return nil, err
+				}
+				q.Select = append(q.Select, ref)
+			}
+		} else {
+			return nil, fmt.Errorf("query: expected select item, found %s", t)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("query: select list needs an aggregate function")
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.Tables = append(q.Tables, name)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("where") {
+		for {
+			if err := p.parsePredicate(q); err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("and") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseAttrRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, ref)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+// parsePredicate parses one WHERE conjunct: a join predicate
+// (attr = attr), a selection (attr = 'literal'), or an IN list
+// (attr in ('a', 'b')).
+func (p *parser) parsePredicate(q *Query) error {
+	left, err := p.parseAttrRef()
+	if err != nil {
+		return err
+	}
+	if p.acceptKeyword("in") {
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		var vals []string
+		for {
+			t := p.next()
+			if t.kind != tokString {
+				return fmt.Errorf("query: expected string literal in IN list, found %s", t)
+			}
+			vals = append(vals, t.text)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+		q.Selections = append(q.Selections, SelPred{Attr: left, Values: vals})
+		return nil
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.pos++
+		q.Selections = append(q.Selections, SelPred{Attr: left, Values: []string{t.text}})
+		return nil
+	case tokIdent:
+		right, err := p.parseAttrRef()
+		if err != nil {
+			return err
+		}
+		q.Joins = append(q.Joins, JoinPred{Left: left, Right: right})
+		return nil
+	default:
+		return fmt.Errorf("query: expected attribute or string after '=', found %s", t)
+	}
+}

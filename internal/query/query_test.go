@@ -1,0 +1,304 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+func paperSchema() *catalog.StarSchema {
+	return &catalog.StarSchema{
+		Fact: catalog.FactSchema{Name: "fact", Dims: []string{"dim0", "dim1", "dim2", "dim3"}, Measure: "volume"},
+		Dimensions: []catalog.DimensionSchema{
+			{Name: "dim0", Key: "d0", Attrs: []string{"h01", "h02"}},
+			{Name: "dim1", Key: "d1", Attrs: []string{"h11", "h12"}},
+			{Name: "dim2", Key: "d2", Attrs: []string{"h21", "h22"}},
+			{Name: "dim3", Key: "d3", Attrs: []string{"h31", "h32"}},
+		},
+	}
+}
+
+// The paper's Query 1 verbatim (modulo the fact table listing all dims).
+const query1 = `
+select sum(volume), dim0.h01, dim1.h11, dim2.h21, dim3.h31
+from   fact, dim0, dim1, dim2, dim3
+where  fact.d0 = dim0.d0 and fact.d1 = dim1.d1 and
+       fact.d2 = dim2.d2 and fact.d3 = dim3.d3
+group by h01, h11, h21, h31`
+
+const query2 = `
+select sum(volume), dim0.h01, dim1.h11, dim2.h21, dim3.h31
+from   fact, dim0, dim1, dim2, dim3
+where  fact.d0 = dim0.d0 and fact.d1 = dim1.d1 and
+       fact.d2 = dim2.d2 and fact.d3 = dim3.d3 and
+       dim0.h02 = 'AA1' and dim1.h12 = 'AA2' and
+       dim2.h22 = 'AA3' and dim3.h32 = 'AA1'
+group by h01, h11, h21, h31`
+
+const query3 = `
+select sum(volume), dim0.h01, dim1.h11, dim2.h21
+from   fact, dim0, dim1, dim2
+where  fact.d0 = dim0.d0 and fact.d1 = dim1.d1 and fact.d2 = dim2.d2 and
+       dim0.h02 = 'AA1' and dim1.h12 = 'AA2' and dim2.h22 = 'AA3'
+group by h01, h11, h21`
+
+func TestLexer(t *testing.T) {
+	toks, err := lex(`select SUM(volume), a.b = 'it''s' "x" 42 IN (,)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"select", "sum", "(", "volume", ")", ",", "a", ".", "b", "=", "it's", "x", "42", "in", "(", ",", ")", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("lexed %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %v)", i, texts[i], want[i], texts)
+		}
+	}
+	if kinds[1] != tokIdent || kinds[10] != tokString || kinds[12] != tokNumber {
+		t.Fatalf("kinds wrong: %v", kinds)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, bad := range []string{"select 'unterminated", "select @x"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseQuery1(t *testing.T) {
+	q, err := Parse(query1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Func != core.Sum || q.Aggs[0].Arg != "volume" {
+		t.Fatalf("aggs = %+v", q.Aggs)
+	}
+	if len(q.Select) != 4 || q.Select[0].Table != "dim0" || q.Select[0].Attr != "h01" {
+		t.Fatalf("select = %v", q.Select)
+	}
+	if len(q.Tables) != 5 || q.Tables[0] != "fact" {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if len(q.Joins) != 4 || len(q.Selections) != 0 {
+		t.Fatalf("joins=%d selections=%d", len(q.Joins), len(q.Selections))
+	}
+	if len(q.GroupBy) != 4 || q.GroupBy[3].Attr != "h31" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestParseQuery2Selections(t *testing.T) {
+	q, err := Parse(query2)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Selections) != 4 {
+		t.Fatalf("selections = %v", q.Selections)
+	}
+	if q.Selections[0].Attr.String() != "dim0.h02" || q.Selections[0].Values[0] != "AA1" {
+		t.Fatalf("selection 0 = %+v", q.Selections[0])
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	q, err := Parse(`select sum(volume) from fact, dim0 where dim0.h01 in ('a', 'b', 'c') group by h02`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selections) != 1 || len(q.Selections[0].Values) != 3 || q.Selections[0].Values[2] != "c" {
+		t.Fatalf("IN list = %+v", q.Selections)
+	}
+}
+
+func TestParseMultipleAggregates(t *testing.T) {
+	q, err := Parse(`select sum(volume), count(*), min(volume), max(volume), avg(volume), h01
+	                 from fact, dim0 group by h01`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggs) != 5 {
+		t.Fatalf("aggs = %+v", q.Aggs)
+	}
+	want := []core.AggFunc{core.Sum, core.Count, core.Min, core.Max, core.Avg}
+	for i, w := range want {
+		if q.Aggs[i].Func != w {
+			t.Fatalf("agg %d = %v, want %v", i, q.Aggs[i].Func, w)
+		}
+	}
+	spec, err := Compile(q, paperSchema())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(spec.Aggs) != 5 || spec.Agg() != core.Sum {
+		t.Fatalf("spec aggs = %v", spec.Aggs)
+	}
+	if (&Spec{}).Agg() != core.Sum {
+		t.Fatal("empty Spec.Agg() default wrong")
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q, err := Parse(`select count(*) from fact`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Func != core.Count || q.Aggs[0].Arg != "*" {
+		t.Fatalf("count(*) = %+v", q.Aggs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"update fact set x = 1",
+		"select volume from fact", // no aggregate
+		"select sum(volume) sum(volume) from fact",      // junk
+		"select sum(volume), from fact",                 // dangling comma
+		"select sum(volume) from fact where d0 = ",      // missing rhs
+		"select sum(volume) from fact where d0 = 42",    // numeric literal rhs
+		"select sum(volume) from fact group by",         // empty group by
+		"select sum(volume) from fact group x",          // missing BY
+		"select sum(volume) from fact where x in (1)",   // non-string IN
+		"select sum(volume) from fact where x in ('a'",  // unclosed IN
+		"select sum(volume) from fact extra",            // trailing tokens
+		"select sum(volume from fact",                   // unclosed call
+		"select sum(volume) from fact where a..b = 'x'", // bad ref
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestCompileQuery1(t *testing.T) {
+	spec, err := ParseAndCompile(query1, paperSchema())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if spec.Agg() != core.Sum || len(spec.Aggs) != 1 {
+		t.Fatalf("aggs = %v", spec.Aggs)
+	}
+	if len(spec.Group) != 4 {
+		t.Fatalf("group spec = %v", spec.Group)
+	}
+	for i, g := range spec.Group {
+		if g.Target != core.GroupByLevel || g.Level != 0 {
+			t.Fatalf("group[%d] = %+v, want level 0", i, g)
+		}
+	}
+	if len(spec.Selections) != 0 {
+		t.Fatalf("selections = %v", spec.Selections)
+	}
+	wantAttrs := []string{"h01", "h11", "h21", "h31"}
+	for i, a := range wantAttrs {
+		if spec.GroupAttrs[i] != a {
+			t.Fatalf("GroupAttrs = %v", spec.GroupAttrs)
+		}
+	}
+}
+
+func TestCompileQuery2(t *testing.T) {
+	spec, err := ParseAndCompile(query2, paperSchema())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(spec.Selections) != 4 {
+		t.Fatalf("selections = %v", spec.Selections)
+	}
+	for i, s := range spec.Selections {
+		if s.Dim != i || s.Level != 1 {
+			t.Fatalf("selection %d = %+v, want dim %d level 1", i, s, i)
+		}
+	}
+}
+
+func TestCompileQuery3CollapsesDim3(t *testing.T) {
+	spec, err := ParseAndCompile(query3, paperSchema())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if spec.Group[3].Target != core.Collapse {
+		t.Fatalf("dim3 should collapse: %+v", spec.Group)
+	}
+	if len(spec.Selections) != 3 {
+		t.Fatalf("selections = %v", spec.Selections)
+	}
+	if len(spec.GroupAttrs) != 3 {
+		t.Fatalf("GroupAttrs = %v", spec.GroupAttrs)
+	}
+}
+
+func TestCompileGroupByKey(t *testing.T) {
+	spec, err := ParseAndCompile(
+		`select sum(volume), d0 from fact, dim0 group by d0`, paperSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Group[0].Target != core.GroupByKey {
+		t.Fatalf("group[0] = %+v", spec.Group[0])
+	}
+}
+
+func TestCompileUnqualifiedSelection(t *testing.T) {
+	spec, err := ParseAndCompile(
+		`select sum(volume) from fact, dim1 where h12 = 'AA7' group by h11`, paperSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Selections) != 1 || spec.Selections[0].Dim != 1 || spec.Selections[0].Level != 1 {
+		t.Fatalf("selections = %+v", spec.Selections)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	schema := paperSchema()
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`select sum(volume) from nosuch`, "unknown table"},
+		{`select sum(volume) from dim0`, "fact table"},
+		{`select sum(price) from fact`, "not the measure"},
+		{`select min(*) from fact`, "count(*)"},
+		{`select sum(volume) from fact, dim0 where dim0.h01 = dim0.h02`, "unsupported join"},
+		{`select sum(volume) from fact, dim0 where dim0.d0 = 'x'`, "key attribute"},
+		{`select sum(volume) from fact, dim0 group by h01, h02`, "grouped twice"},
+		{`select sum(volume), dim0.h02 from fact, dim0 group by h01`, "not in GROUP BY"},
+		{`select sum(volume) from fact where h01 = 'x'`, "in FROM"},
+		{`select sum(volume) from fact, dim0 where dim0.zzz = 'x'`, "no attribute"},
+		{`select sum(volume) from fact, dim0 where fact.zzz = dim0.d0`, "no column"},
+		{`select sum(volume) from fact group by zzz`, "unknown attribute"},
+	}
+	for _, c := range cases {
+		_, err := ParseAndCompile(c.sql, schema)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error %q, want substring %q", c.sql, err, c.want)
+		}
+	}
+	if _, err := Compile(&Query{}, nil); err == nil {
+		t.Error("Compile with nil schema succeeded")
+	}
+}
+
+func TestAttrRefString(t *testing.T) {
+	if (AttrRef{Attr: "x"}).String() != "x" || (AttrRef{Table: "t", Attr: "x"}).String() != "t.x" {
+		t.Fatal("AttrRef.String wrong")
+	}
+}

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func testDiskManagers(t *testing.T, f func(t *testing.T, d DiskManager)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		f(t, NewMemDiskManager())
+	})
+	t.Run("file", func(t *testing.T) {
+		d, err := OpenFileDiskManager(filepath.Join(t.TempDir(), "vol.db"))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer d.Close()
+		f(t, d)
+	})
+}
+
+func TestDiskAllocateReadWrite(t *testing.T) {
+	testDiskManagers(t, func(t *testing.T, d DiskManager) {
+		if got := d.NumPages(); got != 0 {
+			t.Fatalf("NumPages on empty volume = %d, want 0", got)
+		}
+		first, err := d.Allocate(3)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		if first != 0 {
+			t.Fatalf("first allocation = %v, want page 0", first)
+		}
+		if got := d.NumPages(); got != 3 {
+			t.Fatalf("NumPages = %d, want 3", got)
+		}
+
+		out := make([]byte, PageSize)
+		for i := byte(0); i < 3; i++ {
+			buf := bytes.Repeat([]byte{i + 1}, PageSize)
+			if err := d.WritePage(PageID(i), buf); err != nil {
+				t.Fatalf("WritePage(%d): %v", i, err)
+			}
+			if err := d.ReadPage(PageID(i), out); err != nil {
+				t.Fatalf("ReadPage(%d): %v", i, err)
+			}
+			if !bytes.Equal(out, buf) {
+				t.Fatalf("page %d roundtrip mismatch", i)
+			}
+		}
+	})
+}
+
+func TestDiskFreshPagesAreZero(t *testing.T) {
+	testDiskManagers(t, func(t *testing.T, d DiskManager) {
+		id, err := d.Allocate(2)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		buf := make([]byte, PageSize)
+		zero := make([]byte, PageSize)
+		for p := id; p < id+2; p++ {
+			if err := d.ReadPage(p, buf); err != nil {
+				t.Fatalf("ReadPage(%v): %v", p, err)
+			}
+			if !bytes.Equal(buf, zero) {
+				t.Fatalf("fresh page %v not zero-filled", p)
+			}
+		}
+	})
+}
+
+func TestDiskOutOfRangeErrors(t *testing.T) {
+	testDiskManagers(t, func(t *testing.T, d DiskManager) {
+		buf := make([]byte, PageSize)
+		if err := d.ReadPage(5, buf); err == nil {
+			t.Fatal("ReadPage past end succeeded, want error")
+		}
+		if err := d.WritePage(5, buf); err == nil {
+			t.Fatal("WritePage past end succeeded, want error")
+		}
+	})
+}
+
+func TestDiskShortBufferErrors(t *testing.T) {
+	testDiskManagers(t, func(t *testing.T, d DiskManager) {
+		if _, err := d.Allocate(1); err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		short := make([]byte, 16)
+		if err := d.ReadPage(0, short); err == nil {
+			t.Fatal("ReadPage with short buffer succeeded")
+		}
+		if err := d.WritePage(0, short); err == nil {
+			t.Fatal("WritePage with short buffer succeeded")
+		}
+	})
+}
+
+func TestDiskAllocateRejectsNonPositive(t *testing.T) {
+	testDiskManagers(t, func(t *testing.T, d DiskManager) {
+		if _, err := d.Allocate(0); err == nil {
+			t.Fatal("Allocate(0) succeeded")
+		}
+		if _, err := d.Allocate(-1); err == nil {
+			t.Fatal("Allocate(-1) succeeded")
+		}
+	})
+}
+
+func TestFileDiskPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.db")
+	d, err := OpenFileDiskManager(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := d.Allocate(2); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, PageSize)
+	if err := d.WritePage(1, want); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2, err := OpenFileDiskManager(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if got := d2.NumPages(); got != 2 {
+		t.Fatalf("NumPages after reopen = %d, want 2", got)
+	}
+	buf := make([]byte, PageSize)
+	if err := d2.ReadPage(1, buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("page contents lost across reopen")
+	}
+}
+
+func TestPageIDString(t *testing.T) {
+	if got := PageID(7).String(); got != "page(7)" {
+		t.Errorf("PageID(7).String() = %q", got)
+	}
+	if got := InvalidPageID.String(); got != "page(<invalid>)" {
+		t.Errorf("InvalidPageID.String() = %q", got)
+	}
+	if InvalidPageID.Valid() {
+		t.Error("InvalidPageID reports Valid")
+	}
+	if !PageID(0).Valid() {
+		t.Error("page 0 reports invalid")
+	}
+}
+
+func TestIntCodecRoundtrip(t *testing.T) {
+	buf := make([]byte, 32)
+	PutUint16(buf, 0, 0xBEEF)
+	PutUint32(buf, 2, 0xDEADBEEF)
+	PutUint64(buf, 6, 0x0123456789ABCDEF)
+	PutInt64(buf, 14, -42)
+	if GetUint16(buf, 0) != 0xBEEF {
+		t.Error("uint16 roundtrip failed")
+	}
+	if GetUint32(buf, 2) != 0xDEADBEEF {
+		t.Error("uint32 roundtrip failed")
+	}
+	if GetUint64(buf, 6) != 0x0123456789ABCDEF {
+		t.Error("uint64 roundtrip failed")
+	}
+	if GetInt64(buf, 14) != -42 {
+		t.Error("int64 roundtrip failed")
+	}
+}

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// faultDisk wraps a DiskManager and fails operations once a countdown
+// expires, for error-propagation testing.
+type faultDisk struct {
+	mu        sync.Mutex
+	inner     DiskManager
+	failAfter int // ops until failure; -1 = never
+	err       error
+}
+
+var errInjected = errors.New("injected disk fault")
+
+func newFaultDisk(inner DiskManager, failAfter int) *faultDisk {
+	return &faultDisk{inner: inner, failAfter: failAfter, err: errInjected}
+}
+
+func (d *faultDisk) tick() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failAfter < 0 {
+		return nil
+	}
+	if d.failAfter == 0 {
+		return d.err
+	}
+	d.failAfter--
+	return nil
+}
+
+func (d *faultDisk) ReadPage(id PageID, buf []byte) error {
+	if err := d.tick(); err != nil {
+		return err
+	}
+	return d.inner.ReadPage(id, buf)
+}
+
+func (d *faultDisk) WritePage(id PageID, buf []byte) error {
+	if err := d.tick(); err != nil {
+		return err
+	}
+	return d.inner.WritePage(id, buf)
+}
+
+func (d *faultDisk) Allocate(n int) (PageID, error) {
+	if err := d.tick(); err != nil {
+		return InvalidPageID, err
+	}
+	return d.inner.Allocate(n)
+}
+
+func (d *faultDisk) NumPages() uint64 { return d.inner.NumPages() }
+func (d *faultDisk) Sync() error      { return d.inner.Sync() }
+func (d *faultDisk) Close() error     { return d.inner.Close() }
+
+// TestBufferPoolSurfacesDiskFaults drives the pool until the injected
+// fault fires on every path: fetch, eviction write-back, allocation.
+func TestBufferPoolSurfacesDiskFaults(t *testing.T) {
+	// Fetch failure.
+	fd := newFaultDisk(NewMemDiskManager(), -1)
+	bp := NewBufferPool(fd, 2)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, true)
+	if err := bp.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	fd.mu.Lock()
+	fd.failAfter = 0
+	fd.mu.Unlock()
+	if _, err := bp.FetchPage(id); !errors.Is(err, errInjected) {
+		t.Fatalf("FetchPage fault = %v", err)
+	}
+	fd.mu.Lock()
+	fd.failAfter = -1
+	fd.mu.Unlock()
+
+	// Eviction write-back failure: fill both frames dirty, then make
+	// the next write fail while bringing in a third page.
+	a, _, _ := bp.NewPage()
+	bp.Unpin(a, true)
+	b, _, _ := bp.NewPage()
+	bp.Unpin(b, true)
+	fd.mu.Lock()
+	fd.failAfter = 1 // allocation of the third page succeeds, write-back fails
+	fd.mu.Unlock()
+	if _, _, err := bp.NewPage(); !errors.Is(err, errInjected) {
+		t.Fatalf("eviction fault = %v", err)
+	}
+	fd.mu.Lock()
+	fd.failAfter = -1
+	fd.mu.Unlock()
+
+	// FlushAll failure.
+	fd.mu.Lock()
+	fd.failAfter = 0
+	fd.mu.Unlock()
+	if err := bp.FlushAll(); !errors.Is(err, errInjected) {
+		t.Fatalf("FlushAll fault = %v", err)
+	}
+}
+
+// TestLOBSurfacesDiskFaults checks blob read/write error propagation.
+func TestLOBSurfacesDiskFaults(t *testing.T) {
+	fd := newFaultDisk(NewMemDiskManager(), -1)
+	bp := NewBufferPool(fd, 4)
+	s := NewLOBStore(bp)
+	data := make([]byte, 3*PageSize)
+	ref, _, err := s.Write(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	fd.mu.Lock()
+	fd.failAfter = 2
+	fd.mu.Unlock()
+	if _, err := s.Read(ref); !errors.Is(err, errInjected) {
+		t.Fatalf("blob read fault = %v", err)
+	}
+	fd.mu.Lock()
+	fd.failAfter = 0
+	fd.mu.Unlock()
+	if _, _, err := s.Write(data); !errors.Is(err, errInjected) {
+		t.Fatalf("blob write fault = %v", err)
+	}
+}
+
+// failLogger injects WAL failures.
+type failLogger struct{ fail bool }
+
+func (l *failLogger) LogPageImage(PageID, []byte) error {
+	if l.fail {
+		return errInjected
+	}
+	return nil
+}
+
+func (l *failLogger) LogBeforeImage(PageID, []byte) error {
+	if l.fail {
+		return errInjected
+	}
+	return nil
+}
+
+// TestWriteAheadFailureBlocksVolumeWrite: if the logger fails, the dirty
+// page must NOT reach the volume.
+func TestWriteAheadFailureBlocksVolumeWrite(t *testing.T) {
+	disk := NewMemDiskManager()
+	bp := NewBufferPool(disk, 4)
+	lg := &failLogger{}
+	bp.SetPageLogger(lg)
+
+	id, buf, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0xAB
+	bp.Unpin(id, true)
+
+	lg.fail = true
+	if err := bp.FlushAll(); !errors.Is(err, errInjected) {
+		t.Fatalf("FlushAll with failing logger = %v", err)
+	}
+	raw := make([]byte, PageSize)
+	if err := disk.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] == 0xAB {
+		t.Fatal("page reached the volume despite write-ahead failure")
+	}
+
+	lg.fail = false
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	disk.ReadPage(id, raw)
+	if raw[0] != 0xAB {
+		t.Fatal("page lost after logger recovered")
+	}
+}
+
+// TestFetchPageForWriteLoggerFailure: a failing before-image logger must
+// abort the write fetch.
+func TestFetchPageForWriteLoggerFailure(t *testing.T) {
+	disk := NewMemDiskManager()
+	bp := NewBufferPool(disk, 4)
+	lg := &failLogger{}
+	bp.SetPageLogger(lg)
+
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	lg.fail = true
+	if _, err := bp.FetchPageForWrite(id); !errors.Is(err, errInjected) {
+		t.Fatalf("FetchPageForWrite with failing logger = %v", err)
+	}
+	lg.fail = false
+	got, err := bp.FetchPageForWrite(id)
+	if err != nil {
+		t.Fatalf("FetchPageForWrite after recovery: %v", err)
+	}
+	_ = got
+	bp.Unpin(id, false)
+}

@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// Large-object (blob) storage. A blob is written once and read many
+// times, which matches how the engine uses blobs: array chunks, serialized
+// bitmaps, and catalog metadata are all replaced wholesale rather than
+// updated in place. A blob is addressed by the page id of its first
+// directory page.
+//
+// Directory page layout:
+//
+//	[0:8)   next directory page id (InvalidPageID at end of chain)
+//	[8:16)  total blob length in bytes (meaningful on the first page only)
+//	[16:20) number of data-page entries on this directory page
+//	[20:)   data page ids, 8 bytes each
+const (
+	lobDirNextOff    = 0
+	lobDirLenOff     = 8
+	lobDirCountOff   = 16
+	lobDirEntriesOff = 20
+	lobDirMaxEntries = (PageSize - lobDirEntriesOff) / 8
+)
+
+// LOBRef addresses a stored blob.
+type LOBRef struct {
+	First PageID
+}
+
+// InvalidLOBRef is the zero reference.
+var InvalidLOBRef = LOBRef{First: InvalidPageID}
+
+// Valid reports whether the reference addresses a blob.
+func (r LOBRef) Valid() bool { return r.First.Valid() }
+
+// BlobPages returns the number of pages (directory + data) a blob of n
+// bytes occupies, matching what Write reports.
+func BlobPages(n int) int {
+	numData := (n + PageSize - 1) / PageSize
+	numDir := (numData + lobDirMaxEntries - 1) / lobDirMaxEntries
+	if numDir == 0 {
+		numDir = 1
+	}
+	return numData + numDir
+}
+
+// LOBStore reads and writes blobs through a buffer pool.
+type LOBStore struct {
+	bp *BufferPool
+}
+
+// NewLOBStore creates a blob store over bp.
+func NewLOBStore(bp *BufferPool) *LOBStore { return &LOBStore{bp: bp} }
+
+// Write stores data as a new blob and returns its reference and the total
+// number of pages the blob occupies (directory + data).
+func (s *LOBStore) Write(data []byte) (LOBRef, int, error) {
+	numData := (len(data) + PageSize - 1) / PageSize
+	pagesUsed := 0
+
+	// Write the data pages first, collecting their ids.
+	dataIDs := make([]PageID, 0, numData)
+	for off := 0; off < len(data); off += PageSize {
+		id, buf, err := s.bp.NewPage()
+		if err != nil {
+			return InvalidLOBRef, 0, err
+		}
+		n := copy(buf, data[off:])
+		_ = n
+		if err := s.bp.Unpin(id, true); err != nil {
+			return InvalidLOBRef, 0, err
+		}
+		dataIDs = append(dataIDs, id)
+		pagesUsed++
+	}
+
+	// Build the directory chain. The chain is created back to front so
+	// each directory page can record its successor when written.
+	numDir := (len(dataIDs) + lobDirMaxEntries - 1) / lobDirMaxEntries
+	if numDir == 0 {
+		numDir = 1 // empty blob still needs a head page for the length
+	}
+	next := InvalidPageID
+	var first PageID
+	for d := numDir - 1; d >= 0; d-- {
+		id, buf, err := s.bp.NewPage()
+		if err != nil {
+			return InvalidLOBRef, 0, err
+		}
+		lo := d * lobDirMaxEntries
+		hi := lo + lobDirMaxEntries
+		if hi > len(dataIDs) {
+			hi = len(dataIDs)
+		}
+		PutUint64(buf, lobDirNextOff, uint64(next))
+		PutUint64(buf, lobDirLenOff, uint64(len(data)))
+		PutUint32(buf, lobDirCountOff, uint32(hi-lo))
+		for i, did := range dataIDs[lo:hi] {
+			PutUint64(buf, lobDirEntriesOff+i*8, uint64(did))
+		}
+		if err := s.bp.Unpin(id, true); err != nil {
+			return InvalidLOBRef, 0, err
+		}
+		next = id
+		first = id
+		pagesUsed++
+	}
+	return LOBRef{First: first}, pagesUsed, nil
+}
+
+// Length returns the stored length of the blob in bytes.
+func (s *LOBStore) Length(ref LOBRef) (int, error) {
+	if !ref.Valid() {
+		return 0, fmt.Errorf("storage: read of invalid blob ref")
+	}
+	buf, err := s.bp.FetchPage(ref.First)
+	if err != nil {
+		return 0, err
+	}
+	n := int(GetUint64(buf, lobDirLenOff))
+	if err := s.bp.Unpin(ref.First, false); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Read returns the full contents of the blob.
+func (s *LOBStore) Read(ref LOBRef) ([]byte, error) {
+	return s.ReadInto(ref, nil)
+}
+
+// ReadRange returns n bytes of the blob starting at byte offset off,
+// fetching only the directory and data pages that cover the range. The
+// bitmap index uses it to retrieve a single value's bitmap without
+// loading the whole index blob.
+func (s *LOBStore) ReadRange(ref LOBRef, off, n int) ([]byte, error) {
+	if !ref.Valid() {
+		return nil, fmt.Errorf("storage: read of invalid blob ref")
+	}
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("storage: ReadRange(%d, %d)", off, n)
+	}
+	out := make([]byte, 0, n)
+	dir := ref.First
+	length := -1
+	pageIdx := 0 // index of the first data page on this directory page
+	for dir.Valid() && len(out) < n {
+		buf, err := s.bp.FetchPage(dir)
+		if err != nil {
+			return nil, err
+		}
+		if length < 0 {
+			length = int(GetUint64(buf, lobDirLenOff))
+			if off+n > length {
+				s.bp.Unpin(dir, false)
+				return nil, fmt.Errorf("storage: ReadRange past blob end (%d+%d > %d)", off, n, length)
+			}
+		}
+		count := int(GetUint32(buf, lobDirCountOff))
+		ids := make([]PageID, count)
+		for i := 0; i < count; i++ {
+			ids[i] = PageID(GetUint64(buf, lobDirEntriesOff+i*8))
+		}
+		next := PageID(GetUint64(buf, lobDirNextOff))
+		if err := s.bp.Unpin(dir, false); err != nil {
+			return nil, err
+		}
+		for i, did := range ids {
+			pageStart := (pageIdx + i) * PageSize
+			pageEnd := pageStart + PageSize
+			if pageEnd <= off || pageStart >= off+n {
+				continue
+			}
+			dbuf, err := s.bp.FetchPage(did)
+			if err != nil {
+				return nil, err
+			}
+			lo := 0
+			if off > pageStart {
+				lo = off - pageStart
+			}
+			hi := PageSize
+			if off+n < pageEnd {
+				hi = off + n - pageStart
+			}
+			out = append(out, dbuf[lo:hi]...)
+			if err := s.bp.Unpin(did, false); err != nil {
+				return nil, err
+			}
+		}
+		pageIdx += count
+		dir = next
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("storage: ReadRange got %d of %d bytes", len(out), n)
+	}
+	return out, nil
+}
+
+// ReadInto reads the blob into buf, growing it as needed, and returns the
+// filled slice. Hot scan paths reuse one buffer across many blobs.
+func (s *LOBStore) ReadInto(ref LOBRef, buf []byte) ([]byte, error) {
+	if !ref.Valid() {
+		return nil, fmt.Errorf("storage: read of invalid blob ref")
+	}
+	out := buf[:0]
+	remaining := -1
+	dir := ref.First
+	for dir.Valid() {
+		buf, err := s.bp.FetchPage(dir)
+		if err != nil {
+			return nil, err
+		}
+		if remaining < 0 {
+			remaining = int(GetUint64(buf, lobDirLenOff))
+			if cap(out) < remaining {
+				out = make([]byte, 0, remaining)
+			}
+		}
+		count := int(GetUint32(buf, lobDirCountOff))
+		if count > lobDirMaxEntries {
+			s.bp.Unpin(dir, false)
+			return nil, fmt.Errorf("storage: corrupt blob directory %v: %d entries", dir, count)
+		}
+		ids := make([]PageID, count)
+		for i := 0; i < count; i++ {
+			ids[i] = PageID(GetUint64(buf, lobDirEntriesOff+i*8))
+		}
+		next := PageID(GetUint64(buf, lobDirNextOff))
+		if err := s.bp.Unpin(dir, false); err != nil {
+			return nil, err
+		}
+		for _, did := range ids {
+			dbuf, err := s.bp.FetchPage(did)
+			if err != nil {
+				return nil, err
+			}
+			n := remaining
+			if n > PageSize {
+				n = PageSize
+			}
+			out = append(out, dbuf[:n]...)
+			remaining -= n
+			if err := s.bp.Unpin(did, false); err != nil {
+				return nil, err
+			}
+		}
+		dir = next
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("storage: blob truncated, %d bytes missing", remaining)
+	}
+	return out, nil
+}

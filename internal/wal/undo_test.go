@@ -1,0 +1,195 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestRecoverUndoRollsBackUncommitted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed state: page 0 = 1, page 1 = 2.
+	l.LogPageImage(0, pageImage(1))
+	l.LogPageImage(1, pageImage(2))
+	if err := l.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncommitted operation: before-images captured at first dirtying,
+	// then the modified pages reach the volume via eviction (after-
+	// images + volume writes).
+	if err := l.LogBeforeImage(0, pageImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	l.LogPageImage(0, pageImage(99)) // eviction after-image
+	if err := l.LogBeforeImage(1, pageImage(2)); err != nil {
+		t.Fatal(err)
+	}
+	l.LogPageImage(1, pageImage(98))
+	l.Sync()
+	l.Close()
+
+	// Volume as the crash left it: uncommitted contents flushed.
+	disk := storage.NewMemDiskManager()
+	disk.Allocate(2)
+	disk.WritePage(0, pageImage(99))
+	disk.WritePage(1, pageImage(98))
+
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// 2 redo (committed) + 2 undo.
+	if n != 4 {
+		t.Fatalf("Recover applied %d images, want 4", n)
+	}
+	buf := make([]byte, storage.PageSize)
+	disk.ReadPage(0, buf)
+	if buf[0] != 1 {
+		t.Fatalf("page 0 = %d after recovery, want committed 1", buf[0])
+	}
+	disk.ReadPage(1, buf)
+	if buf[0] != 2 {
+		t.Fatalf("page 1 = %d after recovery, want committed 2", buf[0])
+	}
+}
+
+func TestRecoverUndoReverseOrder(t *testing.T) {
+	// The same page dirtied, evicted, and re-dirtied within one
+	// uncommitted operation: two before-images exist (committed content
+	// first, then the evicted uncommitted content). Reverse application
+	// must leave the EARLIEST image (the committed one).
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.LogPageImage(0, pageImage(7))
+	l.AppendCommit()
+
+	l.LogBeforeImage(0, pageImage(7))  // first dirtying: committed content
+	l.LogPageImage(0, pageImage(50))   // eviction
+	l.LogBeforeImage(0, pageImage(50)) // re-dirtying: uncommitted content
+	l.LogPageImage(0, pageImage(60))   // second eviction
+	l.Sync()
+	l.Close()
+
+	disk := storage.NewMemDiskManager()
+	disk.Allocate(1)
+	disk.WritePage(0, pageImage(60))
+
+	if _, err := Recover(path, disk); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.PageSize)
+	disk.ReadPage(0, buf)
+	if buf[0] != 7 {
+		t.Fatalf("page 0 = %d, want committed 7", buf[0])
+	}
+}
+
+func TestRecoverUndoSkipsCommittedBeforeImages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operation with before-image, then committed: the before-image is
+	// superseded.
+	l.LogBeforeImage(0, pageImage(1))
+	l.LogPageImage(0, pageImage(2))
+	l.AppendCommit()
+	l.Close()
+
+	disk := storage.NewMemDiskManager()
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("applied %d, want 1 (redo only)", n)
+	}
+	buf := make([]byte, storage.PageSize)
+	disk.ReadPage(0, buf)
+	if buf[0] != 2 {
+		t.Fatalf("page 0 = %d, want committed 2", buf[0])
+	}
+}
+
+func TestRecoverUndoIgnoresUnflushedFreshPages(t *testing.T) {
+	// A before-image for a page the volume never received (the pool
+	// held it at crash time): undo must not extend the volume.
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.LogBeforeImage(9, pageImage(5))
+	l.Sync()
+	l.Close()
+
+	disk := storage.NewMemDiskManager()
+	disk.Allocate(2)
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || disk.NumPages() != 2 {
+		t.Fatalf("applied %d, pages %d", n, disk.NumPages())
+	}
+}
+
+// TestFetchPageForWriteLogsOncePerDirtyCycle wires the WAL into a pool
+// and verifies before-image capture behavior.
+func TestFetchPageForWriteLogsOncePerDirtyCycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	disk := storage.NewMemDiskManager()
+	bp := storage.NewBufferPool(disk, 8)
+	bp.SetPageLogger(l)
+
+	id, buf, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 1
+	bp.Unpin(id, true)
+	if err := bp.FlushAll(); err != nil { // after-image + volume write
+		t.Fatal(err)
+	}
+	sizeAfterFlush, _ := l.Size()
+
+	// First write-fetch of the now-clean page: one before-image.
+	b1, err := bp.FetchPageForWrite(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1[0] = 2
+	bp.Unpin(id, true)
+	sizeAfterFirst, _ := l.Size()
+	if sizeAfterFirst <= sizeAfterFlush {
+		t.Fatal("first write-fetch logged nothing")
+	}
+
+	// Second write-fetch while dirty: no new before-image.
+	b2, err := bp.FetchPageForWrite(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2[0] = 3
+	bp.Unpin(id, true)
+	sizeAfterSecond, _ := l.Size()
+	if sizeAfterSecond != sizeAfterFirst {
+		t.Fatalf("second write-fetch grew the log by %d bytes", sizeAfterSecond-sizeAfterFirst)
+	}
+}

@@ -1,0 +1,385 @@
+// Package wal implements a redo-only write-ahead log with commit records
+// and crash recovery.
+//
+// The engine pairs the log with a shadow-root commit protocol: mutating
+// operations (schema creation, cube loads, index builds) construct new
+// objects in freshly allocated pages and publish them by updating named
+// roots in the superblock. Page images are logged before any dirty page
+// reaches the volume (the write-ahead rule, enforced by the buffer pool's
+// PageLogger hook), and a commit record marks each consistency point.
+// Recovery replays logged page images up to the last commit record, so a
+// crash mid-operation leaves the previously committed state intact — the
+// uncommitted operation's pages are unreachable garbage because the root
+// switch itself is part of the committed page set.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Record types.
+const (
+	recPageImage   = byte(1) // redo: page contents after modification
+	recCommit      = byte(2)
+	recBeforeImage = byte(3) // undo: page contents before first dirtying
+)
+
+// record header layout:
+//
+//	[0:4)  payload length (page image length; 0 for commit)
+//	[4:8)  CRC32 (castagnoli) of type+lsn+pageid+payload
+//	[8:9)  record type
+//	[9:17) LSN
+//	[17:25) page id (0 for commit)
+const recHeaderSize = 25
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is an append-only redo log backed by a single file.
+type Log struct {
+	mu      sync.Mutex
+	file    *os.File
+	w       *bufio.Writer
+	nextLSN uint64
+	closed  bool
+	appends uint64 // page images appended, for stats/tests
+	commits uint64
+}
+
+// Open opens (creating if needed) the log at path. An existing log is
+// opened for appending after scanning it to establish the next LSN; call
+// Recover first if the volume may be behind the log.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	// Scan to find the next LSN and the end of the valid prefix, then
+	// truncate any torn tail.
+	validEnd, lastLSN, _, err := scan(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{file: f, w: bufio.NewWriterSize(f, 1<<20), nextLSN: lastLSN + 1}, nil
+}
+
+// LogPageImage appends a page-image redo record. It implements
+// storage.PageLogger so the log can be installed directly on a buffer
+// pool. The buffer pool invokes it immediately before a dirty page is
+// written to the volume, so the record — and every record before it,
+// including the page's before-image — is flushed to the operating system
+// here, preserving the write-ahead ordering for process crashes. (Power-
+// loss ordering would additionally require an fsync per eviction; the
+// engine trades that for bulk-load speed and fsyncs only at commit.)
+func (l *Log) LogPageImage(id storage.PageID, img []byte) error {
+	if len(img) != storage.PageSize {
+		return fmt.Errorf("wal: page image of %d bytes", len(img))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.appendLocked(recPageImage, uint64(id), img); err != nil {
+		return err
+	}
+	l.appends++
+	return l.w.Flush()
+}
+
+// LogBeforeImage appends an undo record holding the page's contents
+// before its first modification since the last flush. The buffer pool
+// invokes it from FetchPageForWrite on clean frames; recovery applies
+// before-images logged after the last commit, in reverse, to roll back
+// uncommitted in-place changes that reached the volume.
+func (l *Log) LogBeforeImage(id storage.PageID, img []byte) error {
+	if len(img) != storage.PageSize {
+		return fmt.Errorf("wal: before image of %d bytes", len(img))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.appendLocked(recBeforeImage, uint64(id), img)
+}
+
+// AppendCommit appends a commit record and forces the log to stable
+// storage. After it returns, recovery will replay every record appended
+// so far.
+func (l *Log) AppendCommit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.appendLocked(recCommit, 0, nil); err != nil {
+		return err
+	}
+	l.commits++
+	return l.syncLocked()
+}
+
+// Sync flushes buffered records to stable storage without committing.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.file.Sync()
+}
+
+func (l *Log) appendLocked(typ byte, pid uint64, payload []byte) error {
+	var hdr [recHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[8] = typ
+	binary.LittleEndian.PutUint64(hdr[9:17], l.nextLSN)
+	binary.LittleEndian.PutUint64(hdr[17:25], pid)
+	crc := crc32.Checksum(hdr[8:recHeaderSize], crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	l.nextLSN++
+	return nil
+}
+
+// Checkpoint truncates the log. Call only after the volume itself has
+// been flushed and synced, so the log's contents are no longer needed.
+func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.file.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.file)
+	return l.file.Sync()
+}
+
+// Size reports the current log file length in bytes (including buffered
+// records).
+func (l *Log) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := l.file.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Stats reports how many page images and commits have been appended since
+// Open.
+func (l *Log) Stats() (pageImages, commits uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.commits
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.file.Close()
+		return err
+	}
+	return l.file.Close()
+}
+
+// replayRecord is one decoded log record passed to scan's callback.
+type replayRecord struct {
+	typ  byte
+	lsn  uint64
+	pid  storage.PageID
+	data []byte // page image, aliased to a scan-local buffer
+}
+
+// scan reads the log from the start, invoking fn for every intact record,
+// and returns the byte offset of the end of the valid prefix, the last
+// LSN seen, and the file offset just after the last commit record.
+// A corrupt or torn record ends the scan without error: everything after
+// it is discarded by the caller.
+func scan(f *os.File, fn func(r replayRecord) error) (validEnd int64, lastLSN uint64, lastCommitEnd int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, 0, err
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	var hdr [recHeaderSize]byte
+	payload := make([]byte, storage.PageSize)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, lastLSN, lastCommitEnd, nil // clean or torn EOF
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		if plen > storage.PageSize {
+			return off, lastLSN, lastCommitEnd, nil // corrupt length
+		}
+		if _, err := io.ReadFull(r, payload[:plen]); err != nil {
+			return off, lastLSN, lastCommitEnd, nil // torn payload
+		}
+		crc := crc32.Checksum(hdr[8:recHeaderSize], crcTable)
+		crc = crc32.Update(crc, crcTable, payload[:plen])
+		if crc != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return off, lastLSN, lastCommitEnd, nil // corrupt record
+		}
+		rec := replayRecord{
+			typ:  hdr[8],
+			lsn:  binary.LittleEndian.Uint64(hdr[9:17]),
+			pid:  storage.PageID(binary.LittleEndian.Uint64(hdr[17:25])),
+			data: payload[:plen],
+		}
+		off += int64(recHeaderSize) + int64(plen)
+		lastLSN = rec.lsn
+		if rec.typ == recCommit {
+			lastCommitEnd = off
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, lastLSN, lastCommitEnd, err
+			}
+		}
+		validEnd = off
+	}
+}
+
+// Recover restores the volume to its last committed state:
+//
+//  1. Redo — page-image records up to the last commit are replayed in
+//     order, completing any commit whose volume flush was interrupted.
+//  2. Undo — before-image records after the last commit (an interrupted
+//     operation) are applied in reverse order, rolling back uncommitted
+//     in-place modifications that reached the volume via evictions. The
+//     earliest before-image of each page holds its committed contents,
+//     and reverse application makes it the survivor.
+//
+// It returns the number of page images applied (redo + undo). A missing
+// log file is not an error.
+func Recover(path string, disk storage.DiskManager) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: recover open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	// First pass: find the end of the last committed record.
+	_, _, lastCommitEnd, err := scan(f, nil)
+	if err != nil {
+		return 0, err
+	}
+
+	writePage := func(pid storage.PageID, data []byte) error {
+		for uint64(pid) >= disk.NumPages() {
+			need := uint64(pid) - disk.NumPages() + 1
+			if _, err := disk.Allocate(int(need)); err != nil {
+				return err
+			}
+		}
+		return disk.WritePage(pid, data)
+	}
+
+	// Second pass: redo committed page images; collect post-commit
+	// before-images for the undo phase.
+	applied := 0
+	type undoRec struct {
+		pid  storage.PageID
+		data []byte
+	}
+	var undo []undoRec
+	var off int64
+	_, _, _, err = scan(f, func(r replayRecord) error {
+		off += int64(recHeaderSize) + int64(len(r.data))
+		committed := off <= lastCommitEnd
+		switch r.typ {
+		case recPageImage:
+			if !committed {
+				return nil // uncommitted redo: ignore
+			}
+			if err := writePage(r.pid, r.data); err != nil {
+				return err
+			}
+			applied++
+		case recBeforeImage:
+			if committed {
+				return nil // superseded by the commit
+			}
+			undo = append(undo, undoRec{pid: r.pid, data: append([]byte(nil), r.data...)})
+		}
+		return nil
+	})
+	if err != nil {
+		return applied, err
+	}
+
+	// Undo phase, newest first.
+	for i := len(undo) - 1; i >= 0; i-- {
+		// Pages past the end of the volume were never flushed; their
+		// in-place changes died with the buffer pool.
+		if uint64(undo[i].pid) >= disk.NumPages() {
+			continue
+		}
+		if err := disk.WritePage(undo[i].pid, undo[i].data); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	if err := disk.Sync(); err != nil {
+		return applied, err
+	}
+	return applied, nil
+}
+
+var errStopScan = errors.New("wal: stop scan")

@@ -1,0 +1,360 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func pageImage(fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, storage.PageSize)
+}
+
+func TestLogAppendAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.LogPageImage(3, pageImage(0xAA)); err != nil {
+		t.Fatalf("LogPageImage: %v", err)
+	}
+	if err := l.LogPageImage(1, pageImage(0xBB)); err != nil {
+		t.Fatalf("LogPageImage: %v", err)
+	}
+	if err := l.AppendCommit(); err != nil {
+		t.Fatalf("AppendCommit: %v", err)
+	}
+	imgs, commits := l.Stats()
+	if imgs != 2 || commits != 1 {
+		t.Fatalf("Stats = (%d, %d), want (2, 1)", imgs, commits)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	disk := storage.NewMemDiskManager()
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("Recover applied %d images, want 2", n)
+	}
+	if disk.NumPages() != 4 {
+		t.Fatalf("volume grew to %d pages, want 4", disk.NumPages())
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := disk.ReadPage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA {
+		t.Fatalf("page 3 = %#x, want 0xAA", buf[0])
+	}
+	if err := disk.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xBB {
+		t.Fatalf("page 1 = %#x, want 0xBB", buf[0])
+	}
+}
+
+func TestRecoverIgnoresUncommittedSuffix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogPageImage(0, pageImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted work after the commit: must not be replayed.
+	if err := l.LogPageImage(0, pageImage(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	disk := storage.NewMemDiskManager()
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("Recover applied %d images, want 1", n)
+	}
+	buf := make([]byte, storage.PageSize)
+	disk.ReadPage(0, buf)
+	if buf[0] != 1 {
+		t.Fatalf("page 0 = %d, want committed value 1", buf[0])
+	}
+}
+
+func TestRecoverEmptyAndMissingLog(t *testing.T) {
+	dir := t.TempDir()
+	disk := storage.NewMemDiskManager()
+	if n, err := Recover(filepath.Join(dir, "absent.log"), disk); err != nil || n != 0 {
+		t.Fatalf("Recover(missing) = (%d, %v)", n, err)
+	}
+	path := filepath.Join(dir, "empty.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if n, err := Recover(path, disk); err != nil || n != 0 {
+		t.Fatalf("Recover(empty) = (%d, %v)", n, err)
+	}
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogPageImage(2, pageImage(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogPageImage(5, pageImage(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the last record in half to simulate a crash mid-write.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-100); err != nil {
+		t.Fatal(err)
+	}
+
+	disk := storage.NewMemDiskManager()
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("Recover applied %d images, want 1", n)
+	}
+	buf := make([]byte, storage.PageSize)
+	disk.ReadPage(2, buf)
+	if buf[0] != 7 {
+		t.Fatal("committed page lost")
+	}
+}
+
+func TestRecoverCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.LogPageImage(0, pageImage(1))
+	l.AppendCommit()
+	l.LogPageImage(1, pageImage(2))
+	l.AppendCommit()
+	l.Close()
+
+	// Flip a byte inside the second page image's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-recHeaderSize-100] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	disk := storage.NewMemDiskManager()
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// Only the first committed prefix survives the corruption.
+	if n != 1 {
+		t.Fatalf("Recover applied %d images, want 1", n)
+	}
+}
+
+func TestCheckpointTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		if err := l.LogPageImage(storage.PageID(i), pageImage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := l.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz == 0 {
+		t.Fatal("log empty before checkpoint")
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	sz, err = l.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != 0 {
+		t.Fatalf("log size after checkpoint = %d, want 0", sz)
+	}
+	// The log must remain usable after a checkpoint.
+	if err := l.LogPageImage(9, pageImage(0xCC)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogClosedErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.LogPageImage(0, pageImage(0)); err == nil {
+		t.Fatal("LogPageImage on closed log succeeded")
+	}
+	if err := l.AppendCommit(); err == nil {
+		t.Fatal("AppendCommit on closed log succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestLogRejectsBadImageSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.LogPageImage(0, make([]byte, 10)); err == nil {
+		t.Fatal("LogPageImage with short image succeeded")
+	}
+}
+
+// TestWALBufferPoolIntegration wires the log into a buffer pool, applies a
+// random committed workload, simulates a crash by recovering onto a fresh
+// volume, and checks the committed state matches.
+func TestWALBufferPoolIntegration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := storage.NewMemDiskManager()
+	bp := storage.NewBufferPool(disk, 4)
+	bp.SetPageLogger(l)
+
+	rng := rand.New(rand.NewSource(11))
+	shadow := map[storage.PageID]byte{}
+	var ids []storage.PageID
+	for i := 0; i < 64; i++ {
+		id, buf, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := byte(rng.Intn(256))
+		buf[0] = v
+		shadow[id] = v
+		if err := bp.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-commit, uncommitted update that must vanish after recovery.
+	buf, err := bp.FetchPage(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0xFF
+	bp.Unpin(ids[0], true)
+	if err := bp.FlushAll(); err != nil { // logged, flushed, but not committed
+		t.Fatal(err)
+	}
+	l.Close()
+
+	fresh := storage.NewMemDiskManager()
+	if _, err := Recover(path, fresh); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	out := make([]byte, storage.PageSize)
+	for id, want := range shadow {
+		if err := fresh.ReadPage(id, out); err != nil {
+			t.Fatalf("read %v after recovery: %v", id, err)
+		}
+		if out[0] != want {
+			t.Fatalf("page %v = %d after recovery, want %d", id, out[0], want)
+		}
+	}
+}
+
+func TestOpenResumesLSNAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.LogPageImage(0, pageImage(1))
+	l.AppendCommit()
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := l2.LogPageImage(1, pageImage(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	disk := storage.NewMemDiskManager()
+	n, err := Recover(path, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Recover applied %d images, want 2", n)
+	}
+}

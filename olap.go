@@ -1,0 +1,222 @@
+// Package repro is an array-based OLAP engine reproducing Zhao,
+// Ramasamy, Naughton, and Tufte, "Array-Based Evaluation of
+// Multi-Dimensional Queries in Object-Relational Database Systems"
+// (ICDE 1998).
+//
+// The engine stores a star schema two ways side by side — relationally
+// (dimension heap tables + an extent-based fact file with bitmap join
+// indices) and as the paper's OLAP Array ADT (a chunked, chunk-offset-
+// compressed multi-dimensional array with per-dimension B-trees and
+// IndexToIndex hierarchy arrays) — and evaluates consolidation queries
+// with either family of algorithms:
+//
+//	db, _ := repro.Open(repro.Options{Path: "sales.db"})
+//	defer db.Close()
+//	db.CreateStarSchema(schema)
+//	db.LoadDimension("store", rows)
+//	db.LoadFacts(facts)
+//	db.BuildArray(repro.ArrayConfig{})
+//	res, _ := db.Query(`select sum(volume), city from fact, store
+//	                    group by city`)
+//
+// Everything sits on a paged storage substrate (buffer pool, blobs,
+// extents, WAL) playing the role SHORE played for Paradise in the paper.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Re-exported schema types: the public API speaks the catalog's types.
+type (
+	// StarSchema describes a complete star schema.
+	StarSchema = catalog.StarSchema
+	// DimensionSchema describes one dimension table.
+	DimensionSchema = catalog.DimensionSchema
+	// FactSchema describes the fact table.
+	FactSchema = catalog.FactSchema
+	// Row is one result group with its aggregate state.
+	Row = core.Row
+	// FactSource streams fact tuples into LoadFacts.
+	FactSource = exec.FactSource
+	// ArrayConfig controls BuildArray.
+	ArrayConfig = exec.ArrayBuildConfig
+	// Engine selects the evaluation strategy for QueryOn.
+	Engine = exec.Engine
+	// Result is a query result with rows, plan, metrics, and timing.
+	Result = exec.QueryResult
+	// Stats are buffer pool I/O counters.
+	Stats = storage.Stats
+	// AggFunc selects an aggregate function.
+	AggFunc = core.AggFunc
+)
+
+// Aggregate functions, re-exported for reading Result rows.
+const (
+	Sum   = core.Sum
+	Count = core.Count
+	Min   = core.Min
+	Max   = core.Max
+	Avg   = core.Avg
+)
+
+// Evaluation engines.
+const (
+	// Auto lets the planner choose (array if built, else relational).
+	Auto = exec.Auto
+	// ArrayEngine forces the OLAP Array algorithms (§4.1/§4.2).
+	ArrayEngine = exec.ArrayEngine
+	// StarJoinEngine forces the relational StarJoin operator (§4.3).
+	StarJoinEngine = exec.StarJoinEngine
+	// BitmapEngine forces the bitmap-index + fact-file plan (§4.5).
+	BitmapEngine = exec.BitmapEngine
+)
+
+// Options configures Open.
+type Options struct {
+	// Path locates the database volume; empty opens an in-memory
+	// database (tests, examples, CPU-bound benchmarks).
+	Path string
+	// BufferPoolBytes sizes the buffer pool; 0 selects 16 MB, the
+	// configuration used in the paper's experiments.
+	BufferPoolBytes int
+	// DisableWAL turns off write-ahead logging for file-backed
+	// databases (bulk experiment loads that are rebuilt on loss).
+	// In-memory databases never log.
+	DisableWAL bool
+}
+
+// DB is an open database handle. It is not safe for concurrent use; open
+// one handle per goroutine or serialize access.
+type DB struct {
+	disk storage.DiskManager
+	bp   *storage.BufferPool
+	sb   *storage.Superblock
+	cat  *catalog.Catalog
+	log  *wal.Log
+	ex   *exec.Executor
+	path string
+}
+
+// Open opens (creating as needed) a database. For file-backed databases
+// with logging enabled, any committed WAL suffix is replayed first, so a
+// crash between Commit and Checkpoint is recovered transparently.
+func Open(opts Options) (*DB, error) {
+	db := &DB{path: opts.Path}
+	if opts.Path == "" {
+		db.disk = storage.NewMemDiskManager()
+	} else {
+		d, err := storage.OpenFileDiskManager(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		if !opts.DisableWAL {
+			if _, err := wal.Recover(walPath(opts.Path), d); err != nil {
+				d.Close()
+				return nil, fmt.Errorf("repro: recover: %w", err)
+			}
+		}
+		db.disk = d
+	}
+	frames := 0
+	if opts.BufferPoolBytes > 0 {
+		frames = opts.BufferPoolBytes / storage.PageSize
+		if frames < 8 {
+			frames = 8
+		}
+	}
+	db.bp = storage.NewBufferPool(db.disk, frames)
+	if opts.Path != "" && !opts.DisableWAL {
+		l, err := wal.Open(walPath(opts.Path))
+		if err != nil {
+			db.disk.Close()
+			return nil, err
+		}
+		db.log = l
+		db.bp.SetPageLogger(l)
+	}
+	sb, err := storage.OpenSuperblock(db.bp)
+	if err != nil {
+		db.closeQuietly()
+		return nil, err
+	}
+	db.sb = sb
+	cat, err := catalog.Load(db.bp, sb)
+	if err != nil {
+		db.closeQuietly()
+		return nil, err
+	}
+	db.cat = cat
+	db.ex = exec.NewExecutor(db.bp, cat)
+	return db, nil
+}
+
+// walPath derives the log path from the volume path.
+func walPath(path string) string { return path + ".wal" }
+
+func (db *DB) closeQuietly() {
+	if db.log != nil {
+		db.log.Close()
+	}
+	db.disk.Close()
+}
+
+// Commit makes all work since the previous Commit durable and atomic:
+// redo images of every dirty page are forced to the WAL, a commit record
+// is fsynced, the pages are flushed to the volume, and the log is
+// checkpointed. Without a WAL (in-memory or DisableWAL) it degenerates
+// to a flush.
+func (db *DB) Commit() error {
+	if err := db.cat.Save(db.bp, db.sb); err != nil {
+		return err
+	}
+	if db.log != nil {
+		if err := db.bp.LogDirtyPages(); err != nil {
+			return err
+		}
+		if err := db.log.AppendCommit(); err != nil {
+			return err
+		}
+	}
+	if err := db.bp.FlushAll(); err != nil {
+		return err
+	}
+	if db.log != nil {
+		if err := db.log.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	db.ex.InvalidateHandles()
+	return nil
+}
+
+// Close commits outstanding work and releases the database.
+func (db *DB) Close() error {
+	commitErr := db.Commit()
+	if db.log != nil {
+		if err := db.log.Close(); err != nil && commitErr == nil {
+			commitErr = err
+		}
+	}
+	if err := db.disk.Close(); err != nil && commitErr == nil {
+		commitErr = err
+	}
+	return commitErr
+}
+
+// Schema returns the database's star schema, or nil before
+// CreateStarSchema.
+func (db *DB) Schema() *StarSchema { return db.cat.Schema }
+
+// Stats returns cumulative buffer pool counters.
+func (db *DB) Stats() Stats { return db.bp.Stats() }
+
+// DropCaches flushes and empties the buffer pool — the paper's cold-cache
+// protocol between measured queries.
+func (db *DB) DropCaches() error { return db.ex.DropCaches() }

@@ -1,0 +1,34 @@
+package repro
+
+import (
+	"repro/internal/exec"
+)
+
+// Session is an independent read cursor over the database: it holds its
+// own executor (and therefore its own object handles and chunk-decode
+// caches) so multiple sessions can run queries concurrently. The buffer
+// pool underneath is shared and thread-safe; the catalog is read-only
+// once loaded.
+//
+// Sessions only read. Schema creation, loads, index builds, and Commit
+// stay on the owning DB handle and must not run concurrently with
+// session queries (the engine is single-writer, as Paradise's bulk OLAP
+// loads were).
+type Session struct {
+	ex *exec.Executor
+}
+
+// Session creates a new read session.
+func (db *DB) Session() *Session {
+	return &Session{ex: exec.NewExecutor(db.bp, db.cat)}
+}
+
+// Query parses, plans, and executes a query in this session.
+func (s *Session) Query(sql string) (*Result, error) {
+	return s.ex.ExecuteSQL(sql, Auto)
+}
+
+// QueryOn executes a query on an explicit engine in this session.
+func (s *Session) QueryOn(sql string, engine Engine) (*Result, error) {
+	return s.ex.ExecuteSQL(sql, engine)
+}

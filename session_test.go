@@ -1,0 +1,80 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestConcurrentSessions(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+
+	want, err := db.QueryOn(retailQuery, ArrayEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSel, err := db.QueryOn(retailSelectQuery, BitmapEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 20
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			sess := db.Session()
+			engines := []Engine{ArrayEngine, StarJoinEngine, BitmapEngine}
+			for i := 0; i < iters; i++ {
+				eng := engines[(g+i)%len(engines)]
+				res, err := sess.QueryOn(retailQuery, eng)
+				if err != nil {
+					errc <- fmt.Errorf("g%d consolidation on %v: %w", g, eng, err)
+					return
+				}
+				if !core.RowsEqual(res.Rows, want.Rows) {
+					errc <- fmt.Errorf("g%d consolidation on %v differs", g, eng)
+					return
+				}
+				res, err = sess.QueryOn(retailSelectQuery, eng)
+				if err != nil {
+					errc <- fmt.Errorf("g%d selection on %v: %w", g, eng, err)
+					return
+				}
+				if !core.RowsEqual(res.Rows, wantSel.Rows) {
+					errc <- fmt.Errorf("g%d selection on %v differs", g, eng)
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSessionAutoPlan(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	sess := db.Session()
+	res, err := sess.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != "array-consolidate" {
+		t.Fatalf("session auto plan = %s", res.Plan)
+	}
+}

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestDBUpdateArrayCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "upd.db")
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRetail(t, db)
+
+	before, err := db.QueryOn(retailQuery, ArrayEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalBefore int64
+	for _, r := range before.Rows {
+		totalBefore += r.Sum
+	}
+
+	// Overwrite one cell (+100), insert one (+50), delete one (cell
+	// (0,0,0) has measure 0, so deleting it shifts counts not sums).
+	v400, ok, err := db.ArrayGet([]int64{4, 0, 0})
+	if err != nil || !ok {
+		t.Fatalf("seed cell missing: %v", err)
+	}
+	if err := db.UpdateArrayCells([]ArrayCellUpdate{
+		{Keys: []int64{4, 0, 0}, Value: v400 + 100},
+		{Keys: []int64{1, 0, 0}, Value: 50}, // (1+0+0)%4 != 0: insert
+		{Keys: []int64{0, 0, 0}, Delete: true},
+	}); err != nil {
+		t.Fatalf("UpdateArrayCells: %v", err)
+	}
+
+	after, err := db.QueryOn(retailQuery, ArrayEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalAfter, countAfter int64
+	for _, r := range after.Rows {
+		totalAfter += r.Sum
+		countAfter += r.Count
+	}
+	var countBefore int64
+	for _, r := range before.Rows {
+		countBefore += r.Count
+	}
+	if totalAfter != totalBefore+150 {
+		t.Fatalf("total after update = %d, want %d", totalAfter, totalBefore+150)
+	}
+	if countAfter != countBefore { // +1 insert, -1 delete
+		t.Fatalf("count after update = %d, want %d", countAfter, countBefore)
+	}
+
+	// Updates survive commit + reopen.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, ok, err := db2.ArrayGet([]int64{1, 0, 0})
+	if err != nil || !ok || v != 50 {
+		t.Fatalf("inserted cell after reopen = (%d, %v, %v)", v, ok, err)
+	}
+	if _, ok, _ := db2.ArrayGet([]int64{0, 0, 0}); ok {
+		t.Fatal("deleted cell survived reopen")
+	}
+}
