@@ -168,6 +168,33 @@ func BenchmarkFigure9(b *testing.B) { selectBench(b, 1, 4, []int{5, 8, 10}) }
 // dimensions — on the 40×40×40×100 array.
 func BenchmarkFigure10(b *testing.B) { selectBench(b, 1, 3, []int{2, 4, 10}) }
 
+// BenchmarkPlannerAuto measures the cost-based planner against every
+// forced engine at three selectivities straddling the paper's crossover
+// (S ≈ 0.00024) on the 40×40×40×100 data set: with distinct counts
+// {2, 8, 10} on four selected dimensions, S = 1/d⁴ lands above, near,
+// and below it. Auto should track the cheaper of array and bitmap on
+// both sides; its reported plan name shows which one it picked.
+func BenchmarkPlannerAuto(b *testing.B) {
+	for _, distinct := range []int{2, 8, 10} {
+		data := datagen.WithSelectivity(ds1(b, 1), distinct)
+		env := benchEnv(b, bench.EnvConfig{Data: data, BuildBitmaps: true})
+		spec, err := env.SelectSpec(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, engine := range map[string]exec.Engine{
+			"auto":     exec.Auto,
+			"array":    exec.ArrayEngine,
+			"starjoin": exec.StarJoinEngine,
+			"bitmap":   exec.BitmapEngine,
+		} {
+			b.Run(fmt.Sprintf("s=1over%d^4/%s", distinct, name), func(b *testing.B) {
+				runQuery(b, env, spec, engine)
+			})
+		}
+	}
+}
+
 // BenchmarkStorage regenerates the §3.2/§5.5.1 storage comparison as
 // custom metrics: bytes of the compressed array vs the fact file at 1%
 // density (the paper's 6.5 MB vs 18.5 MB comparison point).

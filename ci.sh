@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — the checks every PR must pass, in the order they fail fastest.
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent sessions + storage) =="
+go test -race ./internal/exec/... ./internal/storage/... .
+
+echo "ci.sh: all checks passed"

@@ -102,8 +102,14 @@ func runQuery(db *repro.DB, sql string, engine repro.Engine, maxRows int) error 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plan=%s elapsed=%v io={%s} rows=%d\n",
-		res.Plan, res.Elapsed, res.IO.String(), len(res.Rows))
+	if strings.HasPrefix(strings.ToLower(strings.TrimSpace(sql)), "explain") && res.Explanation != nil {
+		// EXPLAIN: render the planner's candidates and the chosen tree.
+		fmt.Print(res.Explanation.String())
+		return nil
+	}
+	fmt.Printf("plan=%s elapsed=%v io={%s} rows=%d est={io=%.1f cpu=%.1f rows=%d}\n",
+		res.Plan, res.Elapsed, res.IO.String(), len(res.Rows),
+		res.Metrics.EstCostIO, res.Metrics.EstCostCPU, res.Metrics.EstRows)
 	aggNames := make([]string, len(res.Aggs))
 	for i, a := range res.Aggs {
 		aggNames[i] = a.String()

@@ -113,6 +113,16 @@ func (a *Array) State() storage.LOBRef { return a.state }
 // NumValidCells reports the number of valid cells (fact tuples).
 func (a *Array) NumValidCells() int64 { return a.store.NumValidCells() }
 
+// Clone returns an Array sharing the immutable dimension structures,
+// B-trees, and chunk directory, but with a private chunk-decode cache
+// and scratch buffers, so each goroutine can read its own clone
+// concurrently (B-tree and buffer pool reads are already thread-safe).
+func (a *Array) Clone() *Array {
+	c := *a
+	c.store = a.store.Clone()
+	return &c
+}
+
 // FactSource yields the fact tuples to load: each Next call returns the
 // per-dimension keys and the measure, with ok=false at end of stream.
 type FactSource interface {

@@ -11,11 +11,22 @@ import (
 // published.
 const catalogRoot = "catalog"
 
+// CatalogVersion is the current catalog layout version. Version 2 added
+// persisted planner statistics (Stats). Older blobs (version 0/1, which
+// never wrote a version field) still decode — their Stats are simply
+// nil — while blobs from a newer engine are rejected instead of being
+// silently misread.
+const CatalogVersion = 2
+
 // Catalog is the persistent database catalog: the star schema plus the
 // storage roots of every physical object. It is serialized as JSON into a
 // blob whose reference lives in the superblock; updates write a new blob
 // and atomically switch the root (the shadow-root commit protocol).
 type Catalog struct {
+	// Version is the layout version the blob was written with; see
+	// CatalogVersion.
+	Version int `json:"version,omitempty"`
+
 	Schema *StarSchema `json:"schema,omitempty"`
 
 	// DimHeaps maps dimension name to its heap-file root page.
@@ -34,6 +45,11 @@ type Catalog struct {
 
 	// BitmapIndexes maps "dim.attr" to the bitmap index blob.
 	BitmapIndexes map[string]uint64 `json:"bitmap_indexes,omitempty"`
+
+	// Stats are the persisted planner statistics; nil on catalogs
+	// written before version 2 (the planner then falls back to
+	// heuristics).
+	Stats *Stats `json:"stats,omitempty"`
 }
 
 // NewCatalog returns an empty catalog.
@@ -50,6 +66,7 @@ func BitmapKey(dim, attr string) string { return dim + "." + attr }
 // Save serializes the catalog to a new blob and publishes it in the
 // superblock. The caller commits the WAL afterwards.
 func (c *Catalog) Save(bp *storage.BufferPool, sb *storage.Superblock) error {
+	c.Version = CatalogVersion
 	data, err := json.Marshal(c)
 	if err != nil {
 		return fmt.Errorf("catalog: marshal: %w", err)
@@ -78,6 +95,10 @@ func Load(bp *storage.BufferPool, sb *storage.Superblock) (*Catalog, error) {
 	c := NewCatalog()
 	if err := json.Unmarshal(data, c); err != nil {
 		return nil, fmt.Errorf("catalog: unmarshal: %w", err)
+	}
+	if c.Version > CatalogVersion {
+		return nil, fmt.Errorf("catalog: version %d is newer than this engine (max %d)",
+			c.Version, CatalogVersion)
 	}
 	if c.DimHeaps == nil {
 		c.DimHeaps = make(map[string]uint64)

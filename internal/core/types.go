@@ -247,6 +247,13 @@ type Metrics struct {
 	TuplesFetched int64 // fact tuples fetched through a bitmap
 	BitmapsRead   int64 // value bitmaps fetched from bitmap indices
 	BitmapANDs    int64 // bitmap AND/OR operations applied
+
+	// Planner estimates for the chosen plan, filled by the executor
+	// before the run so every result carries predicted next to measured
+	// cost. Zero when the planner had no statistics to estimate with.
+	EstCostIO  float64 // predicted page reads
+	EstCostCPU float64 // predicted CPU work, in page-read equivalents
+	EstRows    int64   // predicted qualifying fact tuples
 }
 
 // keyLabel renders a dimension key as a group label.

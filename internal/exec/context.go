@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/factfile"
+	"repro/internal/storage"
+)
+
+// ExecContext is the shared execution state of one open database: the
+// buffer pool, the catalog, and a mutex-guarded cache of opened object
+// handles. One ExecContext is created per database; every executor
+// (the DB's own and one per Session) plans and runs against it, so
+// dimension tables, the fact file, and the array's master structures
+// are opened once and shared.
+//
+// Dimension tables, fact files, and B-trees are read without mutable
+// state, so the cached handles can be used from many goroutines. The
+// chunk store's decode cache is the one share-unsafe piece; ArrayClone
+// therefore hands out per-call clones that share everything immutable.
+type ExecContext struct {
+	bp  *storage.BufferPool
+	cat *catalog.Catalog
+
+	mu   sync.Mutex
+	gen  uint64 // bumped by InvalidateHandles; lets callers spot stale handles
+	dims []*catalog.DimensionTable
+	ff   *factfile.File
+	arr  *array.Array // master copy; only clones are handed out
+}
+
+// NewExecContext creates the shared execution state for a catalog.
+func NewExecContext(bp *storage.BufferPool, cat *catalog.Catalog) *ExecContext {
+	return &ExecContext{bp: bp, cat: cat}
+}
+
+// BufferPool returns the underlying buffer pool.
+func (c *ExecContext) BufferPool() *storage.BufferPool { return c.bp }
+
+// Catalog returns the shared catalog.
+func (c *ExecContext) Catalog() *catalog.Catalog { return c.cat }
+
+// Generation returns the invalidation generation; it increases every
+// time InvalidateHandles (or DropCaches) discards the cached handles.
+func (c *ExecContext) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// InvalidateHandles drops every cached object handle; call after
+// catalog mutations (new loads or builds) so subsequent queries reopen
+// the replaced objects.
+func (c *ExecContext) InvalidateHandles() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidateLocked()
+}
+
+func (c *ExecContext) invalidateLocked() {
+	c.gen++
+	c.dims, c.ff, c.arr = nil, nil, nil
+}
+
+// DropCaches empties the buffer pool, emulating the paper's cold-cache
+// measurement protocol. All cached object handles are invalidated too,
+// so a catalog mutation between queries can never leave a handle
+// serving a replaced object.
+func (c *ExecContext) DropCaches() error {
+	c.mu.Lock()
+	c.invalidateLocked()
+	c.mu.Unlock()
+	return c.bp.DropAll()
+}
+
+// Dimensions returns the shared dimension table handles, opening them on
+// first use.
+func (c *ExecContext) Dimensions() ([]*catalog.DimensionTable, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dims == nil {
+		dims, err := OpenDimensions(c.bp, c.cat)
+		if err != nil {
+			return nil, err
+		}
+		c.dims = dims
+	}
+	return c.dims, nil
+}
+
+// FactFile returns the shared fact file handle, opening it on first use.
+func (c *ExecContext) FactFile() (*factfile.File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ff == nil {
+		ff, err := OpenFactFile(c.bp, c.cat)
+		if err != nil {
+			return nil, err
+		}
+		c.ff = ff
+	}
+	return c.ff, nil
+}
+
+// ArrayClone returns a private clone of the OLAP array: the master copy
+// (dimension maps, B-trees, chunk directory) is opened once and shared;
+// the clone carries its own chunk-decode cache so the caller can read
+// without synchronizing with other queries.
+func (c *ExecContext) ArrayClone() (*array.Array, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.arr == nil {
+		arr, err := OpenArray(c.bp, c.cat)
+		if err != nil {
+			return nil, err
+		}
+		c.arr = arr
+	}
+	return c.arr.Clone(), nil
+}

@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/array"
 	"repro/internal/catalog"
 	"repro/internal/core"
-	"repro/internal/factfile"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -15,9 +13,11 @@ import (
 // Engine selects the evaluation strategy.
 type Engine int8
 
-// Engines. Auto picks the array when one is built (the ADT dispatch of
-// the paper's Paradise integration), otherwise the best relational plan
-// available.
+// Engines. Auto lets the cost-based planner choose between the runnable
+// plans using the catalog's load-time statistics — the array below the
+// paper's selectivity crossover is beaten by bitmap + fact file (§5.6,
+// Figs 8/9) — falling back to a structural heuristic when the catalog
+// predates persisted statistics. Forced engines are never overridden.
 const (
 	Auto Engine = iota
 	// ArrayEngine evaluates on the OLAP Array ADT (§4.1 / §4.2).
@@ -48,7 +48,9 @@ func (e Engine) String() string {
 }
 
 // QueryResult is the executor's output: result rows plus plan name,
-// algorithm metrics, wall time, and buffer pool I/O deltas.
+// algorithm metrics, wall time, buffer pool I/O deltas, and the
+// planner's explanation. For EXPLAIN queries only the plan fields are
+// populated; nothing is executed.
 type QueryResult struct {
 	Rows       []core.Row
 	GroupAttrs []string
@@ -57,186 +59,118 @@ type QueryResult struct {
 	Metrics    core.Metrics
 	Elapsed    time.Duration
 	IO         storage.Stats
+	// Explanation describes the planning decision: estimated
+	// selectivity, every candidate's cost, and the chosen plan tree.
+	Explanation *Explanation
 }
 
-// Executor runs compiled queries against the objects in a catalog. It
-// caches opened handles; it is not safe for concurrent use (clone one
-// executor per goroutine).
+// Executor plans and runs compiled queries against the objects in a
+// catalog. It is a thin cursor over a shared ExecContext: all object
+// handles live in the context, guarded, so executors are safe for
+// concurrent use and cheap to create one per session.
 type Executor struct {
-	bp  *storage.BufferPool
-	cat *catalog.Catalog
-
-	dims []*catalog.DimensionTable
-	ff   *factfile.File
-	arr  *array.Array
+	ctx *ExecContext
 }
 
-// NewExecutor creates an executor over the catalog's objects.
+// NewExecutor creates an executor with its own fresh ExecContext.
 func NewExecutor(bp *storage.BufferPool, cat *catalog.Catalog) *Executor {
-	return &Executor{bp: bp, cat: cat}
+	return &Executor{ctx: NewExecContext(bp, cat)}
 }
+
+// NewSessionExecutor creates an executor sharing an existing context —
+// how DB.Session hands out per-session executors over one shared
+// handle cache.
+func NewSessionExecutor(ctx *ExecContext) *Executor {
+	return &Executor{ctx: ctx}
+}
+
+// Context returns the executor's shared execution state.
+func (e *Executor) Context() *ExecContext { return e.ctx }
 
 // InvalidateHandles drops cached object handles; call after catalog
 // mutations (new loads or builds).
-func (e *Executor) InvalidateHandles() {
-	e.dims, e.ff, e.arr = nil, nil, nil
-}
+func (e *Executor) InvalidateHandles() { e.ctx.InvalidateHandles() }
 
-// DropCaches empties the buffer pool, emulating the paper's cold-cache
-// measurement protocol. Cached object handles survive (they hold page
-// ids, not pages), but the array's chunk-decode cache is dropped.
-func (e *Executor) DropCaches() error {
-	e.arr = nil // also discards the array's chunk-decode cache
-	return e.bp.DropAll()
-}
-
-func (e *Executor) dimensions() ([]*catalog.DimensionTable, error) {
-	if e.dims == nil {
-		dims, err := OpenDimensions(e.bp, e.cat)
-		if err != nil {
-			return nil, err
-		}
-		e.dims = dims
-	}
-	return e.dims, nil
-}
-
-func (e *Executor) factFile() (*factfile.File, error) {
-	if e.ff == nil {
-		ff, err := OpenFactFile(e.bp, e.cat)
-		if err != nil {
-			return nil, err
-		}
-		e.ff = ff
-	}
-	return e.ff, nil
-}
-
-func (e *Executor) arrayADT() (*array.Array, error) {
-	if e.arr == nil {
-		arr, err := OpenArray(e.bp, e.cat)
-		if err != nil {
-			return nil, err
-		}
-		e.arr = arr
-	}
-	return e.arr, nil
-}
+// DropCaches empties the buffer pool and invalidates all cached
+// handles, emulating the paper's cold-cache measurement protocol.
+func (e *Executor) DropCaches() error { return e.ctx.DropCaches() }
 
 // HasArray reports whether an OLAP array is built.
-func (e *Executor) HasArray() bool { return e.cat.ArrayState != 0 }
+func (e *Executor) HasArray() bool { return e.ctx.Catalog().ArrayState != 0 }
 
 // HasBitmapIndexes reports whether bitmap indices cover every selection
 // in spec.
 func (e *Executor) HasBitmapIndexes(spec *query.Spec) bool {
-	if e.cat.Schema == nil {
+	cat := e.ctx.Catalog()
+	if cat.Schema == nil {
 		return false
 	}
 	for _, s := range spec.Selections {
-		d := e.cat.Schema.Dimensions[s.Dim]
-		if _, ok := e.cat.BitmapIndexes[catalog.BitmapKey(d.Name, d.Attrs[s.Level])]; !ok {
+		d := cat.Schema.Dimensions[s.Dim]
+		if _, ok := cat.BitmapIndexes[catalog.BitmapKey(d.Name, d.Attrs[s.Level])]; !ok {
 			return false
 		}
 	}
 	return true
 }
 
-// plan resolves Auto to a concrete engine.
-func (e *Executor) plan(spec *query.Spec, engine Engine) Engine {
-	if engine != Auto {
-		return engine
-	}
-	if e.HasArray() {
-		return ArrayEngine
-	}
-	if len(spec.Selections) > 0 && e.HasBitmapIndexes(spec) {
-		return BitmapEngine
-	}
-	return StarJoinEngine
+// Explain plans the query without running it.
+func (e *Executor) Explain(spec *query.Spec, engine Engine) (*Explanation, error) {
+	_, expl, err := e.plan(spec, engine)
+	return expl, err
 }
 
-// Execute runs a compiled query on the chosen engine.
-func (e *Executor) Execute(spec *query.Spec, engine Engine) (*QueryResult, error) {
-	concrete := e.plan(spec, engine)
-	ioBefore := e.bp.Stats()
-	start := time.Now()
-
-	var (
-		res      *core.Result
-		metrics  core.Metrics
-		planName string
-		err      error
-	)
-	switch concrete {
-	case ArrayEngine:
-		var arr *array.Array
-		arr, err = e.arrayADT()
-		if err != nil {
-			break
-		}
-		if len(spec.Selections) > 0 {
-			planName = "array-select-consolidate"
-			res, metrics, err = core.ArraySelectConsolidate(arr, spec.Selections, spec.Group)
-		} else {
-			planName = "array-consolidate"
-			res, metrics, err = core.ArrayConsolidate(arr, spec.Group)
-		}
-	case StarJoinEngine:
-		var dims []*catalog.DimensionTable
-		var ff *factfile.File
-		if dims, err = e.dimensions(); err != nil {
-			break
-		}
-		if ff, err = e.factFile(); err != nil {
-			break
-		}
-		if len(spec.Selections) > 0 {
-			planName = "starjoin-filter"
-			res, metrics, err = core.StarJoinSelectConsolidate(ff, dims, spec.Selections, spec.Group)
-		} else {
-			planName = "starjoin"
-			res, metrics, err = core.StarJoinConsolidate(ff, dims, spec.Group)
-		}
-	case BitmapEngine:
-		var dims []*catalog.DimensionTable
-		var ff *factfile.File
-		if dims, err = e.dimensions(); err != nil {
-			break
-		}
-		if ff, err = e.factFile(); err != nil {
-			break
-		}
-		if len(spec.Selections) == 0 {
-			// The paper's bitmap algorithm exists for selections; a
-			// selection-free consolidation runs the star join.
-			planName = "starjoin"
-			res, metrics, err = core.StarJoinConsolidate(ff, dims, spec.Group)
-		} else {
-			planName = "bitmap-factfile"
-			src := &core.LOBBitmapSource{Lob: storage.NewLOBStore(e.bp), Refs: e.cat.BitmapIndexes}
-			res, metrics, err = core.BitmapSelectConsolidate(ff, dims, src, spec.Selections, spec.Group)
-		}
-	default:
-		return nil, fmt.Errorf("exec: unknown engine %v", concrete)
-	}
+// ExplainSQL parses, compiles, and plans a query without running it. A
+// leading EXPLAIN keyword is accepted and ignored.
+func (e *Executor) ExplainSQL(sql string, engine Engine) (*Explanation, error) {
+	spec, err := query.ParseAndCompile(sql, e.ctx.Catalog().Schema)
 	if err != nil {
 		return nil, err
 	}
+	return e.Explain(spec, engine)
+}
 
-	return &QueryResult{
-		Rows:       res.SortedRows(),
-		GroupAttrs: spec.GroupAttrs,
-		Aggs:       spec.Aggs,
-		Plan:       planName,
-		Metrics:    metrics,
-		Elapsed:    time.Since(start),
-		IO:         e.bp.Stats().Sub(ioBefore),
-	}, nil
+// Execute runs a compiled query on the chosen engine. When the spec is
+// an EXPLAIN, the query is planned but not run, and the result carries
+// only the plan fields.
+func (e *Executor) Execute(spec *query.Spec, engine Engine) (*QueryResult, error) {
+	plan, expl, err := e.plan(spec, engine)
+	if err != nil {
+		return nil, err
+	}
+	qr := &QueryResult{
+		GroupAttrs:  spec.GroupAttrs,
+		Aggs:        spec.Aggs,
+		Plan:        plan.Name(),
+		Explanation: expl,
+	}
+	est := expl.ChosenCost()
+	qr.Metrics.EstCostIO = est.IO
+	qr.Metrics.EstCostCPU = est.CPU
+	qr.Metrics.EstRows = est.Rows
+	if spec.Explain {
+		return qr, nil
+	}
+
+	ioBefore := e.ctx.BufferPool().Stats()
+	start := time.Now()
+	res, metrics, err := plan.Run(e.ctx)
+	if err != nil {
+		return nil, err
+	}
+	metrics.EstCostIO = est.IO
+	metrics.EstCostCPU = est.CPU
+	metrics.EstRows = est.Rows
+	qr.Rows = res.SortedRows()
+	qr.Metrics = metrics
+	qr.Elapsed = time.Since(start)
+	qr.IO = e.ctx.BufferPool().Stats().Sub(ioBefore)
+	return qr, nil
 }
 
 // ExecuteSQL parses, compiles, and executes a SQL-subset query.
 func (e *Executor) ExecuteSQL(sql string, engine Engine) (*QueryResult, error) {
-	spec, err := query.ParseAndCompile(sql, e.cat.Schema)
+	spec, err := query.ParseAndCompile(sql, e.ctx.Catalog().Schema)
 	if err != nil {
 		return nil, err
 	}

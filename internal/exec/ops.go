@@ -102,6 +102,87 @@ func LoadFacts(bp *storage.BufferPool, cat *catalog.Catalog, src FactSource) err
 	}
 	cat.FactRoot = uint64(ff.Root())
 	cat.FactTuples = ff.NumTuples()
+	return refreshBaseStats(bp, cat)
+}
+
+// refreshBaseStats (re)collects the planner statistics for the
+// dimension tables and the fact file. It runs after every bulk load and
+// build, so dimensions loaded in any order relative to the facts are
+// picked up; the array and bitmap sections are refreshed by their own
+// builds and survive untouched here.
+func refreshBaseStats(bp *storage.BufferPool, cat *catalog.Catalog) error {
+	st := cat.Stats
+	if st == nil {
+		st = &catalog.Stats{}
+		cat.Stats = st
+	}
+	dims, err := OpenDimensions(bp, cat)
+	if err != nil {
+		return err
+	}
+	st.Dimensions = st.Dimensions[:0]
+	for _, dt := range dims {
+		ds := catalog.DimensionStats{
+			Name:         dt.Schema.Name,
+			AttrDistinct: make([]uint64, len(dt.Schema.Attrs)),
+		}
+		distinct := make([]map[string]struct{}, len(dt.Schema.Attrs))
+		for i := range distinct {
+			distinct[i] = make(map[string]struct{})
+		}
+		err := dt.Scan(func(key int64, attrs []string) error {
+			ds.Members++
+			for i, v := range attrs {
+				distinct[i][v] = struct{}{}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i := range distinct {
+			ds.AttrDistinct[i] = uint64(len(distinct[i]))
+		}
+		sz, err := dt.SizeBytes()
+		if err != nil {
+			return err
+		}
+		ds.Pages = catalog.PagesOf(sz)
+		st.Dimensions = append(st.Dimensions, ds)
+	}
+	if cat.FactRoot != 0 {
+		ff, err := OpenFactFile(bp, cat)
+		if err != nil {
+			return err
+		}
+		st.FactTuples = ff.NumTuples()
+		st.FactPages = catalog.PagesOf(ff.SizeBytes())
+	}
+	return nil
+}
+
+// RefreshArrayStats recollects the array section of the planner
+// statistics from the catalog's current array — used after builds and
+// copy-on-write updates replace the array version.
+func RefreshArrayStats(bp *storage.BufferPool, cat *catalog.Catalog) error {
+	arr, err := OpenArray(bp, cat)
+	if err != nil {
+		return err
+	}
+	if cat.Stats == nil {
+		if err := refreshBaseStats(bp, cat); err != nil {
+			return err
+		}
+	}
+	g := arr.Geometry()
+	cat.Stats.Array = &catalog.ArrayStats{
+		DimSizes:     g.Dims(),
+		ChunkShape:   g.ChunkShape(),
+		NumChunks:    g.NumChunks(),
+		ValidCells:   arr.NumValidCells(),
+		EncodedBytes: arr.Store().EncodedBytes(),
+		Pages:        catalog.PagesOf(arr.Store().SizeBytes()),
+	}
 	return nil
 }
 
@@ -182,7 +263,10 @@ func BuildArray(bp *storage.BufferPool, cat *catalog.Catalog, cfg ArrayBuildConf
 		return err
 	}
 	cat.ArrayState = uint64(arr.State().First)
-	return nil
+	if err := refreshBaseStats(bp, cat); err != nil {
+		return err
+	}
+	return RefreshArrayStats(bp, cat)
 }
 
 // OpenArray opens the OLAP Array recorded in the catalog.
@@ -209,13 +293,21 @@ func BuildBitmapIndexes(bp *storage.BufferPool, cat *catalog.Catalog) error {
 	if err != nil {
 		return err
 	}
+	if err := refreshBaseStats(bp, cat); err != nil {
+		return err
+	}
+	cat.Stats.Bitmaps = make(map[string]catalog.BitmapIndexStats, len(indexes))
 	lob := storage.NewLOBStore(bp)
 	for key, ix := range indexes {
-		ref, _, err := ix.Save(lob)
+		ref, pages, err := ix.Save(lob)
 		if err != nil {
 			return err
 		}
 		cat.BitmapIndexes[key] = uint64(ref.First)
+		cat.Stats.Bitmaps[key] = catalog.BitmapIndexStats{
+			Values: ix.NumValues(),
+			Pages:  int64(pages),
+		}
 	}
 	return nil
 }

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// Candidate is one runnable plan with its estimated cost.
+type Candidate struct {
+	Name   string
+	Engine Engine
+	Cost   Cost
+	Chosen bool
+}
+
+// Explanation is the planner's account of one query: the estimated
+// combined selectivity S, every runnable candidate with its cost, and
+// the chosen plan's operator tree. It is attached to every QueryResult
+// and is the payload of EXPLAIN.
+type Explanation struct {
+	// Chosen is the selected plan's name (QueryResult.Plan).
+	Chosen string
+	// Engine is the selected plan's engine family.
+	Engine Engine
+	// Forced is true when the caller pinned the engine; forced engines
+	// are never overridden by the cost model.
+	Forced bool
+	// CostBased is true when persisted statistics drove the choice;
+	// false means the legacy heuristic ran (no statistics in the
+	// catalog, e.g. a pre-version-2 database).
+	CostBased bool
+	// Selectivity is the estimated combined selectivity S of the
+	// query's selections (1 when there are none or no statistics).
+	Selectivity float64
+	// Candidates lists every runnable plan, cheapest first when
+	// CostBased (the chosen one is marked).
+	Candidates []Candidate
+	// Tree is the chosen plan's operator tree.
+	Tree PlanDesc
+}
+
+// String renders the explanation: the choice, the candidate costs, and
+// the plan tree — the EXPLAIN output format.
+func (x *Explanation) String() string {
+	var b strings.Builder
+	mode := "cost-based"
+	if x.Forced {
+		mode = "forced"
+	} else if !x.CostBased {
+		mode = "heuristic (no statistics)"
+	}
+	fmt.Fprintf(&b, "plan: %s  engine=%s  S=%.6g  [%s]\n", x.Chosen, x.Engine, x.Selectivity, mode)
+	fmt.Fprintf(&b, "candidates:\n")
+	for _, c := range x.Candidates {
+		mark := "  "
+		if c.Chosen {
+			mark = "->"
+		}
+		fmt.Fprintf(&b, "  %s %-26s %s\n", mark, c.Name, c.Cost)
+	}
+	fmt.Fprintf(&b, "tree:\n")
+	writePlanDesc(&b, &x.Tree, 1)
+	return b.String()
+}
+
+func writePlanDesc(b *strings.Builder, d *PlanDesc, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(d.Name)
+	if d.Detail != "" {
+		fmt.Fprintf(b, " [%s]", d.Detail)
+	}
+	if d.EstRows > 0 || d.EstIO > 0 {
+		fmt.Fprintf(b, " (est rows=%d io=%.1f)", d.EstRows, d.EstIO)
+	}
+	b.WriteByte('\n')
+	for i := range d.Children {
+		writePlanDesc(b, &d.Children[i], depth+1)
+	}
+}
+
+// statsUsable reports whether the catalog's statistics can cost plans.
+func statsUsable(st *catalog.Stats) bool {
+	return st != nil && st.FactTuples > 0 && len(st.Dimensions) > 0
+}
+
+// plan builds the plan for (spec, engine): the forced plan when engine
+// pins one, otherwise the cheapest runnable plan under the cost model
+// (or the legacy heuristic when the catalog carries no statistics).
+// The returned Explanation always describes what happened.
+func (e *Executor) plan(spec *query.Spec, engine Engine) (Plan, *Explanation, error) {
+	cat := e.ctx.Catalog()
+	if cat.Schema == nil {
+		return nil, nil, fmt.Errorf("exec: no schema defined")
+	}
+	schema := cat.Schema
+	st := cat.Stats
+
+	newArray := func() Plan { return &arrayPlan{spec: spec, schema: schema} }
+	newStar := func() Plan { return &starJoinPlan{spec: spec, schema: schema} }
+	newBitmap := func() Plan { return &bitmapPlan{spec: spec, schema: schema, cat: cat} }
+
+	var chosen Plan
+	forced := engine != Auto
+	switch engine {
+	case ArrayEngine:
+		if !e.HasArray() {
+			return nil, nil, fmt.Errorf("exec: OLAP array not built")
+		}
+		chosen = newArray()
+	case StarJoinEngine:
+		chosen = newStar()
+	case BitmapEngine:
+		if len(spec.Selections) == 0 {
+			// The paper's bitmap algorithm exists for selections; a
+			// selection-free consolidation runs the star join.
+			chosen = newStar()
+		} else {
+			if !e.HasBitmapIndexes(spec) {
+				return nil, nil, fmt.Errorf("exec: bitmap indexes do not cover every selection")
+			}
+			chosen = newBitmap()
+		}
+	case Auto:
+		// Enumerate runnable candidates in legacy preference order:
+		// array, then bitmap, then star join.
+		var plans []Plan
+		if e.HasArray() {
+			plans = append(plans, newArray())
+		}
+		if len(spec.Selections) > 0 && e.HasBitmapIndexes(spec) {
+			plans = append(plans, newBitmap())
+		}
+		plans = append(plans, newStar())
+
+		if statsUsable(st) {
+			chosen = plans[0]
+			best := chosen.Estimate(st).Total()
+			for _, p := range plans[1:] {
+				if c := p.Estimate(st).Total(); c < best {
+					chosen, best = p, c
+				}
+			}
+		} else {
+			chosen = plans[0] // legacy heuristic: preference order
+		}
+		return chosen, e.explain(spec, chosen, plans, false, st), nil
+	default:
+		return nil, nil, fmt.Errorf("exec: unknown engine %v", engine)
+	}
+	return chosen, e.explain(spec, chosen, []Plan{chosen}, forced, st), nil
+}
+
+// explain assembles the Explanation for a planning decision.
+func (e *Executor) explain(spec *query.Spec, chosen Plan, plans []Plan, forced bool, st *catalog.Stats) *Explanation {
+	x := &Explanation{
+		Chosen:      chosen.Name(),
+		Engine:      chosen.Engine(),
+		Forced:      forced,
+		CostBased:   !forced && statsUsable(st),
+		Selectivity: 1,
+	}
+	usable := statsUsable(st)
+	for _, p := range plans {
+		var c Cost
+		if usable {
+			c = p.Estimate(st)
+		}
+		x.Candidates = append(x.Candidates, Candidate{
+			Name:   p.Name(),
+			Engine: p.Engine(),
+			Cost:   c,
+			Chosen: p == chosen,
+		})
+	}
+	if usable {
+		fr := selectionFractions(st, len(st.Dimensions), spec.Selections)
+		x.Selectivity = combinedSelectivity(fr)
+		sort.SliceStable(x.Candidates, func(i, j int) bool {
+			return x.Candidates[i].Cost.Total() < x.Candidates[j].Cost.Total()
+		})
+	}
+	x.Tree = chosen.Explain()
+	return x
+}
+
+// ChosenCost returns the chosen candidate's cost estimate.
+func (x *Explanation) ChosenCost() Cost {
+	for _, c := range x.Candidates {
+		if c.Chosen {
+			return c.Cost
+		}
+	}
+	return Cost{}
+}

@@ -1,0 +1,412 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Cost is a plan cost estimate in the paper's currency: page I/O plus
+// CPU work expressed in page-read equivalents, so one Total orders
+// plans the way the paper's disk-resident experiments do (§5.6).
+type Cost struct {
+	IO   float64 // page reads
+	CPU  float64 // CPU work, in page-read equivalents
+	Rows int64   // estimated qualifying fact tuples
+}
+
+// Total is the scalar the planner minimizes.
+func (c Cost) Total() float64 { return c.IO + c.CPU }
+
+// String implements fmt.Stringer.
+func (c Cost) String() string {
+	return fmt.Sprintf("cost=%.1f (io=%.1f cpu=%.1f) rows=%d", c.Total(), c.IO, c.CPU, c.Rows)
+}
+
+// PlanDesc is one operator of an EXPLAIN plan tree.
+type PlanDesc struct {
+	Name     string
+	Detail   string
+	EstRows  int64
+	EstIO    float64
+	Children []PlanDesc
+}
+
+// Plan is one executable strategy for a compiled query: a node the
+// planner can cost from catalog statistics, run against the shared
+// execution state, and describe as an operator tree.
+type Plan interface {
+	// Name is the plan name reported in QueryResult.Plan.
+	Name() string
+	// Engine is the engine family the plan belongs to.
+	Engine() Engine
+	// Estimate predicts the plan's cost from load-time statistics. It
+	// must tolerate incomplete statistics (missing array or bitmap
+	// sections simply don't arise: the planner only builds plans whose
+	// physical objects exist).
+	Estimate(st *catalog.Stats) Cost
+	// Run executes the plan.
+	Run(ctx *ExecContext) (*core.Result, core.Metrics, error)
+	// Explain describes the plan as an operator tree, annotated with
+	// the most recent Estimate.
+	Explain() PlanDesc
+}
+
+// Cost model constants. IO terms are literal page counts from the
+// statistics; CPU terms convert per-item work to page-read equivalents.
+// The ratios are what matter: they are tuned so the model reproduces
+// the paper's orderings — array wins full consolidations (Figs 4/5),
+// bitmap+fact-file wins high-selectivity selections (Figs 8/9), star
+// join only wins when neither index exists.
+const (
+	cpuCellCost   = 0.0005 // per valid cell visited by a full array scan
+	cpuProbeCost  = 0.0001 // per candidate cell probed by ArraySelectConsolidate
+	cpuTupleCost  = 0.001  // per fact tuple scanned or fetched (join + grouping)
+	btreeProbeIO  = 0.5    // per selection value: attribute B-tree index-list lookup
+	bitmapFloorIO = 0.5    // minimum pages to read one value bitmap
+)
+
+// selectionFractions estimates the per-dimension selected fraction
+// f_d = |values| / distinct(dim, level) from the statistics, 1.0 for
+// unselected dimensions. Multiple selections on one dimension multiply
+// (treated as intersecting), and every fraction is clamped to [?, 1].
+func selectionFractions(st *catalog.Stats, nDims int, sels []core.Selection) []float64 {
+	fr := make([]float64, nDims)
+	for i := range fr {
+		fr[i] = 1
+	}
+	for _, s := range sels {
+		if s.Dim < 0 || s.Dim >= nDims {
+			continue
+		}
+		distinct, ok := st.AttrDistinctOf(s.Dim, s.Level)
+		if !ok {
+			continue // no statistics for this attribute: assume no filtering
+		}
+		f := float64(len(s.Values)) / float64(distinct)
+		if f > 1 {
+			f = 1
+		}
+		fr[s.Dim] *= f
+	}
+	return fr
+}
+
+// combinedSelectivity is the paper's S: the product of the per-dimension
+// selected fractions.
+func combinedSelectivity(fr []float64) float64 {
+	s := 1.0
+	for _, f := range fr {
+		s *= f
+	}
+	return s
+}
+
+// selectionDetail renders one selection for EXPLAIN output.
+func selectionDetail(schema *catalog.StarSchema, s core.Selection) string {
+	d := &schema.Dimensions[s.Dim]
+	attr := d.Key
+	if s.Level >= 0 && s.Level < len(d.Attrs) {
+		attr = d.Attrs[s.Level]
+	}
+	if len(s.Values) == 1 {
+		return fmt.Sprintf("%s.%s = '%s'", d.Name, attr, s.Values[0])
+	}
+	return fmt.Sprintf("%s.%s in %v", d.Name, attr, s.Values)
+}
+
+// arrayPlan evaluates on the OLAP Array ADT: ArrayConsolidate (§4.1)
+// without selections, ArraySelectConsolidate (§4.2) with them.
+type arrayPlan struct {
+	spec   *query.Spec
+	schema *catalog.StarSchema
+
+	est        Cost
+	estSel     float64
+	estChunks  float64 // chunks predicted to be read (select path)
+	estProbes  float64 // candidate cells predicted to be probed
+	haveEst    bool
+	totalChunk int
+}
+
+func (p *arrayPlan) Name() string {
+	if len(p.spec.Selections) > 0 {
+		return "array-select-consolidate"
+	}
+	return "array-consolidate"
+}
+
+func (p *arrayPlan) Engine() Engine { return ArrayEngine }
+
+func (p *arrayPlan) Estimate(st *catalog.Stats) Cost {
+	a := st.Array
+	if a == nil {
+		return Cost{}
+	}
+	p.haveEst = true
+	p.totalChunk = a.NumChunks
+	if len(p.spec.Selections) == 0 {
+		// Full consolidation decodes every chunk: the compressed payload
+		// is the I/O, one aggregation step per valid cell is the CPU.
+		p.est = Cost{
+			IO:   float64(a.EncodedBytes) / storage.PageSize,
+			CPU:  float64(a.ValidCells) * cpuCellCost,
+			Rows: a.ValidCells,
+		}
+		p.estSel = 1
+		p.estChunks = float64(a.NumChunks)
+		return p.est
+	}
+
+	fr := selectionFractions(st, len(a.DimSizes), p.spec.Selections)
+	p.estSel = combinedSelectivity(fr)
+
+	// §4.2 reads only chunks overlapping the selected members. Members
+	// sharing a hierarchy value are clustered in index order (§5.1), so
+	// m selected members cover at most ceil(m/side)+1 chunks along their
+	// dimension (the +1 is the worst-case block straddle).
+	candChunks := 1.0
+	candCells := 1.0
+	values := 0
+	for d, size := range a.DimSizes {
+		side := a.ChunkShape[d]
+		along := float64((size + side - 1) / side)
+		m := fr[d] * float64(size)
+		if m < 1 {
+			m = 1
+		}
+		candCells *= m
+		if fr[d] < 1 {
+			cand := float64(int(m+float64(side)-1)/side) + 1
+			if cand < along {
+				along = cand
+			}
+		}
+		candChunks *= along
+	}
+	for _, s := range p.spec.Selections {
+		values += len(s.Values)
+	}
+	p.estChunks = candChunks
+	p.estProbes = candCells
+
+	perChunk := float64(a.EncodedBytes) / storage.PageSize / float64(a.NumChunks)
+	p.est = Cost{
+		IO:   candChunks*perChunk + float64(values)*btreeProbeIO,
+		CPU:  candCells * cpuProbeCost,
+		Rows: int64(p.estSel*float64(a.ValidCells) + 0.5),
+	}
+	return p.est
+}
+
+func (p *arrayPlan) Run(ctx *ExecContext) (*core.Result, core.Metrics, error) {
+	arr, err := ctx.ArrayClone()
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	if len(p.spec.Selections) > 0 {
+		return core.ArraySelectConsolidate(arr, p.spec.Selections, p.spec.Group)
+	}
+	return core.ArrayConsolidate(arr, p.spec.Group)
+}
+
+func (p *arrayPlan) Explain() PlanDesc {
+	root := PlanDesc{
+		Name:    "consolidate",
+		Detail:  "aggregate chunk-ordered cells",
+		EstRows: p.est.Rows,
+	}
+	if len(p.spec.Selections) == 0 {
+		root.Children = []PlanDesc{{
+			Name:    "array-scan",
+			Detail:  fmt.Sprintf("decode all %d chunks", p.totalChunk),
+			EstRows: p.est.Rows,
+			EstIO:   p.est.IO,
+		}}
+		return root
+	}
+	probe := PlanDesc{
+		Name:    "array-probe",
+		Detail:  fmt.Sprintf("probe ~%.0f candidate cells in ~%.0f of %d chunks", p.estProbes, p.estChunks, p.totalChunk),
+		EstRows: p.est.Rows,
+		EstIO:   p.est.IO,
+	}
+	for _, s := range p.spec.Selections {
+		probe.Children = append(probe.Children, PlanDesc{
+			Name:   "index-list",
+			Detail: selectionDetail(p.schema, s),
+			EstIO:  float64(len(s.Values)) * btreeProbeIO,
+		})
+	}
+	root.Children = []PlanDesc{probe}
+	return root
+}
+
+// starJoinPlan evaluates relationally with the StarJoin operator (§4.3),
+// filtering during the scan when selections are present.
+type starJoinPlan struct {
+	spec   *query.Spec
+	schema *catalog.StarSchema
+
+	est    Cost
+	estSel float64
+}
+
+func (p *starJoinPlan) Name() string {
+	if len(p.spec.Selections) > 0 {
+		return "starjoin-filter"
+	}
+	return "starjoin"
+}
+
+func (p *starJoinPlan) Engine() Engine { return StarJoinEngine }
+
+func (p *starJoinPlan) Estimate(st *catalog.Stats) Cost {
+	fr := selectionFractions(st, len(st.Dimensions), p.spec.Selections)
+	p.estSel = combinedSelectivity(fr)
+	// The star join always scans the whole fact file and hashes every
+	// dimension, whatever the selectivity.
+	p.est = Cost{
+		IO:   float64(st.FactPages + st.DimensionPages()),
+		CPU:  float64(st.FactTuples) * cpuTupleCost,
+		Rows: int64(p.estSel*float64(st.FactTuples) + 0.5),
+	}
+	return p.est
+}
+
+func (p *starJoinPlan) Run(ctx *ExecContext) (*core.Result, core.Metrics, error) {
+	dims, err := ctx.Dimensions()
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	ff, err := ctx.FactFile()
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	if len(p.spec.Selections) > 0 {
+		return core.StarJoinSelectConsolidate(ff, dims, p.spec.Selections, p.spec.Group)
+	}
+	return core.StarJoinConsolidate(ff, dims, p.spec.Group)
+}
+
+func (p *starJoinPlan) Explain() PlanDesc {
+	scan := PlanDesc{
+		Name:   "factfile-scan",
+		Detail: "full scan, hash-join every dimension",
+		EstIO:  p.est.IO,
+	}
+	for _, s := range p.spec.Selections {
+		scan.Children = append(scan.Children, PlanDesc{
+			Name:   "filter",
+			Detail: selectionDetail(p.schema, s),
+		})
+	}
+	return PlanDesc{
+		Name:     "consolidate",
+		Detail:   "aggregate joined tuples",
+		EstRows:  p.est.Rows,
+		Children: []PlanDesc{scan},
+	}
+}
+
+// bitmapPlan evaluates selections with the bitmap-index + fact-file
+// algorithm (§4.5): AND the per-value join bitmaps, fetch qualifying
+// tuples in ascending tuple order. The planner only builds it for
+// queries with selections that every index covers.
+type bitmapPlan struct {
+	spec   *query.Spec
+	schema *catalog.StarSchema
+	cat    *catalog.Catalog
+
+	est     Cost
+	estSel  float64
+	estBits float64 // predicted bitmap pages
+	estFtch float64 // predicted fetch pages
+}
+
+func (p *bitmapPlan) Name() string { return "bitmap-factfile" }
+
+func (p *bitmapPlan) Engine() Engine { return BitmapEngine }
+
+func (p *bitmapPlan) Estimate(st *catalog.Stats) Cost {
+	fr := selectionFractions(st, len(st.Dimensions), p.spec.Selections)
+	p.estSel = combinedSelectivity(fr)
+	q := p.estSel * float64(st.FactTuples)
+
+	// Bitmap reads: each selection value fetches one bitmap out of its
+	// index blob; amortized per-value pages from the index statistics,
+	// floored (a bitmap read always touches at least part of a page).
+	var bits float64
+	for _, s := range p.spec.Selections {
+		per := bitmapFloorIO
+		d := &p.schema.Dimensions[s.Dim]
+		if s.Level >= 0 && s.Level < len(d.Attrs) && st.Bitmaps != nil {
+			if bs, ok := st.Bitmaps[catalog.BitmapKey(d.Name, d.Attrs[s.Level])]; ok && bs.Values > 0 {
+				if v := float64(bs.Pages) / float64(bs.Values); v > per {
+					per = v
+				}
+			}
+		}
+		bits += float64(len(s.Values)) * per
+	}
+
+	// Tuple fetches walk the AND-ed bitmap in ascending tuple order, so
+	// they never read more than the fact file's pages (§4.5's sequential
+	// advantage over an unclustered index scan).
+	fetch := q
+	if fp := float64(st.FactPages); fetch > fp {
+		fetch = fp
+	}
+	p.estBits, p.estFtch = bits, fetch
+	p.est = Cost{
+		IO:   bits + fetch,
+		CPU:  q * cpuTupleCost,
+		Rows: int64(q + 0.5),
+	}
+	return p.est
+}
+
+func (p *bitmapPlan) Run(ctx *ExecContext) (*core.Result, core.Metrics, error) {
+	dims, err := ctx.Dimensions()
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	ff, err := ctx.FactFile()
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	src := &core.LOBBitmapSource{
+		Lob:  storage.NewLOBStore(ctx.BufferPool()),
+		Refs: ctx.Catalog().BitmapIndexes,
+	}
+	return core.BitmapSelectConsolidate(ff, dims, src, p.spec.Selections, p.spec.Group)
+}
+
+func (p *bitmapPlan) Explain() PlanDesc {
+	and := PlanDesc{
+		Name:   "bitmap-and",
+		Detail: fmt.Sprintf("AND %d selection bitmaps", len(p.spec.Selections)),
+		EstIO:  p.estBits,
+	}
+	for _, s := range p.spec.Selections {
+		and.Children = append(and.Children, PlanDesc{
+			Name:   "bitmap",
+			Detail: selectionDetail(p.schema, s),
+		})
+	}
+	return PlanDesc{
+		Name:    "consolidate",
+		Detail:  "aggregate fetched tuples",
+		EstRows: p.est.Rows,
+		Children: []PlanDesc{{
+			Name:     "factfile-fetch",
+			Detail:   "fetch qualifying tuples in ascending tuple order",
+			EstRows:  p.est.Rows,
+			EstIO:    p.estFtch,
+			Children: []PlanDesc{and},
+		}},
+	}
+}

@@ -10,6 +10,9 @@ import (
 // Spec is a compiled consolidation query: the engine-neutral form
 // consumed by every evaluation algorithm.
 type Spec struct {
+	// Explain requests planning only: the executor reports the
+	// candidate plans and costs without running the query.
+	Explain bool
 	// Aggs lists the requested aggregates in select-list order. Every
 	// plan accumulates full per-group state (sum/count/min/max), so any
 	// combination evaluates in one pass.
@@ -138,7 +141,7 @@ func Compile(q *Query, schema *catalog.StarSchema) (*Spec, error) {
 	for _, call := range q.Aggs {
 		aggs = append(aggs, call.Func)
 	}
-	spec := &Spec{Aggs: aggs}
+	spec := &Spec{Explain: q.Explain, Aggs: aggs}
 
 	// Selections.
 	for _, s := range q.Selections {

@@ -41,6 +41,9 @@ type AggCall struct {
 
 // Query is the parsed form of a consolidation query.
 type Query struct {
+	// Explain is true when the statement started with EXPLAIN: plan the
+	// query and report the candidates without running it.
+	Explain    bool
 	Aggs       []AggCall
 	Select     []AttrRef
 	Tables     []string
@@ -140,9 +143,12 @@ var aggNames = map[string]core.AggFunc{
 	"avg":   core.Avg,
 }
 
-// parseQuery parses the full statement.
+// parseQuery parses the full statement: [EXPLAIN] SELECT ... .
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
+	if p.acceptKeyword("explain") {
+		q.Explain = true
+	}
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
 	}

@@ -302,3 +302,36 @@ func TestAttrRefString(t *testing.T) {
 		t.Fatal("AttrRef.String wrong")
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	schema := paperSchema()
+	for _, sql := range []string{
+		"explain " + query2,
+		"EXPLAIN " + query2,
+		"Explain" + query2, // query2 starts with a newline
+	} {
+		q, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%.20q...): %v", sql, err)
+		}
+		if !q.Explain {
+			t.Fatalf("Parse(%.20q...) did not set Explain", sql)
+		}
+		spec, err := Compile(q, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spec.Explain || len(spec.Selections) != 4 {
+			t.Fatalf("spec = %+v", spec)
+		}
+	}
+	// Without the keyword, Explain stays false.
+	spec, err := ParseAndCompile(query2, schema)
+	if err != nil || spec.Explain {
+		t.Fatalf("plain query: spec.Explain=%v err=%v", spec.Explain, err)
+	}
+	// EXPLAIN alone is not a statement.
+	if _, err := Parse("explain"); err == nil {
+		t.Fatal("Parse(\"explain\") succeeded")
+	}
+}

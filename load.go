@@ -112,6 +112,9 @@ func (db *DB) UpdateArrayCells(updates []ArrayCellUpdate) error {
 		return err
 	}
 	db.cat.ArrayState = uint64(next.State().First)
+	if err := exec.RefreshArrayStats(db.bp, db.cat); err != nil {
+		return err
+	}
 	db.ex.InvalidateHandles()
 	return nil
 }

@@ -51,6 +51,13 @@ type (
 	Engine = exec.Engine
 	// Result is a query result with rows, plan, metrics, and timing.
 	Result = exec.QueryResult
+	// Explanation is the planner's account of a query: estimated
+	// selectivity, candidate plan costs, and the chosen plan tree.
+	Explanation = exec.Explanation
+	// PlanDesc is one operator of an EXPLAIN plan tree.
+	PlanDesc = exec.PlanDesc
+	// Cost is a plan cost estimate (page I/O + CPU page-equivalents).
+	Cost = exec.Cost
 	// Stats are buffer pool I/O counters.
 	Stats = storage.Stats
 	// AggFunc selects an aggregate function.
@@ -68,7 +75,8 @@ const (
 
 // Evaluation engines.
 const (
-	// Auto lets the planner choose (array if built, else relational).
+	// Auto lets the cost-based planner choose the cheapest runnable
+	// plan from the catalog's load-time statistics.
 	Auto = exec.Auto
 	// ArrayEngine forces the OLAP Array algorithms (§4.1/§4.2).
 	ArrayEngine = exec.ArrayEngine
@@ -218,5 +226,14 @@ func (db *DB) Schema() *StarSchema { return db.cat.Schema }
 func (db *DB) Stats() Stats { return db.bp.Stats() }
 
 // DropCaches flushes and empties the buffer pool — the paper's cold-cache
-// protocol between measured queries.
+// protocol between measured queries. Cached object handles are
+// invalidated with it, so later catalog mutations can never leave a
+// stale handle serving a replaced object.
 func (db *DB) DropCaches() error { return db.ex.DropCaches() }
+
+// Explain plans a query without running it, reporting the estimated
+// selectivity, every candidate plan's cost, and the chosen plan tree.
+// A leading EXPLAIN keyword in sql is accepted and ignored.
+func (db *DB) Explain(sql string) (*Explanation, error) {
+	return db.ex.ExplainSQL(sql, Auto)
+}

@@ -4,11 +4,13 @@ import (
 	"repro/internal/exec"
 )
 
-// Session is an independent read cursor over the database: it holds its
-// own executor (and therefore its own object handles and chunk-decode
-// caches) so multiple sessions can run queries concurrently. The buffer
-// pool underneath is shared and thread-safe; the catalog is read-only
-// once loaded.
+// Session is an independent read cursor over the database. All sessions
+// share one execution context — the guarded handle cache holding the
+// dimension tables, fact file, and the array's master structures — so
+// handles are opened once per database; each query gets a private
+// chunk-decode cache, which keeps concurrent sessions safe under the
+// race detector. The buffer pool underneath is shared and thread-safe;
+// the catalog is read-only once loaded.
 //
 // Sessions only read. Schema creation, loads, index builds, and Commit
 // stay on the owning DB handle and must not run concurrently with
@@ -18,9 +20,9 @@ type Session struct {
 	ex *exec.Executor
 }
 
-// Session creates a new read session.
+// Session creates a new read session sharing the DB's execution context.
 func (db *DB) Session() *Session {
-	return &Session{ex: exec.NewExecutor(db.bp, db.cat)}
+	return &Session{ex: exec.NewSessionExecutor(db.ex.Context())}
 }
 
 // Query parses, plans, and executes a query in this session.
@@ -31,4 +33,9 @@ func (s *Session) Query(sql string) (*Result, error) {
 // QueryOn executes a query on an explicit engine in this session.
 func (s *Session) QueryOn(sql string, engine Engine) (*Result, error) {
 	return s.ex.ExecuteSQL(sql, engine)
+}
+
+// Explain plans a query in this session without running it.
+func (s *Session) Explain(sql string) (*Explanation, error) {
+	return s.ex.ExplainSQL(sql, Auto)
 }
