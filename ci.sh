@@ -22,6 +22,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== EXPLAIN ANALYZE golden output =="
+go test -run TestExplainAnalyzeGolden -count=1 ./internal/exec/
+
+echo "== metrics endpoint smoke =="
+go test -run TestMetricsEndpoint -count=1 .
+
 echo "== go test -race (concurrent sessions + storage) =="
 go test -race ./internal/exec/... ./internal/storage/... .
 

@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "data generation seed (0 = fixed default)")
 	diskDir := flag.String("disk", "", "back environments with volume files in this directory (default: in-memory)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	snapshotDir := flag.String("snapshot", "", "write BENCH_<fig>.json snapshots into this directory")
 	flag.Parse()
 
 	h := bench.NewHarness(bench.Options{
@@ -55,6 +56,13 @@ func main() {
 				bench.WriteFigureCSV(os.Stdout, fig)
 			} else {
 				bench.WriteFigure(os.Stdout, fig)
+			}
+			if *snapshotDir != "" {
+				path, err := bench.WriteFigureSnapshot(*snapshotDir, fig, h.Opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "snapshot: %s\n", path)
 			}
 			return nil
 		}}

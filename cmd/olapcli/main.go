@@ -14,8 +14,11 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	repro "repro"
 )
@@ -24,6 +27,8 @@ func main() {
 	path := flag.String("db", "olap.db", "database path")
 	engineName := flag.String("engine", "auto", "engine: auto, array, starjoin, bitmap")
 	maxRows := flag.Int("rows", 20, "max rows to print (0 = all)")
+	metricsAddr := flag.String("metrics", "", "serve engine metrics on this address (e.g. :9090)")
+	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
 	flag.Parse()
 
 	engine, err := parseEngine(*engineName)
@@ -37,6 +42,21 @@ func main() {
 		os.Exit(1)
 	}
 	defer db.Close()
+
+	if *metricsAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", db.MetricsHandler())
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "olapcli: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (Prometheus text; ?format=json)\n", *metricsAddr)
+	}
+	if *slowMS > 0 {
+		db.SetSlowQueryLog(slog.New(slog.NewTextHandler(os.Stderr, nil)),
+			time.Duration(*slowMS)*time.Millisecond)
+	}
 
 	if flag.NArg() > 0 {
 		for _, sql := range flag.Args() {
@@ -68,9 +88,29 @@ func main() {
 		if sql == "" {
 			break
 		}
+		if strings.EqualFold(sql, "stats") {
+			printStats(db)
+			continue
+		}
 		if err := runQuery(db, sql, engine, *maxRows); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
+	}
+}
+
+// printStats renders the cross-layer engine snapshot (the interactive
+// "stats" meta-command).
+func printStats(db *repro.DB) {
+	es := db.Stats()
+	fmt.Printf("buffer: %s evictions=%d\n", es.Buffer.String(), es.Buffer.Evictions)
+	if es.HasWAL {
+		fmt.Printf("wal: page_images=%d before_images=%d commits=%d fsyncs=%d\n",
+			es.WAL.PageImages, es.WAL.BeforeImages, es.WAL.Commits, es.WAL.Fsyncs)
+	}
+	if es.StatsAge > 0 {
+		fmt.Printf("planner stats age: %v\n", es.StatsAge.Round(time.Second))
+	} else {
+		fmt.Println("planner stats: none (heuristic planning)")
 	}
 }
 
@@ -104,7 +144,13 @@ func runQuery(db *repro.DB, sql string, engine repro.Engine, maxRows int) error 
 	}
 	if strings.HasPrefix(strings.ToLower(strings.TrimSpace(sql)), "explain") && res.Explanation != nil {
 		// EXPLAIN: render the planner's candidates and the chosen tree.
+		// EXPLAIN ANALYZE ran the query too, so the tree carries per-
+		// operator actuals and the run summary is worth printing.
 		fmt.Print(res.Explanation.String())
+		if res.Explanation.Analyzed {
+			fmt.Printf("executed: elapsed=%v io={%s} rows=%d\n",
+				res.Elapsed, res.IO.String(), len(res.Rows))
+		}
 		return nil
 	}
 	fmt.Printf("plan=%s elapsed=%v io={%s} rows=%d est={io=%.1f cpu=%.1f rows=%d}\n",
@@ -125,6 +171,8 @@ func runQuery(db *repro.DB, sql string, engine repro.Engine, maxRows int) error 
 		vals := make([]string, len(res.Aggs))
 		for j, a := range res.Aggs {
 			if a == repro.Avg {
+				// Display the exact mean; Row.Value(Avg) would round to
+				// the nearest integer.
 				vals[j] = fmt.Sprintf("%.2f", r.Avg())
 			} else {
 				vals[j] = fmt.Sprintf("%d", r.Value(a))

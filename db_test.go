@@ -310,7 +310,7 @@ func TestDBDropCaches(t *testing.T) {
 		t.Fatal("cold query did no physical reads")
 	}
 	after := db.Stats()
-	if after.Sub(before).PhysicalReads != r.IO.PhysicalReads {
+	if after.Buffer.Sub(before.Buffer).PhysicalReads != r.IO.PhysicalReads {
 		t.Fatal("per-query IO delta inconsistent with global stats")
 	}
 }

@@ -38,7 +38,7 @@ func WriteFigure(w io.Writer, fig *Figure) {
 	fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title)
 	header := []string{fig.XName}
 	for _, s := range fig.Series {
-		header = append(header, s, s+" I/O")
+		header = append(header, s, s+" I/O", s+" est I/O")
 	}
 	header = append(header, "speedup")
 	rows := [][]string{header}
@@ -47,11 +47,12 @@ func WriteFigure(w io.Writer, fig *Figure) {
 		for _, s := range fig.Series {
 			m, ok := p.M[s]
 			if !ok {
-				row = append(row, "-", "-")
+				row = append(row, "-", "-", "-")
 				continue
 			}
 			row = append(row, formatDuration(m.Elapsed),
-				fmt.Sprintf("%dp", m.IO.PhysicalReads))
+				fmt.Sprintf("%dp", m.IO.PhysicalReads),
+				fmt.Sprintf("%.0fp", m.Metrics.EstCostIO))
 		}
 		if len(fig.Series) >= 2 {
 			a, okA := p.M[fig.Series[0]]
@@ -99,7 +100,8 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 	fmt.Fprintf(w, "# %s: %s\n", fig.ID, fig.Title)
 	header := []string{"x", "label"}
 	for _, s := range fig.Series {
-		header = append(header, s+"_seconds", s+"_pages", s+"_rows")
+		header = append(header, s+"_seconds", s+"_pages", s+"_rows",
+			s+"_est_pages", s+"_est_rows")
 	}
 	fmt.Fprintln(w, strings.Join(header, ","))
 	for _, p := range fig.Points {
@@ -110,13 +112,15 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 		for _, s := range fig.Series {
 			m, ok := p.M[s]
 			if !ok {
-				row = append(row, "", "", "")
+				row = append(row, "", "", "", "", "")
 				continue
 			}
 			row = append(row,
 				fmt.Sprintf("%.6f", m.Elapsed.Seconds()),
 				fmt.Sprintf("%d", m.IO.PhysicalReads),
-				fmt.Sprintf("%d", m.Rows))
+				fmt.Sprintf("%d", m.Rows),
+				fmt.Sprintf("%.1f", m.Metrics.EstCostIO),
+				fmt.Sprintf("%d", m.Metrics.EstRows))
 		}
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FigureSnapshot is the machine-readable record of one figure run,
+// written as BENCH_<id>.json so successive runs can be diffed (did the
+// crossover move? did estimated I/O drift from actual?).
+type FigureSnapshot struct {
+	ID        string          `json:"id"`
+	Title     string          `json:"title"`
+	XName     string          `json:"x_name"`
+	Scale     float64         `json:"scale"`
+	Trials    int             `json:"trials"`
+	Warm      bool            `json:"warm"`
+	Seed      int64           `json:"seed"`
+	WrittenAt time.Time       `json:"written_at"`
+	Points    []PointSnapshot `json:"points"`
+	Notes     []string        `json:"notes,omitempty"`
+}
+
+// PointSnapshot is one x-position with every series' measurement.
+type PointSnapshot struct {
+	X      float64                        `json:"x"`
+	Label  string                         `json:"label"`
+	Series map[string]MeasurementSnapshot `json:"series"`
+}
+
+// MeasurementSnapshot pairs one run's actuals with the planner's
+// estimates for the same query.
+type MeasurementSnapshot struct {
+	Plan          string       `json:"plan"`
+	ElapsedNS     int64        `json:"elapsed_ns"`
+	Rows          int          `json:"rows"`
+	PhysicalReads uint64       `json:"physical_reads"`
+	LogicalReads  uint64       `json:"logical_reads"`
+	EstIO         float64      `json:"est_io"`
+	EstCPU        float64      `json:"est_cpu"`
+	EstRows       int64        `json:"est_rows"`
+	Metrics       core.Metrics `json:"metrics"`
+}
+
+// Snapshot converts a figure and the options that produced it.
+func Snapshot(fig *Figure, opts Options) *FigureSnapshot {
+	fs := &FigureSnapshot{
+		ID:        fig.ID,
+		Title:     fig.Title,
+		XName:     fig.XName,
+		Scale:     opts.scale(),
+		Trials:    opts.Trials,
+		Warm:      opts.Warm,
+		Seed:      opts.seed(),
+		WrittenAt: time.Now().UTC(),
+		Notes:     fig.Notes,
+	}
+	for _, p := range fig.Points {
+		ps := PointSnapshot{X: p.X, Label: p.XLabel, Series: make(map[string]MeasurementSnapshot, len(p.M))}
+		for s, m := range p.M {
+			ps.Series[s] = MeasurementSnapshot{
+				Plan:          m.Plan,
+				ElapsedNS:     m.Elapsed.Nanoseconds(),
+				Rows:          m.Rows,
+				PhysicalReads: m.IO.PhysicalReads,
+				LogicalReads:  m.IO.LogicalReads,
+				EstIO:         m.Metrics.EstCostIO,
+				EstCPU:        m.Metrics.EstCostCPU,
+				EstRows:       m.Metrics.EstRows,
+				Metrics:       m.Metrics,
+			}
+		}
+		fs.Points = append(fs.Points, ps)
+	}
+	return fs
+}
+
+// WriteFigureSnapshot writes BENCH_<id>.json into dir (created as
+// needed) and returns the path.
+func WriteFigureSnapshot(dir string, fig *Figure, opts Options) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", fig.ID))
+	data, err := json.MarshalIndent(Snapshot(fig, opts), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -11,7 +11,25 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
+
+// Package-level counters exported engine-wide (via obs CounterFuncs) as
+// bitmap_logical_ops_total and bitmap_index_reads_total. They live here
+// rather than on a struct because bitmaps are value-like objects created
+// deep inside the selection algorithms, far from any registry.
+var (
+	logicalOps atomic.Int64
+	indexReads atomic.Int64
+)
+
+// LogicalOps reports the cumulative count of bitwise combine operations
+// (And, Or, AndNot, Not) performed process-wide.
+func LogicalOps() int64 { return logicalOps.Load() }
+
+// IndexReads reports the cumulative count of bitmaps fetched and decoded
+// from stored bitmap join indexes process-wide.
+func IndexReads() int64 { return indexReads.Load() }
 
 // Bitmap is a fixed-length bitmap. The zero value is unusable; use New.
 type Bitmap struct {
@@ -78,6 +96,7 @@ func (b *Bitmap) trimTail() {
 // And intersects b with o in place. Lengths must match.
 func (b *Bitmap) And(o *Bitmap) {
 	b.checkLen(o, "And")
+	logicalOps.Add(1)
 	for i := range b.words {
 		b.words[i] &= o.words[i]
 	}
@@ -86,6 +105,7 @@ func (b *Bitmap) And(o *Bitmap) {
 // Or unions o into b in place. Lengths must match.
 func (b *Bitmap) Or(o *Bitmap) {
 	b.checkLen(o, "Or")
+	logicalOps.Add(1)
 	for i := range b.words {
 		b.words[i] |= o.words[i]
 	}
@@ -94,6 +114,7 @@ func (b *Bitmap) Or(o *Bitmap) {
 // AndNot clears in b every bit set in o. Lengths must match.
 func (b *Bitmap) AndNot(o *Bitmap) {
 	b.checkLen(o, "AndNot")
+	logicalOps.Add(1)
 	for i := range b.words {
 		b.words[i] &^= o.words[i]
 	}
@@ -101,6 +122,7 @@ func (b *Bitmap) AndNot(o *Bitmap) {
 
 // Not complements b in place.
 func (b *Bitmap) Not() {
+	logicalOps.Add(1)
 	for i := range b.words {
 		b.words[i] = ^b.words[i]
 	}

@@ -166,6 +166,7 @@ func UnmarshalIndex(data []byte) (*Index, error) {
 			return nil, fmt.Errorf("bitmap: index bitmap %q has %d bits, want %d", v, bm.Len(), nbits)
 		}
 		ix.bitmaps[v] = bm
+		indexReads.Add(1)
 	}
 	return ix, nil
 }
@@ -223,6 +224,7 @@ func (r *IndexReader) ReadBitmap(value string) (*Bitmap, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	indexReads.Add(1)
 	data, err := r.lob.ReadRange(r.ref, r.payloadStart+e.off, e.n)
 	if err != nil {
 		return nil, false, err

@@ -15,9 +15,20 @@ package btree
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
+
+// nodeReads counts node (and meta) page fetches across every tree in the
+// process — the work metric of B-tree probing, exported engine-wide as
+// btree_node_reads_total. Package-scoped because trees are created deep
+// inside the array and dimension structures where threading a registry
+// through every constructor would obscure the algorithms.
+var nodeReads atomic.Int64
+
+// NodeReads reports the cumulative node page fetches.
+func NodeReads() int64 { return nodeReads.Load() }
 
 // Node page layout. Byte 0 holds the node type.
 //
@@ -111,6 +122,12 @@ func Open(bp *storage.BufferPool, meta storage.PageID) *Tree {
 // Root returns the meta page id identifying this tree.
 func (t *Tree) Root() storage.PageID { return t.meta }
 
+// fetchNode pins a node page for reading, counting the fetch.
+func (t *Tree) fetchNode(id storage.PageID) ([]byte, error) {
+	nodeReads.Add(1)
+	return t.bp.FetchPage(id)
+}
+
 // setBranching caps the per-node entry count; test hook.
 func (t *Tree) setBranching(n int) { t.branching = n }
 
@@ -130,7 +147,7 @@ func (t *Tree) maxInternal() int {
 
 // Len reports the number of entries in the tree.
 func (t *Tree) Len() (uint64, error) {
-	buf, err := t.bp.FetchPage(t.meta)
+	buf, err := t.fetchNode(t.meta)
 	if err != nil {
 		return 0, err
 	}
@@ -140,7 +157,7 @@ func (t *Tree) Len() (uint64, error) {
 
 // Height reports the tree height (1 when the root is a leaf).
 func (t *Tree) Height() (int, error) {
-	buf, err := t.bp.FetchPage(t.meta)
+	buf, err := t.fetchNode(t.meta)
 	if err != nil {
 		return 0, err
 	}
@@ -261,7 +278,7 @@ type promotion struct {
 // Insert adds the (key, value) entry. Duplicate (key, value) pairs are
 // stored once per Insert call — the tree is a multiset.
 func (t *Tree) Insert(key int64, value uint64) error {
-	metaBuf, err := t.bp.FetchPage(t.meta)
+	metaBuf, err := t.fetchNode(t.meta)
 	if err != nil {
 		return err
 	}
@@ -449,7 +466,7 @@ func (t *Tree) insertLeaf(node storage.PageID, buf []byte, key int64, value uint
 
 // descendToLeaf returns the leaf page that would contain (k, v).
 func (t *Tree) descendToLeaf(k int64, v uint64) (storage.PageID, error) {
-	metaBuf, err := t.bp.FetchPage(t.meta)
+	metaBuf, err := t.fetchNode(t.meta)
 	if err != nil {
 		return storage.InvalidPageID, err
 	}
@@ -458,7 +475,7 @@ func (t *Tree) descendToLeaf(k int64, v uint64) (storage.PageID, error) {
 		return storage.InvalidPageID, err
 	}
 	for {
-		buf, err := t.bp.FetchPage(node)
+		buf, err := t.fetchNode(node)
 		if err != nil {
 			return storage.InvalidPageID, err
 		}
@@ -517,7 +534,7 @@ func (t *Tree) findEntry(key int64, value uint64) (storage.PageID, int, bool, er
 		return storage.InvalidPageID, 0, false, err
 	}
 	for node.Valid() {
-		buf, err := t.bp.FetchPage(node)
+		buf, err := t.fetchNode(node)
 		if err != nil {
 			return storage.InvalidPageID, 0, false, err
 		}
@@ -556,7 +573,7 @@ func (t *Tree) AscendRange(loKey, hiKey int64, fn func(key int64, value uint64) 
 		return err
 	}
 	for node.Valid() {
-		buf, err := t.bp.FetchPage(node)
+		buf, err := t.fetchNode(node)
 		if err != nil {
 			return err
 		}
@@ -625,7 +642,7 @@ func (t *Tree) Delete(key int64, value uint64) (bool, error) {
 // NumPages counts the pages the tree occupies (meta + all nodes) by
 // walking it; used for storage accounting, not on hot paths.
 func (t *Tree) NumPages() (int64, error) {
-	metaBuf, err := t.bp.FetchPage(t.meta)
+	metaBuf, err := t.fetchNode(t.meta)
 	if err != nil {
 		return 0, err
 	}
@@ -638,7 +655,7 @@ func (t *Tree) NumPages() (int64, error) {
 }
 
 func (t *Tree) countNodes(node storage.PageID) (int64, error) {
-	buf, err := t.bp.FetchPage(node)
+	buf, err := t.fetchNode(node)
 	if err != nil {
 		return 0, err
 	}
@@ -668,7 +685,7 @@ func (t *Tree) countNodes(node storage.PageID) (int64, error) {
 // entry ordering within and across leaves, separator consistency, and
 // meta entry count. Tests call it after randomized workloads.
 func (t *Tree) CheckInvariants() error {
-	metaBuf, err := t.bp.FetchPage(t.meta)
+	metaBuf, err := t.fetchNode(t.meta)
 	if err != nil {
 		return err
 	}
@@ -708,7 +725,7 @@ func (t *Tree) CheckInvariants() error {
 // bound [lo, hi) — hi inclusive only on the rightmost path (hiInc).
 // Returns the subtree height.
 func (t *Tree) checkNode(node storage.PageID, loK int64, loV uint64, loInc bool, hiK int64, hiV uint64, hiInc bool) (int, error) {
-	buf, err := t.bp.FetchPage(node)
+	buf, err := t.fetchNode(node)
 	if err != nil {
 		return 0, err
 	}

@@ -9,6 +9,10 @@ import "repro/internal/storage"
 // written before CatalogVersion 2, or a database inspected mid-load)
 // sends the planner to its heuristic fallback.
 type Stats struct {
+	// CollectedUnix is the Unix time of the last base-statistics
+	// collection, letting operators judge staleness (DB.Stats reports
+	// it as an age). Zero in catalogs written before it existed.
+	CollectedUnix int64 `json:"collected_unix,omitempty"`
 	// FactTuples is the fact cardinality.
 	FactTuples uint64 `json:"fact_tuples,omitempty"`
 	// FactPages is the fact file footprint in pages.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -352,8 +353,8 @@ func TestResultRowAggregates(t *testing.T) {
 			r.Value(Min) != r.Min || r.Value(Max) != r.Max {
 			t.Fatal("Value dispatch wrong")
 		}
-		if got := r.Value(Avg); got != int64(r.Avg()) {
-			t.Fatalf("Value(Avg) = %d, Avg() = %v", got, r.Avg())
+		if got := r.Value(Avg); got != int64(math.Round(r.Avg())) {
+			t.Fatalf("Value(Avg) = %d, Avg() = %v (want rounded, not truncated)", got, r.Avg())
 		}
 	}
 	for _, a := range []AggFunc{Sum, Count, Min, Max, Avg, AggFunc(99)} {

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -180,9 +181,9 @@ type Row struct {
 // Avg returns the mean measure of the group.
 func (r Row) Avg() float64 { return float64(r.Sum) / float64(r.Count) }
 
-// Value returns the aggregate selected by agg. Avg is returned as a
-// float64 truncated toward zero when read through Value; use Row.Avg for
-// the exact mean.
+// Value returns the aggregate selected by agg. Avg is rounded to the
+// nearest integer (half away from zero) when read through Value; use
+// Row.Avg for the exact mean.
 func (r Row) Value(agg AggFunc) int64 {
 	switch agg {
 	case Sum:
@@ -194,7 +195,7 @@ func (r Row) Value(agg AggFunc) int64 {
 	case Max:
 		return r.Max
 	case Avg:
-		return int64(r.Avg())
+		return int64(math.Round(r.Avg()))
 	default:
 		return r.Sum
 	}

@@ -4,8 +4,11 @@ import (
 	"sync"
 
 	"repro/internal/array"
+	"repro/internal/bitmap"
+	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/factfile"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -23,6 +26,11 @@ import (
 type ExecContext struct {
 	bp  *storage.BufferPool
 	cat *catalog.Catalog
+	reg *obs.Registry
+
+	// Shared query instruments: one histogram of wall times plus one
+	// counter per engine family, recorded by every executor's Execute.
+	queryLatency *obs.Histogram
 
 	mu   sync.Mutex
 	gen  uint64 // bumped by InvalidateHandles; lets callers spot stale handles
@@ -31,13 +39,40 @@ type ExecContext struct {
 	arr  *array.Array // master copy; only clones are handed out
 }
 
-// NewExecContext creates the shared execution state for a catalog.
+// NewExecContext creates the shared execution state for a catalog,
+// including the metrics registry every layer reports into: the buffer
+// pool's counters and read-latency histogram, the process-wide B-tree
+// and bitmap counters, and the query counters the executor maintains.
 func NewExecContext(bp *storage.BufferPool, cat *catalog.Catalog) *ExecContext {
-	return &ExecContext{bp: bp, cat: cat}
+	reg := obs.NewRegistry()
+	bp.Instrument(reg)
+	reg.CounterFunc("btree_node_reads_total",
+		"B-tree node pages fetched (process-wide)", btree.NodeReads)
+	reg.CounterFunc("bitmap_logical_ops_total",
+		"bitmap AND/OR/ANDNOT/NOT operations (process-wide)", bitmap.LogicalOps)
+	reg.CounterFunc("bitmap_index_reads_total",
+		"bitmaps fetched from stored join indexes (process-wide)", bitmap.IndexReads)
+	return &ExecContext{
+		bp:           bp,
+		cat:          cat,
+		reg:          reg,
+		queryLatency: reg.Histogram("query_seconds", "query wall time", nil),
+	}
 }
 
 // BufferPool returns the underlying buffer pool.
 func (c *ExecContext) BufferPool() *storage.BufferPool { return c.bp }
+
+// Registry returns the metrics registry shared by every layer of this
+// database instance.
+func (c *ExecContext) Registry() *obs.Registry { return c.reg }
+
+// recordQuery records one completed query into the shared instruments.
+func (c *ExecContext) recordQuery(engine Engine, elapsed float64) {
+	c.reg.Counter("queries_"+engine.String()+"_total",
+		"queries executed on the "+engine.String()+" engine").Inc()
+	c.queryLatency.Observe(elapsed)
+}
 
 // Catalog returns the shared catalog.
 func (c *ExecContext) Catalog() *catalog.Catalog { return c.cat }

@@ -2,10 +2,12 @@ package exec
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -61,7 +63,11 @@ type QueryResult struct {
 	IO         storage.Stats
 	// Explanation describes the planning decision: estimated
 	// selectivity, every candidate's cost, and the chosen plan tree.
+	// After EXPLAIN ANALYZE its tree carries per-operator actuals.
 	Explanation *Explanation
+	// Trace is the span tree of this execution (plan / execute / sort
+	// phases with their wall times). Nil for EXPLAIN-only queries.
+	Trace *obs.Trace
 }
 
 // Executor plans and runs compiled queries against the objects in a
@@ -70,6 +76,12 @@ type QueryResult struct {
 // concurrent use and cheap to create one per session.
 type Executor struct {
 	ctx *ExecContext
+
+	// Slow-query logging: queries at or above slowMin are reported to
+	// slowLog with their plan, counters, and I/O. Per-executor (i.e.
+	// per-session) so sessions can opt in independently.
+	slowLog *slog.Logger
+	slowMin time.Duration
 }
 
 // NewExecutor creates an executor with its own fresh ExecContext.
@@ -130,11 +142,28 @@ func (e *Executor) ExplainSQL(sql string, engine Engine) (*Explanation, error) {
 	return e.Explain(spec, engine)
 }
 
+// SetSlowQueryLog turns on slow-query logging for this executor:
+// queries running at or above min are reported to l with their plan,
+// algorithm counters, and buffer pool I/O. A nil logger turns it off.
+func (e *Executor) SetSlowQueryLog(l *slog.Logger, min time.Duration) {
+	e.slowLog = l
+	e.slowMin = min
+}
+
 // Execute runs a compiled query on the chosen engine. When the spec is
-// an EXPLAIN, the query is planned but not run, and the result carries
-// only the plan fields.
+// an EXPLAIN (and not ANALYZE), the query is planned but not run, and
+// the result carries only the plan fields.
 func (e *Executor) Execute(spec *query.Spec, engine Engine) (*QueryResult, error) {
+	return e.executeSpec(spec, engine, "")
+}
+
+// executeSpec is Execute with the query text threaded through for the
+// slow-query log (empty when the caller started from a compiled Spec).
+func (e *Executor) executeSpec(spec *query.Spec, engine Engine, sql string) (*QueryResult, error) {
+	tr := obs.NewTrace("query")
+	sp := tr.Root.Child("plan")
 	plan, expl, err := e.plan(spec, engine)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -148,23 +177,57 @@ func (e *Executor) Execute(spec *query.Spec, engine Engine) (*QueryResult, error
 	qr.Metrics.EstCostIO = est.IO
 	qr.Metrics.EstCostCPU = est.CPU
 	qr.Metrics.EstRows = est.Rows
-	if spec.Explain {
+	if spec.Explain && !spec.Analyze {
 		return qr, nil
 	}
 
 	ioBefore := e.ctx.BufferPool().Stats()
 	start := time.Now()
+	run := tr.Root.Child("execute")
+	run.Set("plan", plan.Name())
+	run.Set("engine", plan.Engine().String())
 	res, metrics, err := plan.Run(e.ctx)
+	run.End()
 	if err != nil {
 		return nil, err
 	}
 	metrics.EstCostIO = est.IO
 	metrics.EstCostCPU = est.CPU
 	metrics.EstRows = est.Rows
+	sortSp := tr.Root.Child("sort")
 	qr.Rows = res.SortedRows()
+	sortSp.End()
 	qr.Metrics = metrics
 	qr.Elapsed = time.Since(start)
 	qr.IO = e.ctx.BufferPool().Stats().Sub(ioBefore)
+	run.Set("rows", len(qr.Rows))
+	run.Set("physical_reads", qr.IO.PhysicalReads)
+	tr.End()
+	qr.Trace = tr
+	e.ctx.recordQuery(plan.Engine(), qr.Elapsed.Seconds())
+
+	if spec.Analyze {
+		plan.Annotate(&expl.Tree, RunStats{
+			Metrics:    metrics,
+			IO:         qr.IO,
+			Elapsed:    qr.Elapsed,
+			ResultRows: len(qr.Rows),
+		})
+		expl.Analyzed = true
+	}
+	if e.slowLog != nil && qr.Elapsed >= e.slowMin {
+		e.slowLog.Warn("slow query",
+			slog.String("sql", sql),
+			slog.String("plan", qr.Plan),
+			slog.String("engine", plan.Engine().String()),
+			slog.Duration("elapsed", qr.Elapsed),
+			slog.Int("rows", len(qr.Rows)),
+			slog.Uint64("physical_reads", qr.IO.PhysicalReads),
+			slog.Uint64("logical_reads", qr.IO.LogicalReads),
+			slog.Float64("est_io", est.IO),
+			slog.Int64("est_rows", est.Rows),
+		)
+	}
 	return qr, nil
 }
 
@@ -174,5 +237,5 @@ func (e *Executor) ExecuteSQL(sql string, engine Engine) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(spec, engine)
+	return e.executeSpec(spec, engine, sql)
 }

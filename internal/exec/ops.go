@@ -7,6 +7,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/catalog"
@@ -158,6 +159,7 @@ func refreshBaseStats(bp *storage.BufferPool, cat *catalog.Catalog) error {
 		st.FactTuples = ff.NumTuples()
 		st.FactPages = catalog.PagesOf(ff.SizeBytes())
 	}
+	st.CollectedUnix = time.Now().Unix()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/query"
@@ -39,8 +40,12 @@ type Explanation struct {
 	// Candidates lists every runnable plan, cheapest first when
 	// CostBased (the chosen one is marked).
 	Candidates []Candidate
-	// Tree is the chosen plan's operator tree.
+	// Tree is the chosen plan's operator tree. After EXPLAIN ANALYZE it
+	// carries actual rows/IO/time next to the estimates.
 	Tree PlanDesc
+	// Analyzed is true when the query was executed and Tree carries
+	// measured actuals (EXPLAIN ANALYZE).
+	Analyzed bool
 }
 
 // String renders the explanation: the choice, the candidate costs, and
@@ -52,6 +57,9 @@ func (x *Explanation) String() string {
 		mode = "forced"
 	} else if !x.CostBased {
 		mode = "heuristic (no statistics)"
+	}
+	if x.Analyzed {
+		mode += ", analyzed"
 	}
 	fmt.Fprintf(&b, "plan: %s  engine=%s  S=%.6g  [%s]\n", x.Chosen, x.Engine, x.Selectivity, mode)
 	fmt.Fprintf(&b, "candidates:\n")
@@ -75,6 +83,16 @@ func writePlanDesc(b *strings.Builder, d *PlanDesc, depth int) {
 	}
 	if d.EstRows > 0 || d.EstIO > 0 {
 		fmt.Fprintf(b, " (est rows=%d io=%.1f)", d.EstRows, d.EstIO)
+	}
+	if d.Analyzed {
+		fmt.Fprintf(b, " (act rows=%d io=%.1f", d.ActRows, d.ActIO)
+		if d.ActTime > 0 {
+			fmt.Fprintf(b, " time=%s", d.ActTime.Round(time.Microsecond))
+		}
+		if d.ActDetail != "" {
+			fmt.Fprintf(b, " %s", d.ActDetail)
+		}
+		b.WriteByte(')')
 	}
 	b.WriteByte('\n')
 	for i := range d.Children {

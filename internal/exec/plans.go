@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -26,13 +27,31 @@ func (c Cost) String() string {
 	return fmt.Sprintf("cost=%.1f (io=%.1f cpu=%.1f) rows=%d", c.Total(), c.IO, c.CPU, c.Rows)
 }
 
-// PlanDesc is one operator of an EXPLAIN plan tree.
+// PlanDesc is one operator of an EXPLAIN plan tree. The Est fields come
+// from planning; the Act fields are filled by Annotate after an EXPLAIN
+// ANALYZE run (Analyzed marks a node that carries actuals).
 type PlanDesc struct {
 	Name     string
 	Detail   string
 	EstRows  int64
 	EstIO    float64
 	Children []PlanDesc
+
+	Analyzed  bool
+	ActRows   int64
+	ActIO     float64 // physical page reads attributed to this operator
+	ActTime   time.Duration
+	ActDetail string // operator-specific measured counters
+}
+
+// RunStats is what one plan execution measured: the algorithm's own
+// counters, the buffer pool I/O delta, wall time, and result size.
+// Annotate maps it onto the operator tree.
+type RunStats struct {
+	Metrics    core.Metrics
+	IO         storage.Stats
+	Elapsed    time.Duration
+	ResultRows int
 }
 
 // Plan is one executable strategy for a compiled query: a node the
@@ -53,6 +72,13 @@ type Plan interface {
 	// Explain describes the plan as an operator tree, annotated with
 	// the most recent Estimate.
 	Explain() PlanDesc
+	// Annotate writes one run's measured statistics onto the operator
+	// tree produced by Explain — the ANALYZE half of EXPLAIN ANALYZE.
+	// The monolithic §4 algorithms report run-level counters, so each
+	// plan attributes them to the operator that did the work (the scan,
+	// probe, or fetch); physical reads land on the leaf that caused
+	// them and wall time on the root.
+	Annotate(d *PlanDesc, rs RunStats)
 }
 
 // Cost model constants. IO terms are literal page counts from the
@@ -245,6 +271,28 @@ func (p *arrayPlan) Explain() PlanDesc {
 	return root
 }
 
+func (p *arrayPlan) Annotate(d *PlanDesc, rs RunStats) {
+	d.Analyzed = true
+	m := rs.Metrics
+	d.ActRows = int64(rs.ResultRows)
+	d.ActTime = rs.Elapsed
+	if len(d.Children) == 0 {
+		return
+	}
+	c := &d.Children[0]
+	c.Analyzed = true
+	c.ActIO = float64(rs.IO.PhysicalReads)
+	if len(p.spec.Selections) == 0 {
+		// array-scan: every valid cell visited once.
+		c.ActRows = m.CellsScanned
+		c.ActDetail = fmt.Sprintf("chunks=%d", m.ChunksRead)
+		return
+	}
+	// array-probe: candidate cells probed, hits survive.
+	c.ActRows = m.ProbeHits
+	c.ActDetail = fmt.Sprintf("chunks=%d probes=%d hits=%d", m.ChunksRead, m.Probes, m.ProbeHits)
+}
+
 // starJoinPlan evaluates relationally with the StarJoin operator (§4.3),
 // filtering during the scan when selections are present.
 type starJoinPlan struct {
@@ -310,6 +358,21 @@ func (p *starJoinPlan) Explain() PlanDesc {
 		EstRows:  p.est.Rows,
 		Children: []PlanDesc{scan},
 	}
+}
+
+func (p *starJoinPlan) Annotate(d *PlanDesc, rs RunStats) {
+	d.Analyzed = true
+	d.ActRows = int64(rs.ResultRows)
+	d.ActTime = rs.Elapsed
+	if len(d.Children) == 0 {
+		return
+	}
+	// factfile-scan: the full scan does all the I/O and visits every
+	// fact tuple.
+	c := &d.Children[0]
+	c.Analyzed = true
+	c.ActRows = rs.Metrics.TuplesScanned
+	c.ActIO = float64(rs.IO.PhysicalReads)
 }
 
 // bitmapPlan evaluates selections with the bitmap-index + fact-file
@@ -408,5 +471,28 @@ func (p *bitmapPlan) Explain() PlanDesc {
 			EstIO:    p.estFtch,
 			Children: []PlanDesc{and},
 		}},
+	}
+}
+
+func (p *bitmapPlan) Annotate(d *PlanDesc, rs RunStats) {
+	d.Analyzed = true
+	m := rs.Metrics
+	d.ActRows = int64(rs.ResultRows)
+	d.ActTime = rs.Elapsed
+	if len(d.Children) == 0 {
+		return
+	}
+	// factfile-fetch: tuples fetched through the AND-ed bitmap; the
+	// run's physical reads are attributed here (bitmap pages included —
+	// the pool does not split them out).
+	fetch := &d.Children[0]
+	fetch.Analyzed = true
+	fetch.ActRows = m.TuplesFetched
+	fetch.ActIO = float64(rs.IO.PhysicalReads)
+	if len(fetch.Children) > 0 {
+		and := &fetch.Children[0]
+		and.Analyzed = true
+		and.ActRows = m.TuplesFetched
+		and.ActDetail = fmt.Sprintf("bitmaps=%d ands=%d", m.BitmapsRead, m.BitmapANDs)
 	}
 }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, in a
+// JSON-friendly shape. Metric lists are sorted by name so snapshots are
+// deterministic and diffable.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a Snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a Snapshot. Buckets are cumulative
+// counts per upper bound, Prometheus-style; the final bucket is +Inf.
+type HistogramValue struct {
+	Name    string    `json:"name"`
+	Help    string    `json:"help,omitempty"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Counter returns the named counter's value from the snapshot, or 0.
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value from the snapshot, or 0.
+func (s Snapshot) Gauge(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Snapshot copies every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Help: c.help, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Help: g.help, Value: g.Value()})
+	}
+	for _, h := range hists {
+		hv := HistogramValue{
+			Name:   h.name,
+			Help:   h.help,
+			Bounds: h.bounds,
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		cum := int64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			hv.Buckets = append(hv.Buckets, cum)
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (text/plain; version=0.0.4), metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, c := range s.Counters {
+		writeHeader(&b, c.Name, c.Help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(&b, g.Name, g.Help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		writeHeader(&b, h.Name, h.Help, "histogram")
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, formatFloat(bound), h.Buckets[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Buckets[len(h.Buckets)-1])
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

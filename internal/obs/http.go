@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP: Prometheus text format by
+// default (what a scraper expects), JSON when the request asks for it
+// with ?format=json or an Accept: application/json header.
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/metrics", obs.Handler(db.Registry()))
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			req.Header.Get("Accept") == "application/json"
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("widgets_total", "widgets")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("widgets_total", "widgets"); again != c {
+		t.Fatal("find-or-create returned a different counter")
+	}
+
+	var backing int64 = 42
+	cf := r.CounterFunc("external_total", "external", func() int64 { return backing })
+	cf.Add(99) // no-op on callback counters
+	if got := cf.Value(); got != 42 {
+		t.Fatalf("counter func = %d, want 42", got)
+	}
+
+	g := r.Gauge("level", "level")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	gf := r.GaugeFunc("ratio", "", func() float64 { return 0.75 })
+	if got := gf.Value(); got != 0.75 {
+		t.Fatalf("gauge func = %g, want 0.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.001+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("snapshot histograms = %d", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	// Cumulative: le=0.01 -> 1, le=0.1 -> 3, le=1 -> 4, +Inf -> 5.
+	want := []int64{1, 3, 4, 5}
+	for i, w := range want {
+		if hv.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, hv.Buckets[i], w, hv.Buckets)
+		}
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 6 {
+		t.Fatalf("count after duration = %d", h.Count())
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("h_seconds", "", nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				r.Counter("n_total", "").Add(0) // concurrent registration
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(2)
+	r.Counter("a_total", "first").Add(1)
+	r.Gauge("g", "a gauge").Set(1.5)
+	r.Histogram("h_seconds", "hist", []float64{0.5}).Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP a_total first",
+		"# TYPE a_total counter",
+		"a_total 1",
+		"b_total 2",
+		"# TYPE g gauge",
+		"g 1.5",
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{le="0.5"} 1`,
+		`h_seconds_bucket{le="+Inf"} 1`,
+		"h_seconds_sum 0.25",
+		"h_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: a_total before b_total.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Add(7)
+	r.Gauge("y", "").Set(3)
+	s := r.Snapshot()
+	if s.Counter("x_total") != 7 {
+		t.Fatalf("Counter lookup = %d", s.Counter("x_total"))
+	}
+	if s.Counter("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	if s.Gauge("y") != 3 {
+		t.Fatalf("Gauge lookup = %g", s.Gauge("y"))
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests").Add(3)
+
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "req_total 3") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if s.Counter("req_total") != 3 {
+		t.Fatalf("json counter = %d", s.Counter("req_total"))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace("query")
+	sp := tr.Root.Child("plan")
+	sp.End()
+	run := tr.Root.Child("execute")
+	run.Set("chunks", 12)
+	run.End()
+	tr.End()
+
+	if len(tr.Root.Children) != 2 {
+		t.Fatalf("children = %d", len(tr.Root.Children))
+	}
+	if tr.Root.Duration <= 0 {
+		t.Fatal("root duration not set")
+	}
+	out := tr.String()
+	for _, want := range []string{"query", "plan", "execute", "chunks=12"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace rendering missing %q:\n%s", want, out)
+		}
+	}
+	// End is idempotent: duration fixed at first End.
+	d := run.Duration
+	run.End()
+	if run.Duration != d {
+		t.Fatal("End not idempotent")
+	}
+}

@@ -1,0 +1,211 @@
+// Package obs is the engine's observability layer: a lock-cheap metrics
+// registry (atomic counters, gauges, and fixed-bucket latency
+// histograms), span-based query tracing, and exposition in Prometheus
+// text format and JSON.
+//
+// Registration (name -> metric) takes a mutex once; every subsequent
+// increment and observation is a single atomic operation, so metrics can
+// sit on the buffer pool fetch path and the per-tuple query loops
+// without contending. Callback metrics (CounterFunc / GaugeFunc) read an
+// external atomic at exposition time, letting packages that must not
+// depend on obs (or that predate it) publish their counters without
+// restructuring.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. Either the registry owns
+// the value (Add/Inc) or a callback reads an external source; callers
+// never mix the two.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+	fn         func() int64 // when non-nil, the counter is read-only
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n (no-op on callback counters).
+func (c *Counter) Add(n int64) {
+	if c.fn == nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c.fn != nil {
+		return c.fn()
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value. Like Counter, it is either owned
+// (Set) or a callback.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64 // float64 bits
+	fn         func() float64
+}
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v (no-op on callback gauges).
+func (g *Gauge) Set(v float64) {
+	if g.fn == nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bounds are inclusive upper limits, with an implicit +Inf
+// bucket. Observations are atomics only — one bucket increment, one
+// count increment, one CAS-loop sum update.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	buckets    []atomic.Int64 // len(bounds)+1; last is +Inf
+	count      atomic.Int64
+	sumBits    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// LatencyBuckets are the default bounds for latency histograms, in
+// seconds: 1µs to 10s, a decade apart, with a few intra-decade points in
+// the query-relevant millisecond range.
+var LatencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 10,
+}
+
+// Registry holds the engine's metrics, keyed by name. One registry is
+// created per open database and shared by every session; registration is
+// find-or-create, so layers can name the same metric without
+// coordinating creation order.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter finds or creates the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// CounterFunc registers a read-only counter backed by fn (an external
+// atomic, typically). Re-registering a name replaces its callback, so a
+// reopened layer always reports its live source.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{name: name, help: help, fn: fn}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge finds or creates the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers a read-only gauge backed by fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Gauge{name: name, help: help, fn: fn}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram finds or creates the named histogram with the given bucket
+// bounds (nil selects LatencyBuckets). Bounds must be sorted ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %s bounds not sorted", name))
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are rendered with
+// %v; keep them small (counters, names), not payloads.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span is one timed region of a query's execution. Spans form a tree
+// under a Trace; children are added with Child and closed with End.
+// A span is written by the goroutine that created it; the mutex only
+// guards the child list so sibling spans may be produced concurrently
+// (parallel plan stages).
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
+
+	mu sync.Mutex
+}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span {
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. Idempotent.
+func (s *Span) End() {
+	if s.Duration == 0 {
+		s.Duration = time.Since(s.Start)
+	}
+}
+
+// Set attaches one key/value annotation.
+func (s *Span) Set(key string, value any) {
+	s.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Trace is the span tree of one query execution, attached to the
+// QueryResult so callers can see where the time went.
+type Trace struct {
+	Root *Span `json:"root"`
+}
+
+// NewTrace opens a trace whose root span starts now.
+func NewTrace(name string) *Trace {
+	return &Trace{Root: &Span{Name: name, Start: time.Now()}}
+}
+
+// End closes the root span.
+func (t *Trace) End() { t.Root.End() }
+
+// String renders the span tree, one line per span, indented by depth:
+//
+//	query 1.2ms
+//	  plan 80µs
+//	  execute 1.1ms [chunks=12]
+func (t *Trace) String() string {
+	var b strings.Builder
+	writeSpan(&b, t.Root, 0)
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s %s", s.Name, s.Duration.Round(time.Microsecond))
+	if len(s.Attrs) > 0 {
+		parts := make([]string, len(s.Attrs))
+		for i, a := range s.Attrs {
+			parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value)
+		}
+		fmt.Fprintf(b, " [%s]", strings.Join(parts, " "))
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		writeSpan(b, c, depth+1)
+	}
+}

@@ -13,6 +13,9 @@ type Spec struct {
 	// Explain requests planning only: the executor reports the
 	// candidate plans and costs without running the query.
 	Explain bool
+	// Analyze upgrades Explain: the query runs and the reported plan
+	// tree carries actual rows, I/O, and wall time per operator.
+	Analyze bool
 	// Aggs lists the requested aggregates in select-list order. Every
 	// plan accumulates full per-group state (sum/count/min/max), so any
 	// combination evaluates in one pass.
@@ -141,7 +144,7 @@ func Compile(q *Query, schema *catalog.StarSchema) (*Spec, error) {
 	for _, call := range q.Aggs {
 		aggs = append(aggs, call.Func)
 	}
-	spec := &Spec{Explain: q.Explain, Aggs: aggs}
+	spec := &Spec{Explain: q.Explain, Analyze: q.Analyze, Aggs: aggs}
 
 	// Selections.
 	for _, s := range q.Selections {

@@ -43,7 +43,10 @@ type AggCall struct {
 type Query struct {
 	// Explain is true when the statement started with EXPLAIN: plan the
 	// query and report the candidates without running it.
-	Explain    bool
+	Explain bool
+	// Analyze is true for EXPLAIN ANALYZE: run the query too and
+	// annotate the plan tree with actual rows, I/O, and time.
+	Analyze    bool
 	Aggs       []AggCall
 	Select     []AttrRef
 	Tables     []string
@@ -148,6 +151,9 @@ func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
 	if p.acceptKeyword("explain") {
 		q.Explain = true
+		if p.acceptKeyword("analyze") {
+			q.Analyze = true
+		}
 	}
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Stats counts the physical and logical page traffic through a buffer
@@ -15,6 +18,7 @@ type Stats struct {
 	PhysicalReads uint64 // fetches that missed and went to disk
 	PageWrites    uint64 // dirty pages written back to disk
 	Allocations   uint64 // pages allocated
+	Evictions     uint64 // frames reclaimed from the LRU list
 }
 
 // Sub returns s - o, counter by counter.
@@ -24,8 +28,12 @@ func (s Stats) Sub(o Stats) Stats {
 		PhysicalReads: s.PhysicalReads - o.PhysicalReads,
 		PageWrites:    s.PageWrites - o.PageWrites,
 		Allocations:   s.Allocations - o.Allocations,
+		Evictions:     s.Evictions - o.Evictions,
 	}
 }
+
+// Hits reports the logical reads served from memory.
+func (s Stats) Hits() uint64 { return s.LogicalReads - s.PhysicalReads }
 
 // HitRate reports the fraction of logical reads served from memory.
 func (s Stats) HitRate() float64 {
@@ -38,6 +46,52 @@ func (s Stats) HitRate() float64 {
 func (s Stats) String() string {
 	return fmt.Sprintf("logical=%d physical=%d writes=%d alloc=%d hit=%.3f",
 		s.LogicalReads, s.PhysicalReads, s.PageWrites, s.Allocations, s.HitRate())
+}
+
+// Instrument registers the pool's counters on a metrics registry and
+// turns on the physical-read latency histogram. Callback counters read
+// the pool's atomics directly, so instrumentation adds no work to the
+// fetch path beyond the (miss-only) latency observation.
+func (bp *BufferPool) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("bufferpool_logical_reads_total",
+		"page fetches served by the buffer pool",
+		func() int64 { return int64(bp.logicalReads.Load()) })
+	reg.CounterFunc("bufferpool_physical_reads_total",
+		"page fetches that missed and read the volume",
+		func() int64 { return int64(bp.physicalReads.Load()) })
+	reg.CounterFunc("bufferpool_hits_total",
+		"page fetches served from memory",
+		func() int64 { return int64(bp.logicalReads.Load() - bp.physicalReads.Load()) })
+	reg.CounterFunc("bufferpool_evictions_total",
+		"frames reclaimed from the LRU list",
+		func() int64 { return int64(bp.evictions.Load()) })
+	reg.CounterFunc("bufferpool_page_writes_total",
+		"dirty pages written back to the volume",
+		func() int64 { return int64(bp.pageWrites.Load()) })
+	reg.CounterFunc("bufferpool_allocations_total",
+		"pages allocated on the volume",
+		func() int64 { return int64(bp.allocations.Load()) })
+	reg.GaugeFunc("bufferpool_hit_rate",
+		"fraction of logical reads served from memory",
+		func() float64 { return bp.Stats().HitRate() })
+	reg.GaugeFunc("bufferpool_frames",
+		"pool capacity in pages",
+		func() float64 { return float64(len(bp.frames)) })
+	bp.readLatency.Store(reg.Histogram("bufferpool_read_seconds",
+		"physical page read latency", nil))
+}
+
+// readPage reads a page from the volume, observing the latency when the
+// pool is instrumented.
+func (bp *BufferPool) readPage(id PageID, buf []byte) error {
+	h := bp.readLatency.Load()
+	if h == nil {
+		return bp.disk.ReadPage(id, buf)
+	}
+	start := time.Now()
+	err := bp.disk.ReadPage(id, buf)
+	h.ObserveDuration(time.Since(start))
+	return err
 }
 
 // frame is one buffer pool slot.
@@ -68,6 +122,12 @@ type BufferPool struct {
 	physicalReads atomic.Uint64
 	pageWrites    atomic.Uint64
 	allocations   atomic.Uint64
+	evictions     atomic.Uint64
+
+	// readLatency, when instrumented, observes the wall time of each
+	// physical page read. Atomic so Instrument may run after the pool is
+	// shared.
+	readLatency atomic.Pointer[obs.Histogram]
 }
 
 // DefaultFrames is the number of frames in a 16 MB pool, matching the
@@ -146,6 +206,7 @@ func (bp *BufferPool) Stats() Stats {
 		PhysicalReads: bp.physicalReads.Load(),
 		PageWrites:    bp.pageWrites.Load(),
 		Allocations:   bp.allocations.Load(),
+		Evictions:     bp.evictions.Load(),
 	}
 }
 
@@ -175,6 +236,7 @@ func (bp *BufferPool) victim() (int, error) {
 	}
 	delete(bp.table, f.id)
 	f.id = InvalidPageID
+	bp.evictions.Add(1)
 	return idx, nil
 }
 
@@ -199,7 +261,7 @@ func (bp *BufferPool) FetchPage(id PageID) ([]byte, error) {
 		return nil, err
 	}
 	f := &bp.frames[idx]
-	if err := bp.disk.ReadPage(id, f.data); err != nil {
+	if err := bp.readPage(id, f.data); err != nil {
 		bp.free = append(bp.free, idx)
 		return nil, err
 	}
@@ -242,7 +304,7 @@ func (bp *BufferPool) FetchPageForWrite(id PageID) ([]byte, error) {
 		return nil, err
 	}
 	f := &bp.frames[idx]
-	if err := bp.disk.ReadPage(id, f.data); err != nil {
+	if err := bp.readPage(id, f.data); err != nil {
 		bp.free = append(bp.free, idx)
 		return nil, err
 	}

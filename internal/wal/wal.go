@@ -49,13 +49,26 @@ var ErrClosed = errors.New("wal: log closed")
 
 // Log is an append-only redo log backed by a single file.
 type Log struct {
-	mu      sync.Mutex
-	file    *os.File
-	w       *bufio.Writer
-	nextLSN uint64
-	closed  bool
-	appends uint64 // page images appended, for stats/tests
-	commits uint64
+	mu           sync.Mutex
+	file         *os.File
+	w            *bufio.Writer
+	nextLSN      uint64
+	closed       bool
+	appends      uint64 // page images appended, for stats/tests
+	beforeImages uint64
+	commits      uint64
+	fsyncs       uint64
+}
+
+// Stats counts the log's activity since Open. PageImages and
+// BeforeImages are appended records (redo and undo respectively);
+// Fsyncs counts forces to stable storage (commits, explicit Syncs, and
+// checkpoints).
+type Stats struct {
+	PageImages   uint64 `json:"page_images"`
+	BeforeImages uint64 `json:"before_images"`
+	Commits      uint64 `json:"commits"`
+	Fsyncs       uint64 `json:"fsyncs"`
 }
 
 // Open opens (creating if needed) the log at path. An existing log is
@@ -122,7 +135,11 @@ func (l *Log) LogBeforeImage(id storage.PageID, img []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
-	return l.appendLocked(recBeforeImage, uint64(id), img)
+	if err := l.appendLocked(recBeforeImage, uint64(id), img); err != nil {
+		return err
+	}
+	l.beforeImages++
+	return nil
 }
 
 // AppendCommit appends a commit record and forces the log to stable
@@ -155,7 +172,11 @@ func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	return l.file.Sync()
+	if err := l.file.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs++
+	return nil
 }
 
 func (l *Log) appendLocked(typ byte, pid uint64, payload []byte) error {
@@ -195,7 +216,11 @@ func (l *Log) Checkpoint() error {
 		return err
 	}
 	l.w.Reset(l.file)
-	return l.file.Sync()
+	if err := l.file.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs++
+	return nil
 }
 
 // Size reports the current log file length in bytes (including buffered
@@ -213,12 +238,16 @@ func (l *Log) Size() (int64, error) {
 	return st.Size(), nil
 }
 
-// Stats reports how many page images and commits have been appended since
-// Open.
-func (l *Log) Stats() (pageImages, commits uint64) {
+// Stats reports the log's activity counters since Open.
+func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.appends, l.commits
+	return Stats{
+		PageImages:   l.appends,
+		BeforeImages: l.beforeImages,
+		Commits:      l.commits,
+		Fsyncs:       l.fsyncs,
+	}
 }
 
 // Close flushes and closes the log file.

@@ -30,9 +30,12 @@ func TestLogAppendAndRecover(t *testing.T) {
 	if err := l.AppendCommit(); err != nil {
 		t.Fatalf("AppendCommit: %v", err)
 	}
-	imgs, commits := l.Stats()
-	if imgs != 2 || commits != 1 {
-		t.Fatalf("Stats = (%d, %d), want (2, 1)", imgs, commits)
+	st := l.Stats()
+	if st.PageImages != 2 || st.Commits != 1 {
+		t.Fatalf("Stats = %+v, want 2 page images, 1 commit", st)
+	}
+	if st.Fsyncs == 0 {
+		t.Fatal("commit did not count an fsync")
 	}
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)

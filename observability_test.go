@@ -1,0 +1,192 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpoint smoke-tests DB.MetricsHandler: Prometheus text by
+// default, JSON on request, and counters that reflect executed queries.
+func TestMetricsEndpoint(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	if _, err := db.Query(retailSelectQuery); err != nil {
+		t.Fatal(err)
+	}
+
+	h := db.MetricsHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"bufferpool_logical_reads_total",
+		"bufferpool_hit_rate",
+		"btree_node_reads_total",
+		"bitmap_logical_ops_total",
+		"query_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if snap.Counter("bufferpool_logical_reads_total") == 0 {
+		t.Fatal("no logical reads recorded after a query")
+	}
+	if db.MetricsSnapshot().Counter("bufferpool_logical_reads_total") == 0 {
+		t.Fatal("MetricsSnapshot disagrees with handler")
+	}
+}
+
+// TestConcurrentSessionMetrics drives concurrent sessions into the
+// shared registry — the -race gate for the observability layer — and
+// checks the aggregate query counters add up.
+func TestConcurrentSessionMetrics(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+
+	engines := []Engine{ArrayEngine, StarJoinEngine, BitmapEngine}
+	const workers, perWorker = 8, 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.Session()
+			for i := 0; i < perWorker; i++ {
+				if _, err := s.QueryOn(retailSelectQuery, engines[(w+i)%len(engines)]); err != nil {
+					errCh <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	snap := db.MetricsSnapshot()
+	var total int64
+	for _, name := range []string{
+		"queries_array_total", "queries_starjoin_total", "queries_bitmap_total",
+	} {
+		total += snap.Counter(name)
+	}
+	if total != workers*perWorker {
+		t.Fatalf("engine query counters total %d, want %d", total, workers*perWorker)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "query_seconds" && h.Count != workers*perWorker {
+			t.Fatalf("query_seconds count %d, want %d", h.Count, workers*perWorker)
+		}
+	}
+}
+
+// TestSlowQueryLog checks the structured slow-query log fires at the
+// threshold and carries the query's identity and cost.
+func TestSlowQueryLog(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+
+	var buf bytes.Buffer
+	s := db.Session()
+	s.SetSlowQueryLog(slog.New(slog.NewTextHandler(&buf, nil)), 0)
+	if _, err := s.Query(retailSelectQuery); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"slow query", "plan=", "elapsed=", "physical_reads="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow-query log missing %q:\n%s", want, out)
+		}
+	}
+
+	// Above-threshold queries stay silent.
+	buf.Reset()
+	s.SetSlowQueryLog(slog.New(slog.NewTextHandler(&buf, nil)), time.Hour)
+	if _, err := s.Query(retailSelectQuery); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fast query logged as slow:\n%s", buf.String())
+	}
+}
+
+// TestEngineStatsSnapshot checks DB.Stats folds buffer, WAL, and
+// planner-statistics age into one snapshot.
+func TestEngineStatsSnapshot(t *testing.T) {
+	// In-memory: no WAL section.
+	mem, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	loadRetail(t, mem)
+	es := mem.Stats()
+	if es.HasWAL {
+		t.Fatal("in-memory database reports a WAL")
+	}
+	if es.Buffer.LogicalReads == 0 {
+		t.Fatal("no buffer activity after load")
+	}
+	if es.BufferHitRate < 0 || es.BufferHitRate > 1 {
+		t.Fatalf("hit rate %v out of range", es.BufferHitRate)
+	}
+	if es.StatsAge <= 0 || es.StatsAge > time.Hour {
+		t.Fatalf("stats age %v implausible", es.StatsAge)
+	}
+
+	// File-backed: WAL counters present and exported on the registry.
+	path := filepath.Join(t.TempDir(), "obs.db")
+	fdb, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	loadRetail(t, fdb)
+	if err := fdb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	es = fdb.Stats()
+	if !es.HasWAL || es.WAL.Commits == 0 || es.WAL.Fsyncs == 0 {
+		t.Fatalf("WAL stats missing: %+v", es.WAL)
+	}
+	if fdb.MetricsSnapshot().Counter("wal_commits_total") == 0 {
+		t.Fatal("wal_commits_total not exported")
+	}
+}

@@ -25,10 +25,14 @@ package repro
 
 import (
 	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -60,8 +64,14 @@ type (
 	Cost = exec.Cost
 	// Stats are buffer pool I/O counters.
 	Stats = storage.Stats
+	// WALStats are write-ahead log counters.
+	WALStats = wal.Stats
 	// AggFunc selects an aggregate function.
 	AggFunc = core.AggFunc
+	// MetricsSnapshot is a point-in-time copy of every engine metric.
+	MetricsSnapshot = obs.Snapshot
+	// Trace is the span tree recorded for one query execution.
+	Trace = obs.Trace
 )
 
 // Aggregate functions, re-exported for reading Result rows.
@@ -162,6 +172,19 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.cat = cat
 	db.ex = exec.NewExecutor(db.bp, cat)
+	if db.log != nil {
+		reg := db.ex.Context().Registry()
+		l := db.log
+		reg.CounterFunc("wal_page_images_total",
+			"redo page images appended to the WAL",
+			func() int64 { return int64(l.Stats().PageImages) })
+		reg.CounterFunc("wal_commits_total",
+			"commit records appended to the WAL",
+			func() int64 { return int64(l.Stats().Commits) })
+		reg.CounterFunc("wal_fsyncs_total",
+			"fsyncs issued by the WAL",
+			func() int64 { return int64(l.Stats().Fsyncs) })
+	}
 	return db, nil
 }
 
@@ -222,8 +245,60 @@ func (db *DB) Close() error {
 // CreateStarSchema.
 func (db *DB) Schema() *StarSchema { return db.cat.Schema }
 
-// Stats returns cumulative buffer pool counters.
-func (db *DB) Stats() Stats { return db.bp.Stats() }
+// EngineStats is one cross-layer health snapshot: buffer pool I/O,
+// write-ahead log activity, and the age of the planner statistics.
+type EngineStats struct {
+	// Buffer holds the cumulative buffer pool counters.
+	Buffer Stats `json:"buffer"`
+	// BufferHitRate is the fraction of logical reads served from memory.
+	BufferHitRate float64 `json:"buffer_hit_rate"`
+	// WAL holds the log counters; zero when HasWAL is false.
+	WAL WALStats `json:"wal"`
+	// HasWAL reports whether this database logs (file-backed, WAL on).
+	HasWAL bool `json:"has_wal"`
+	// StatsAge is the time since the planner statistics were last
+	// collected; zero when the catalog carries none (planner falls back
+	// to its structural heuristic).
+	StatsAge time.Duration `json:"stats_age_ns"`
+}
+
+// Stats returns a cross-layer engine snapshot: buffer pool counters,
+// WAL counters, and planner-statistics age.
+func (db *DB) Stats() EngineStats {
+	es := EngineStats{Buffer: db.bp.Stats()}
+	es.BufferHitRate = es.Buffer.HitRate()
+	if db.log != nil {
+		es.WAL = db.log.Stats()
+		es.HasWAL = true
+	}
+	if st := db.cat.Stats; st != nil && st.CollectedUnix > 0 {
+		es.StatsAge = time.Since(time.Unix(st.CollectedUnix, 0))
+	}
+	return es
+}
+
+// Registry returns the metrics registry every layer of this database
+// reports into. Callers may register their own instruments on it.
+func (db *DB) Registry() *obs.Registry { return db.ex.Context().Registry() }
+
+// MetricsSnapshot returns a point-in-time copy of every engine metric,
+// ready for JSON encoding.
+func (db *DB) MetricsSnapshot() MetricsSnapshot { return db.Registry().Snapshot() }
+
+// MetricsHandler returns an http.Handler exposing the engine's metrics
+// as Prometheus text (default) or JSON (?format=json). Mount it where
+// convenient:
+//
+//	http.Handle("/metrics", db.MetricsHandler())
+func (db *DB) MetricsHandler() http.Handler { return obs.Handler(db.Registry()) }
+
+// SetSlowQueryLog enables structured slow-query logging on the DB's own
+// executor: queries at or above min are reported to l with their SQL,
+// plan, counters, and I/O. Sessions opt in separately. A nil logger
+// disables it.
+func (db *DB) SetSlowQueryLog(l *slog.Logger, min time.Duration) {
+	db.ex.SetSlowQueryLog(l, min)
+}
 
 // DropCaches flushes and empties the buffer pool — the paper's cold-cache
 // protocol between measured queries. Cached object handles are

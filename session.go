@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"log/slog"
+	"time"
+
 	"repro/internal/exec"
 )
 
@@ -38,4 +41,12 @@ func (s *Session) QueryOn(sql string, engine Engine) (*Result, error) {
 // Explain plans a query in this session without running it.
 func (s *Session) Explain(sql string) (*Explanation, error) {
 	return s.ex.ExplainSQL(sql, Auto)
+}
+
+// SetSlowQueryLog enables structured slow-query logging for this
+// session's queries: those at or above min are reported to l with their
+// SQL, plan, counters, and I/O. A nil logger disables it. Metrics
+// recorded by the session land in the shared DB registry either way.
+func (s *Session) SetSlowQueryLog(l *slog.Logger, min time.Duration) {
+	s.ex.SetSlowQueryLog(l, min)
 }
