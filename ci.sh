@@ -28,7 +28,50 @@ go test -run TestExplainAnalyzeGolden -count=1 ./internal/exec/
 echo "== metrics endpoint smoke =="
 go test -run TestMetricsEndpoint -count=1 .
 
-echo "== go test -race (concurrent sessions + storage) =="
-go test -race ./internal/exec/... ./internal/storage/... .
+echo "== go test -race (concurrent sessions + storage + server) =="
+go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... .
+
+echo "== olapd server smoke =="
+smokedir=$(mktemp -d)
+cleanup_smoke() {
+    [ -n "${olapd_pid:-}" ] && kill "$olapd_pid" 2>/dev/null
+    rm -rf "$smokedir"
+}
+trap cleanup_smoke EXIT
+go build -o "$smokedir/olapgen" ./cmd/olapgen
+go build -o "$smokedir/olapd" ./cmd/olapd
+go build -o "$smokedir/olapcli" ./cmd/olapcli
+"$smokedir/olapgen" -out "$smokedir/smoke.db" -dims 10x10x10 -density 0.2 >/dev/null
+
+"$smokedir/olapd" -db "$smokedir/smoke.db" -listen 127.0.0.1:0 -obs 127.0.0.1:0 \
+    2>"$smokedir/olapd.log" &
+olapd_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*msg="olapd serving" addr=\([^ ]*\).*/\1/p' "$smokedir/olapd.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "olapd did not start:" >&2
+    cat "$smokedir/olapd.log" >&2
+    exit 1
+fi
+obs=$(sed -n 's/.*msg="observability endpoint" addr=\([^ ]*\).*/\1/p' "$smokedir/olapd.log")
+
+"$smokedir/olapcli" -connect "$addr" \
+    "select sum(volume), h01 from fact, dim0 group by h01" | grep -q "plan="
+curl -sf "http://$obs/healthz" >/dev/null
+curl -sf "http://$obs/metrics" | grep -q "^server_queries_accepted_total 1"
+
+kill -TERM "$olapd_pid"
+rc=0
+wait "$olapd_pid" || rc=$?
+olapd_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "olapd shutdown exit code $rc" >&2
+    cat "$smokedir/olapd.log" >&2
+    exit 1
+fi
 
 echo "ci.sh: all checks passed"

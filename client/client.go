@@ -1,0 +1,429 @@
+// Package client is the Go client for olapd's wire protocol. A Conn is
+// one TCP connection running one query at a time; Pool layers
+// connection reuse and health checks on top and is what applications
+// should hold. Cancellation is first-class: canceling the
+// context.Context passed to Query sends a Cancel frame to the server —
+// stopping the operator loop there, not just the local read — and the
+// connection stays usable afterward.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Engine selects the server-side evaluation strategy for a query.
+type Engine uint8
+
+// Engines, mirroring the server's planner modes.
+const (
+	Auto     Engine = Engine(wire.Auto)
+	Array    Engine = Engine(wire.Array)
+	StarJoin Engine = Engine(wire.StarJoin)
+	Bitmap   Engine = Engine(wire.Bitmap)
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string { return wire.Engine(e).String() }
+
+// ParseEngine maps an engine name ("auto", "array", "starjoin",
+// "bitmap") to its constant.
+func ParseEngine(name string) (Engine, error) {
+	we, err := wire.ParseEngine(name)
+	return Engine(we), err
+}
+
+// ErrorCode classifies a server-side failure.
+type ErrorCode uint16
+
+// Error codes, mirroring the wire protocol's.
+const (
+	CodeProtocol  = ErrorCode(wire.CodeProtocol)
+	CodeParse     = ErrorCode(wire.CodeParse)
+	CodeAdmission = ErrorCode(wire.CodeAdmission)
+	CodeCanceled  = ErrorCode(wire.CodeCanceled)
+	CodeExec      = ErrorCode(wire.CodeExec)
+	CodeShutdown  = ErrorCode(wire.CodeShutdown)
+)
+
+// String implements fmt.Stringer.
+func (c ErrorCode) String() string { return wire.ErrorCode(c).String() }
+
+// Error is a typed failure reported by the server. Admission rejections
+// carry CodeAdmission, bad SQL CodeParse, a draining server
+// CodeShutdown — callers branch with IsCode.
+type Error struct {
+	Code    ErrorCode
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("olapd: %s: %s", e.Code, e.Message) }
+
+// IsCode reports whether err is (or wraps) a server Error with code.
+func IsCode(err error, code ErrorCode) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}
+
+// Row is one aggregated result row.
+type Row struct {
+	Groups []string
+	Sum    int64
+	Count  int64
+	Min    int64
+	Max    int64
+}
+
+// Result is a completed query's result set with its plan provenance.
+type Result struct {
+	Plan       string
+	Engine     Engine
+	GroupAttrs []string
+	Aggs       []uint8
+	Rows       []Row
+	// Elapsed is the server-side execution time (not round-trip).
+	Elapsed time.Duration
+}
+
+// Explanation is the server's rendered planning decision for a query;
+// for EXPLAIN ANALYZE the text includes per-operator actuals.
+type Explanation struct {
+	Chosen string
+	Engine Engine
+	Text   string
+}
+
+// Config tunes a Conn or Pool. The zero value uses sane defaults.
+type Config struct {
+	// DialTimeout bounds connection + handshake (and pings). 0 selects
+	// 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write. 0 selects 10s.
+	WriteTimeout time.Duration
+	// CancelGrace bounds how long a canceled query waits for the
+	// server's acknowledgement before the connection is declared
+	// broken. 0 selects 5s.
+	CancelGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.CancelGrace <= 0 {
+		c.CancelGrace = 5 * time.Second
+	}
+	return c
+}
+
+// Conn is one protocol connection. It runs one request at a time and is
+// not safe for concurrent use — use a Pool for that.
+type Conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	cfg    Config
+	wmu    sync.Mutex // Cancel frames interleave with request writes
+	nextID uint32
+	broken atomic.Bool
+	server string
+}
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string, cfg Config) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc, br: bufio.NewReader(nc), cfg: cfg}
+	nc.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	if err := c.writeFrame(wire.FrameHello, (&wire.Hello{Version: wire.Version}).Encode()); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	t, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch t {
+	case wire.FrameHelloAck:
+		ack, err := wire.DecodeHelloAck(payload)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		c.server = ack.Server
+	case wire.FrameError:
+		ef, err := wire.DecodeError(payload)
+		nc.Close()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %s frame", t)
+	}
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Server reports the server banner from the handshake.
+func (c *Conn) Server() string { return c.server }
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+func (c *Conn) writeFrame(t wire.FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	err := wire.WriteFrame(c.nc, t, payload)
+	if err != nil {
+		c.broken.Store(true)
+	}
+	return err
+}
+
+// readFrame reads one frame under whatever read deadline is armed; a
+// failure (including a deadline hit) breaks the connection, since the
+// stream may be desynchronized mid-frame.
+func (c *Conn) readFrame() (wire.FrameType, []byte, error) {
+	t, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.broken.Store(true)
+	}
+	return t, payload, err
+}
+
+// Ping round-trips a Ping frame; an error means the connection is dead.
+func (c *Conn) Ping() error {
+	if c.broken.Load() {
+		return errors.New("client: connection is broken")
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	if err := c.writeFrame(wire.FramePing, nil); err != nil {
+		return err
+	}
+	t, _, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	if t != wire.FramePong {
+		c.broken.Store(true)
+		return fmt.Errorf("client: expected pong, got %s", t)
+	}
+	return nil
+}
+
+// watchCancel arms ctx-cancellation for request id: when ctx fires, a
+// Cancel frame goes to the server and the read deadline drops to
+// CancelGrace, so the pending read either sees the server's
+// acknowledgement (stream stays clean, connection reusable) or times
+// out (connection broken). The returned stop function must be called
+// before the request returns; it blocks until the watcher is inert so
+// no deadline write races the connection's next request.
+func (c *Conn) watchCancel(ctx context.Context, id uint32) (stop func()) {
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		select {
+		case <-ctx.Done():
+			c.writeFrame(wire.FrameCancel, (&wire.Cancel{ID: id}).Encode())
+			c.nc.SetReadDeadline(time.Now().Add(c.cfg.CancelGrace))
+		case <-stopCh:
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+		c.nc.SetReadDeadline(time.Time{})
+	}
+}
+
+// Query runs sql on the chosen engine and returns the full result set.
+// Canceling ctx mid-query sends a Cancel frame so the server stops its
+// operator loop; the connection remains usable and ctx's error is
+// returned.
+func (c *Conn) Query(ctx context.Context, sql string, engine Engine) (*Result, error) {
+	res := &Result{}
+	err := c.QueryFunc(ctx, sql, engine, res, func(rows []Row) error {
+		res.Rows = append(res.Rows, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryFunc is the streaming variant of Query: onBatch is invoked for
+// every row batch as it arrives; hdr (optional) receives the plan
+// metadata from the result header before the first batch. Returning an
+// error from onBatch cancels the query server-side and surfaces that
+// error.
+func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
+	hdr *Result, onBatch func(rows []Row) error) error {
+	if c.broken.Load() {
+		return errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	q := &wire.Query{ID: id, Engine: wire.Engine(engine), SQL: sql}
+	if err := c.writeFrame(wire.FrameQuery, q.Encode()); err != nil {
+		return err
+	}
+	if hdr == nil {
+		hdr = &Result{}
+	}
+
+	stop := c.watchCancel(ctx, id)
+	defer stop()
+
+	var batchErr error
+	batchCanceled := false
+	for {
+		t, payload, err := c.readFrame()
+		if err != nil {
+			if ctx.Err() != nil { // grace expired with no acknowledgement
+				return ctx.Err()
+			}
+			return err
+		}
+		draining := batchCanceled || ctx.Err() != nil
+		switch t {
+		case wire.FrameResultHeader:
+			h, err := wire.DecodeResultHeader(payload)
+			if err != nil || h.ID != id {
+				c.broken.Store(true)
+				return fmt.Errorf("client: bad result header: %v", err)
+			}
+			hdr.Plan = h.Plan
+			hdr.Engine = Engine(h.Engine)
+			hdr.GroupAttrs = h.GroupAttrs
+			hdr.Aggs = h.Aggs
+		case wire.FrameRowBatch:
+			rb, err := wire.DecodeRowBatch(payload)
+			if err != nil || rb.ID != id {
+				c.broken.Store(true)
+				return fmt.Errorf("client: bad row batch: %v", err)
+			}
+			if draining {
+				continue // canceled; drop the remaining stream
+			}
+			rows := make([]Row, len(rb.Rows))
+			for i, r := range rb.Rows {
+				rows[i] = Row{Groups: r.Groups, Sum: r.Sum, Count: r.Count, Min: r.Min, Max: r.Max}
+			}
+			if err := onBatch(rows); err != nil {
+				batchErr = err
+				batchCanceled = true
+				c.writeFrame(wire.FrameCancel, (&wire.Cancel{ID: id}).Encode())
+				c.nc.SetReadDeadline(time.Now().Add(c.cfg.CancelGrace))
+			}
+		case wire.FrameResultDone:
+			d, err := wire.DecodeResultDone(payload)
+			if err != nil || d.ID != id {
+				c.broken.Store(true)
+				return fmt.Errorf("client: bad result done: %v", err)
+			}
+			// The server finished before any cancel reached it; the
+			// stream is clean either way. Report the caller's intent.
+			if batchErr != nil {
+				return batchErr
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			hdr.Elapsed = time.Duration(d.ElapsedNS)
+			return nil
+		case wire.FrameError:
+			ef, err := wire.DecodeError(payload)
+			if err != nil {
+				c.broken.Store(true)
+				return err
+			}
+			if batchErr != nil {
+				return batchErr
+			}
+			if ef.Code == wire.CodeCanceled && (ctx.Err() != nil) {
+				return ctx.Err()
+			}
+			return &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+		default:
+			c.broken.Store(true)
+			return fmt.Errorf("client: unexpected %s frame", t)
+		}
+	}
+}
+
+// Explain asks the server to plan (and for EXPLAIN ANALYZE, run) sql
+// and returns the rendered explanation.
+func (c *Conn) Explain(ctx context.Context, sql string, engine Engine) (*Explanation, error) {
+	if c.broken.Load() {
+		return nil, errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ex := &wire.Explain{ID: id, Engine: wire.Engine(engine), SQL: sql}
+	if err := c.writeFrame(wire.FrameExplain, ex.Encode()); err != nil {
+		return nil, err
+	}
+	stop := c.watchCancel(ctx, id)
+	defer stop()
+	for {
+		t, payload, err := c.readFrame()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		switch t {
+		case wire.FrameExplainResult:
+			er, err := wire.DecodeExplainResult(payload)
+			if err != nil || er.ID != id {
+				c.broken.Store(true)
+				return nil, fmt.Errorf("client: bad explain result: %v", err)
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return &Explanation{Chosen: er.Chosen, Engine: Engine(er.Engine), Text: er.Text}, nil
+		case wire.FrameError:
+			ef, err := wire.DecodeError(payload)
+			if err != nil {
+				c.broken.Store(true)
+				return nil, err
+			}
+			if ef.Code == wire.CodeCanceled && (ctx.Err() != nil) {
+				return nil, ctx.Err()
+			}
+			return nil, &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+		default:
+			c.broken.Store(true)
+			return nil, fmt.Errorf("client: unexpected %s frame", t)
+		}
+	}
+}

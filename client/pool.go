@@ -1,0 +1,129 @@
+package client
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool is a connection pool over one olapd address, safe for concurrent
+// use. Each request checks out an idle connection (health-checked with
+// a ping after it has sat idle) or dials a fresh one; clean connections
+// return to the pool, broken ones are dropped. A query canceled
+// mid-stream leaves its connection clean — the Cancel handshake drains
+// the stream — so cancellation does not leak connections.
+type Pool struct {
+	addr string
+	cfg  Config
+	// MaxIdle caps retained idle connections (default 4).
+	maxIdle int
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool creates a pool dialing addr with cfg. maxIdle caps the idle
+// connections kept for reuse; 0 selects 4.
+func NewPool(addr string, cfg Config, maxIdle int) *Pool {
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	return &Pool{addr: addr, cfg: cfg.withDefaults(), maxIdle: maxIdle}
+}
+
+// Get checks out a connection: the most recently used idle one that
+// still answers a ping, or a freshly dialed one. Callers must return it
+// with Put.
+func (p *Pool) Get(ctx context.Context) (*Conn, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, errPoolClosed
+		}
+		var c *Conn
+		if n := len(p.idle); n > 0 {
+			c = p.idle[n-1]
+			p.idle = p.idle[:n-1]
+		}
+		p.mu.Unlock()
+		if c == nil {
+			return Dial(p.addr, p.cfg)
+		}
+		if err := c.Ping(); err != nil {
+			c.Close() // stale idle connection; try the next one
+			continue
+		}
+		return c, nil
+	}
+}
+
+// Put returns a connection to the pool; broken or surplus connections
+// are closed instead of retained.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if c.broken.Load() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.idle) >= p.maxIdle {
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+}
+
+// Query checks out a connection, runs sql on engine, and returns the
+// connection to the pool.
+func (p *Pool) Query(ctx context.Context, sql string, engine Engine) (*Result, error) {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(c)
+	return c.Query(ctx, sql, engine)
+}
+
+// QueryFunc is Query's streaming variant over a pooled connection.
+func (p *Pool) QueryFunc(ctx context.Context, sql string, engine Engine,
+	hdr *Result, onBatch func(rows []Row) error) error {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return err
+	}
+	defer p.Put(c)
+	return c.QueryFunc(ctx, sql, engine, hdr, onBatch)
+}
+
+// Explain checks out a connection, explains sql, and returns the
+// connection to the pool.
+func (p *Pool) Explain(ctx context.Context, sql string, engine Engine) (*Explanation, error) {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(c)
+	return c.Explain(ctx, sql, engine)
+}
+
+// Close closes every idle connection and refuses further checkouts.
+// Connections currently checked out are closed when Put back.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+}
+
+var errPoolClosed = poolClosedError{}
+
+type poolClosedError struct{}
+
+func (poolClosedError) Error() string { return "client: pool is closed" }

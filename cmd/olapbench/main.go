@@ -33,6 +33,15 @@ func main() {
 	snapshotDir := flag.String("snapshot", "", "write BENCH_<fig>.json snapshots into this directory")
 	flag.Parse()
 
+	// Fail fast on an unwritable snapshot directory rather than
+	// discovering it after minutes of benchmarking.
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "olapbench: snapshot dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	h := bench.NewHarness(bench.Options{
 		Scale:   *scale,
 		Trials:  *trials,
@@ -85,6 +94,13 @@ func main() {
 				bench.WriteStorageCSV(os.Stdout, rows)
 			} else {
 				bench.WriteStorageTable(os.Stdout, rows)
+			}
+			if *snapshotDir != "" {
+				path, err := bench.WriteStorageSnapshot(*snapshotDir, rows, h.Opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "snapshot: %s\n", path)
 			}
 			return nil
 		}},

@@ -1,10 +1,13 @@
 // Command olapcli runs consolidation queries against a database produced
-// by olapgen (or any program using the repro API).
+// by olapgen (or any program using the repro API), either embedded
+// (-db, opening the files in-process) or remote (-connect, speaking the
+// wire protocol to an olapd).
 //
 // Usage:
 //
 //	olapcli -db sales.db [-engine auto|array|starjoin|bitmap] "select ..."
 //	olapcli -db sales.db            # interactive: one query per line
+//	olapcli -connect 127.0.0.1:7432 # same REPL over a server
 //
 // Each result prints the plan the engine chose, the wall time, page I/O,
 // and the rows.
@@ -12,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -21,15 +25,21 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/client"
 )
 
 func main() {
 	path := flag.String("db", "olap.db", "database path")
+	connect := flag.String("connect", "", "query a remote olapd at host:port instead of opening -db")
 	engineName := flag.String("engine", "auto", "engine: auto, array, starjoin, bitmap")
 	maxRows := flag.Int("rows", 20, "max rows to print (0 = all)")
 	metricsAddr := flag.String("metrics", "", "serve engine metrics on this address (e.g. :9090)")
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(remoteMain(*connect, *engineName, *maxRows))
+	}
 
 	engine, err := parseEngine(*engineName)
 	if err != nil {
@@ -96,6 +106,96 @@ func main() {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
+}
+
+// remoteMain is the -connect mode: the same one-shot/REPL loop, but
+// every query travels the wire protocol to an olapd. Returns the
+// process exit code.
+func remoteMain(addr, engineName string, maxRows int) int {
+	engine, err := client.ParseEngine(engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+		return 2
+	}
+	conn, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+		return 1
+	}
+	defer conn.Close()
+
+	if flag.NArg() > 0 {
+		for _, sql := range flag.Args() {
+			if err := runRemoteQuery(conn, sql, engine, maxRows); err != nil {
+				fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	fmt.Printf("connected to %s (%s) — one query per line, blank line or ^D to exit\n",
+		addr, conn.Server())
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("olap> ")
+		if !scanner.Scan() {
+			break
+		}
+		sql := strings.TrimSpace(scanner.Text())
+		if sql == "" {
+			break
+		}
+		if err := runRemoteQuery(conn, sql, engine, maxRows); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+	return 0
+}
+
+// runRemoteQuery executes one query (or EXPLAIN) over the wire and
+// renders it like the embedded path does.
+func runRemoteQuery(conn *client.Conn, sql string, engine client.Engine, maxRows int) error {
+	ctx := context.Background()
+	if strings.HasPrefix(strings.ToLower(strings.TrimSpace(sql)), "explain") {
+		expl, err := conn.Explain(ctx, sql, engine)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expl.Text)
+		return nil
+	}
+	res, err := conn.Query(ctx, sql, engine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan=%s engine=%s elapsed=%v rows=%d\n",
+		res.Plan, res.Engine, res.Elapsed, len(res.Rows))
+	aggNames := make([]string, len(res.Aggs))
+	for i, a := range res.Aggs {
+		aggNames[i] = repro.AggFunc(a).String()
+	}
+	if len(res.GroupAttrs) > 0 || len(aggNames) > 0 {
+		fmt.Printf("%s | %s\n", strings.Join(res.GroupAttrs, ", "), strings.Join(aggNames, ", "))
+	}
+	for i, r := range res.Rows {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		vals := make([]string, len(res.Aggs))
+		for j, a := range res.Aggs {
+			row := repro.Row{Sum: r.Sum, Count: r.Count, Min: r.Min, Max: r.Max}
+			if repro.AggFunc(a) == repro.Avg {
+				vals[j] = fmt.Sprintf("%.2f", row.Avg())
+			} else {
+				vals[j] = fmt.Sprintf("%d", row.Value(repro.AggFunc(a)))
+			}
+		}
+		fmt.Printf("%s | %s\n", strings.Join(r.Groups, ", "), strings.Join(vals, ", "))
+	}
+	return nil
 }
 
 // printStats renders the cross-layer engine snapshot (the interactive

@@ -1,0 +1,106 @@
+// Command olapd serves a database over the engine's binary wire
+// protocol. One process owns the database files (the engine is
+// single-writer); any number of clients connect with the client
+// package or olapcli -connect.
+//
+// Usage:
+//
+//	olapd -db sales.db [-listen 127.0.0.1:7432] [-obs 127.0.0.1:9090]
+//	      [-max-concurrent N] [-queue-depth N] [-slow-ms 100]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight queries finish (up to
+// -drain-timeout), new ones are refused with a typed shutdown error,
+// and the WAL closes cleanly before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	repro "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	path := flag.String("db", "olap.db", "database path")
+	listen := flag.String("listen", "127.0.0.1:7432", "query protocol listen address")
+	obsAddr := flag.String("obs", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max queries running at once (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max queries waiting for a slot (0 = 2x max-concurrent, -1 = none)")
+	batchRows := flag.Int("batch-rows", 0, "result rows per wire frame (0 = protocol default)")
+	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	db, err := repro.Open(repro.Options{Path: *path})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := server.Config{
+		Addr:          *listen,
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		BatchRows:     *batchRows,
+	}
+	if *slowMS > 0 {
+		cfg.SlowQueryLog = log
+		cfg.SlowQueryMin = time.Duration(*slowMS) * time.Millisecond
+	}
+	srv := server.New(db, cfg)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
+		db.Close()
+		os.Exit(1)
+	}
+	log.Info("olapd serving", slog.String("addr", srv.Addr().String()),
+		slog.String("db", *path))
+
+	if *obsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", db.MetricsHandler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		// Listen explicitly so ":0" reports the bound port in the log.
+		lis, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olapd: obs listen: %v\n", err)
+			db.Close()
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(lis, mux); err != nil {
+				log.Error("obs server", slog.Any("err", err))
+			}
+		}()
+		log.Info("observability endpoint", slog.String("addr", lis.Addr().String()))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Info("draining", slog.String("signal", s.String()))
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("drain timeout; canceling remaining queries", slog.Any("err", err))
+	}
+	// With every query finished (or hard-canceled), the WAL can close.
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "olapd: close: %v\n", err)
+		os.Exit(1)
+	}
+	log.Info("olapd stopped")
+}

@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestQueryContextCanceled proves the context is threaded all the way
+// into the operator loops: a canceled context stops every engine at its
+// first cancellation check and the context's error comes back out.
+func TestQueryContextCanceled(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := db.Session()
+	for _, eng := range []Engine{ArrayEngine, StarJoinEngine, BitmapEngine} {
+		q := retailQuery
+		if eng == BitmapEngine {
+			q = retailSelectQuery // bitmap plans need a selection
+		}
+		if _, err := sess.QueryOnContext(ctx, q, eng); !errors.Is(err, context.Canceled) {
+			t.Fatalf("QueryOnContext(%v) on canceled ctx: err = %v, want context.Canceled", eng, err)
+		}
+	}
+	if _, err := sess.QueryContext(ctx, retailQuery); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext on canceled ctx: err = %v", err)
+	}
+	if _, err := sess.ExplainContext(ctx, retailQuery); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExplainContext on canceled ctx: err = %v", err)
+	}
+
+	// A live context must not disturb results.
+	res, err := sess.QueryContext(context.Background(), retailQuery)
+	if err != nil {
+		t.Fatalf("QueryContext: %v", err)
+	}
+	want, err := sess.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) != len(want.Rows) {
+		t.Fatalf("QueryContext rows = %d, Query rows = %d", len(res.Rows), len(want.Rows))
+	}
+}
+
+// TestQueryContextDeadline exercises the deadline path: an expired
+// deadline surfaces as context.DeadlineExceeded.
+func TestQueryContextDeadline(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := db.Session().QueryContext(ctx, retailQuery); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -83,11 +83,35 @@ func Snapshot(fig *Figure, opts Options) *FigureSnapshot {
 // WriteFigureSnapshot writes BENCH_<id>.json into dir (created as
 // needed) and returns the path.
 func WriteFigureSnapshot(dir string, fig *Figure, opts Options) (string, error) {
+	return writeSnapshotJSON(dir, fig.ID, Snapshot(fig, opts))
+}
+
+// StorageSnapshot is the machine-readable record of the storage
+// comparison table (§3.2, §5.5.1).
+type StorageSnapshot struct {
+	Scale     float64      `json:"scale"`
+	Seed      int64        `json:"seed"`
+	WrittenAt time.Time    `json:"written_at"`
+	Rows      []StorageRow `json:"rows"`
+}
+
+// WriteStorageSnapshot writes BENCH_storage.json into dir (created as
+// needed) and returns the path.
+func WriteStorageSnapshot(dir string, rows []StorageRow, opts Options) (string, error) {
+	return writeSnapshotJSON(dir, "storage", &StorageSnapshot{
+		Scale:     opts.scale(),
+		Seed:      opts.seed(),
+		WrittenAt: time.Now().UTC(),
+		Rows:      rows,
+	})
+}
+
+func writeSnapshotJSON(dir, id string, v any) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", fig.ID))
-	data, err := json.MarshalIndent(Snapshot(fig, opts), "", "  ")
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", id))
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/array"
@@ -82,6 +83,13 @@ func (gm *groupMapper) cellIndex(coords []int) int {
 // and aggregating in place. The star join and the aggregation are fused;
 // every lookup is position-based.
 func ArrayConsolidate(a *array.Array, spec GroupSpec) (*Result, Metrics, error) {
+	return ArrayConsolidateContext(context.Background(), a, spec)
+}
+
+// ArrayConsolidateContext is ArrayConsolidate with cancellation: the
+// chunk scan checks ctx between chunks, so a canceled query stops after
+// the batch in flight instead of finishing the whole array.
+func ArrayConsolidateContext(ctx context.Context, a *array.Array, spec GroupSpec) (*Result, Metrics, error) {
 	var m Metrics
 	gm, err := newArrayGroupMapper(a, spec)
 	if err != nil {
@@ -92,6 +100,9 @@ func ArrayConsolidate(a *array.Array, spec GroupSpec) (*Result, Metrics, error) 
 	n := g.NumDims()
 	coords := make([]int, n)
 	err = a.Store().ScanChunks(func(cn int, cells []chunk.Cell) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m.ChunksRead++
 		// The chunk's start coordinates are fixed for every cell in it,
 		// so per cell only the in-chunk digits of offsetInChunk need
@@ -227,6 +238,12 @@ func selectionIndexLists(a *array.Array, sels []Selection) ([][]int, error) {
 //     and probe the offset-sorted cells by binary search, aggregating
 //     the hits into the result cube.
 func ArraySelectConsolidate(a *array.Array, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	return ArraySelectConsolidateContext(context.Background(), a, sels, spec)
+}
+
+// ArraySelectConsolidateContext is ArraySelectConsolidate with
+// cancellation, checked once per candidate chunk before it is read.
+func ArraySelectConsolidateContext(ctx context.Context, a *array.Array, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
 	var m Metrics
 	gm, err := newArrayGroupMapper(a, spec)
 	if err != nil {
@@ -260,6 +277,9 @@ func ArraySelectConsolidate(a *array.Array, sels []Selection, spec GroupSpec) (*
 
 	var probeChunk func() error
 	probeChunk = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i := range chunkCoords {
 			chunkCoords[i] = buckets[i].chunkCoords[chunkSel[i]]
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitmap"
@@ -8,6 +9,12 @@ import (
 	"repro/internal/factfile"
 	"repro/internal/storage"
 )
+
+// cancelCheckInterval is how many fact tuples the relational loops
+// process between context checks — frequent enough that a canceled
+// query stops within microseconds, rare enough that the per-tuple cost
+// is unmeasurable.
+const cancelCheckInterval = 4096
 
 // dimHash is the relational algorithms' per-dimension in-memory hash
 // table (§4.3): dimension key -> group index, built by scanning the
@@ -111,7 +118,13 @@ type aggTable map[int]struct{}
 // probe every dimension hash, locate the group in the aggregation hash
 // table, and fold the measure in.
 func StarJoinConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(ff, dims, nil, spec)
+	return starJoin(context.Background(), ff, dims, nil, spec)
+}
+
+// StarJoinConsolidateContext is StarJoinConsolidate with cancellation,
+// checked every cancelCheckInterval fact tuples of the scan.
+func StarJoinConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec) (*Result, Metrics, error) {
+	return starJoin(ctx, ff, dims, nil, spec)
 }
 
 // StarJoinSelectConsolidate is StarJoinConsolidate with selection
@@ -120,10 +133,16 @@ func StarJoinConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, spec
 // non-members are dropped tuple by tuple. This is the "no index"
 // relational baseline the bitmap algorithm of §4.5 is built to beat.
 func StarJoinSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(ff, dims, sels, spec)
+	return starJoin(context.Background(), ff, dims, sels, spec)
 }
 
-func starJoin(ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+// StarJoinSelectConsolidateContext is StarJoinSelectConsolidate with
+// cancellation, checked every cancelCheckInterval fact tuples.
+func StarJoinSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	return starJoin(ctx, ff, dims, sels, spec)
+}
+
+func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
 	var m Metrics
 	st, err := buildRelGroupState(dims, spec)
 	if err != nil {
@@ -138,6 +157,11 @@ func starJoin(ff *factfile.File, dims []*catalog.DimensionTable, sels []Selectio
 	keys := make([]int64, n)
 	agg := make(aggTable)
 	err = ff.Scan(func(_ uint64, rec []byte) error {
+		if m.TuplesScanned%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		m.TuplesScanned++
 		for i := range keys {
 			keys[i] = catalog.FactKey(rec, i)
@@ -271,6 +295,14 @@ type BitmapIndexSource interface {
 // them (with the same per-dimension group hash tables as the star join).
 func BitmapSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
 	src BitmapIndexSource, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	return BitmapSelectConsolidateContext(context.Background(), ff, dims, src, sels, spec)
+}
+
+// BitmapSelectConsolidateContext is BitmapSelectConsolidate with
+// cancellation, checked between bitmap retrievals and every
+// cancelCheckInterval fetched tuples.
+func BitmapSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
+	src BitmapIndexSource, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
 	var m Metrics
 	st, err := buildRelGroupState(dims, spec)
 	if err != nil {
@@ -280,6 +312,9 @@ func BitmapSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
 	result := bitmap.New(ff.NumTuples())
 	result.SetAll()
 	for _, s := range sels {
+		if err := ctx.Err(); err != nil {
+			return nil, m, err
+		}
 		if s.Dim < 0 || s.Dim >= len(dims) {
 			return nil, m, fmt.Errorf("core: selection on dimension %d of %d", s.Dim, len(dims))
 		}
@@ -310,6 +345,11 @@ func BitmapSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
 	keys := make([]int64, n)
 	agg := make(aggTable)
 	err = ff.FetchBits(result, func(_ uint64, rec []byte) error {
+		if m.TuplesFetched%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		m.TuplesFetched++
 		for i := range keys {
 			keys[i] = catalog.FactKey(rec, i)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"time"
@@ -135,6 +136,17 @@ func (e *Executor) Explain(spec *query.Spec, engine Engine) (*Explanation, error
 // ExplainSQL parses, compiles, and plans a query without running it. A
 // leading EXPLAIN keyword is accepted and ignored.
 func (e *Executor) ExplainSQL(sql string, engine Engine) (*Explanation, error) {
+	return e.ExplainSQLContext(context.Background(), sql, engine)
+}
+
+// ExplainSQLContext is ExplainSQL with cancellation. Planning never
+// blocks on I/O beyond the catalog, so the context is checked once up
+// front; the variant exists so callers holding a request context can
+// pass it uniformly.
+func (e *Executor) ExplainSQLContext(ctx context.Context, sql string, engine Engine) (*Explanation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	spec, err := query.ParseAndCompile(sql, e.ctx.Catalog().Schema)
 	if err != nil {
 		return nil, err
@@ -154,12 +166,21 @@ func (e *Executor) SetSlowQueryLog(l *slog.Logger, min time.Duration) {
 // an EXPLAIN (and not ANALYZE), the query is planned but not run, and
 // the result carries only the plan fields.
 func (e *Executor) Execute(spec *query.Spec, engine Engine) (*QueryResult, error) {
-	return e.executeSpec(spec, engine, "")
+	return e.executeSpec(context.Background(), spec, engine, "")
+}
+
+// ExecuteContext is Execute with cancellation: when ctx is canceled the
+// operator loop stops at its next check and ctx's error is returned.
+func (e *Executor) ExecuteContext(ctx context.Context, spec *query.Spec, engine Engine) (*QueryResult, error) {
+	return e.executeSpec(ctx, spec, engine, "")
 }
 
 // executeSpec is Execute with the query text threaded through for the
 // slow-query log (empty when the caller started from a compiled Spec).
-func (e *Executor) executeSpec(spec *query.Spec, engine Engine, sql string) (*QueryResult, error) {
+func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Engine, sql string) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tr := obs.NewTrace("query")
 	sp := tr.Root.Child("plan")
 	plan, expl, err := e.plan(spec, engine)
@@ -186,7 +207,7 @@ func (e *Executor) executeSpec(spec *query.Spec, engine Engine, sql string) (*Qu
 	run := tr.Root.Child("execute")
 	run.Set("plan", plan.Name())
 	run.Set("engine", plan.Engine().String())
-	res, metrics, err := plan.Run(e.ctx)
+	res, metrics, err := plan.Run(ctx, e.ctx)
 	run.End()
 	if err != nil {
 		return nil, err
@@ -233,9 +254,18 @@ func (e *Executor) executeSpec(spec *query.Spec, engine Engine, sql string) (*Qu
 
 // ExecuteSQL parses, compiles, and executes a SQL-subset query.
 func (e *Executor) ExecuteSQL(sql string, engine Engine) (*QueryResult, error) {
+	return e.ExecuteSQLContext(context.Background(), sql, engine)
+}
+
+// ExecuteSQLContext is ExecuteSQL with cancellation: a canceled ctx
+// stops the operator loop at its next check (between chunk batches on
+// the array side, every few thousand tuples on the relational side) and
+// returns ctx's error — how a dropped client connection stops
+// server-side work.
+func (e *Executor) ExecuteSQLContext(ctx context.Context, sql string, engine Engine) (*QueryResult, error) {
 	spec, err := query.ParseAndCompile(sql, e.ctx.Catalog().Schema)
 	if err != nil {
 		return nil, err
 	}
-	return e.executeSpec(spec, engine, sql)
+	return e.executeSpec(ctx, spec, engine, sql)
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -67,8 +68,10 @@ type Plan interface {
 	// sections simply don't arise: the planner only builds plans whose
 	// physical objects exist).
 	Estimate(st *catalog.Stats) Cost
-	// Run executes the plan.
-	Run(ctx *ExecContext) (*core.Result, core.Metrics, error)
+	// Run executes the plan. The context is checked inside the operator
+	// loops (between chunk batches and every few thousand tuples), so a
+	// canceled query releases its goroutine promptly.
+	Run(ctx context.Context, ec *ExecContext) (*core.Result, core.Metrics, error)
 	// Explain describes the plan as an operator tree, annotated with
 	// the most recent Estimate.
 	Explain() PlanDesc
@@ -228,15 +231,15 @@ func (p *arrayPlan) Estimate(st *catalog.Stats) Cost {
 	return p.est
 }
 
-func (p *arrayPlan) Run(ctx *ExecContext) (*core.Result, core.Metrics, error) {
-	arr, err := ctx.ArrayClone()
+func (p *arrayPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, core.Metrics, error) {
+	arr, err := ec.ArrayClone()
 	if err != nil {
 		return nil, core.Metrics{}, err
 	}
 	if len(p.spec.Selections) > 0 {
-		return core.ArraySelectConsolidate(arr, p.spec.Selections, p.spec.Group)
+		return core.ArraySelectConsolidateContext(ctx, arr, p.spec.Selections, p.spec.Group)
 	}
-	return core.ArrayConsolidate(arr, p.spec.Group)
+	return core.ArrayConsolidateContext(ctx, arr, p.spec.Group)
 }
 
 func (p *arrayPlan) Explain() PlanDesc {
@@ -325,19 +328,19 @@ func (p *starJoinPlan) Estimate(st *catalog.Stats) Cost {
 	return p.est
 }
 
-func (p *starJoinPlan) Run(ctx *ExecContext) (*core.Result, core.Metrics, error) {
-	dims, err := ctx.Dimensions()
+func (p *starJoinPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, core.Metrics, error) {
+	dims, err := ec.Dimensions()
 	if err != nil {
 		return nil, core.Metrics{}, err
 	}
-	ff, err := ctx.FactFile()
+	ff, err := ec.FactFile()
 	if err != nil {
 		return nil, core.Metrics{}, err
 	}
 	if len(p.spec.Selections) > 0 {
-		return core.StarJoinSelectConsolidate(ff, dims, p.spec.Selections, p.spec.Group)
+		return core.StarJoinSelectConsolidateContext(ctx, ff, dims, p.spec.Selections, p.spec.Group)
 	}
-	return core.StarJoinConsolidate(ff, dims, p.spec.Group)
+	return core.StarJoinConsolidateContext(ctx, ff, dims, p.spec.Group)
 }
 
 func (p *starJoinPlan) Explain() PlanDesc {
@@ -432,20 +435,20 @@ func (p *bitmapPlan) Estimate(st *catalog.Stats) Cost {
 	return p.est
 }
 
-func (p *bitmapPlan) Run(ctx *ExecContext) (*core.Result, core.Metrics, error) {
-	dims, err := ctx.Dimensions()
+func (p *bitmapPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, core.Metrics, error) {
+	dims, err := ec.Dimensions()
 	if err != nil {
 		return nil, core.Metrics{}, err
 	}
-	ff, err := ctx.FactFile()
+	ff, err := ec.FactFile()
 	if err != nil {
 		return nil, core.Metrics{}, err
 	}
 	src := &core.LOBBitmapSource{
-		Lob:  storage.NewLOBStore(ctx.BufferPool()),
-		Refs: ctx.Catalog().BitmapIndexes,
+		Lob:  storage.NewLOBStore(ec.BufferPool()),
+		Refs: ec.Catalog().BitmapIndexes,
 	}
-	return core.BitmapSelectConsolidate(ff, dims, src, p.spec.Selections, p.spec.Group)
+	return core.BitmapSelectConsolidateContext(ctx, ff, dims, src, p.spec.Selections, p.spec.Group)
 }
 
 func (p *bitmapPlan) Explain() PlanDesc {

@@ -1,0 +1,655 @@
+// Package server is olapd's network front-end: a TCP listener speaking
+// the internal/wire protocol, mapping one connection to one read
+// Session over a shared database. Every query passes the admission
+// controller (bounded concurrency, bounded wait queue, typed
+// rejections), runs with a per-query context that a client Cancel frame
+// or disconnect cancels, and streams its result back row-batch-at-a-
+// time. Shutdown drains: the listener closes, new queries are refused
+// with wire.CodeShutdown, and in-flight queries finish before the
+// caller gets control back to close the WAL.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	repro "repro"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/wire"
+)
+
+// ServerName is the banner sent in the HelloAck frame.
+const ServerName = "repro-olapd/1"
+
+// Config tunes a Server. The zero value listens on a random loopback
+// port with capacity-of-the-machine admission limits.
+type Config struct {
+	// Addr is the listen address; empty selects "127.0.0.1:0".
+	Addr string
+	// MaxConcurrent caps queries running at once; 0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth caps queries waiting for a run slot; beyond it queries
+	// are rejected with wire.CodeAdmission. 0 selects 2*MaxConcurrent;
+	// negative means no waiting at all.
+	QueueDepth int
+	// ReadTimeout bounds one frame read once its first byte arrived,
+	// and the handshake. 0 selects 30s. Idle waits between requests are
+	// not bounded — a REPL may sit quiet for minutes.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one frame write. 0 selects 30s.
+	WriteTimeout time.Duration
+	// BatchRows is the result rows per RowBatch frame; 0 selects
+	// wire.DefaultBatchRows.
+	BatchRows int
+	// SlowQueryLog, when non-nil, receives structured reports of
+	// queries at or above SlowQueryMin, session by session.
+	SlowQueryLog *slog.Logger
+	// SlowQueryMin is the slow-query threshold.
+	SlowQueryMin time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:0"
+	}
+	if out.MaxConcurrent <= 0 {
+		out.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case out.QueueDepth == 0:
+		out.QueueDepth = 2 * out.MaxConcurrent
+	case out.QueueDepth < 0:
+		out.QueueDepth = 0
+	}
+	if out.ReadTimeout <= 0 {
+		out.ReadTimeout = 30 * time.Second
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	if out.BatchRows <= 0 {
+		out.BatchRows = wire.DefaultBatchRows
+	}
+	return out
+}
+
+// Server serves the wire protocol over TCP for one open database.
+type Server struct {
+	db  *repro.DB
+	cfg Config
+	lis net.Listener
+	adm *admission
+
+	// Lifecycle. draining closes first (Shutdown) and gates new
+	// queries; the listener closes with it. connWG tracks connection
+	// loops, queryWG in-flight queries (including their result
+	// streaming).
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining chan struct{}
+	drained  bool
+	connWG   sync.WaitGroup
+
+	qmu     sync.Mutex
+	queryWG sync.WaitGroup
+
+	// Metrics.
+	connsActive   atomic.Int64
+	connsTotal    *obs.Counter
+	qAccepted     *obs.Counter
+	qQueued       *obs.Counter
+	qRejected     *obs.Counter
+	qCanceled     *obs.Counter
+	qFailed       *obs.Counter
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	frameLatency  *obs.Histogram
+	activeQueries atomic.Int64
+}
+
+// New creates a server over db and registers its metrics in the
+// database's registry. Call Start to listen.
+func New(db *repro.DB, cfg Config) *Server {
+	s := &Server{
+		db:       db,
+		cfg:      cfg.withDefaults(),
+		conns:    make(map[*conn]struct{}),
+		draining: make(chan struct{}),
+	}
+	s.adm = newAdmission(s.cfg.MaxConcurrent, s.cfg.QueueDepth)
+
+	reg := db.Registry()
+	reg.GaugeFunc("server_connections_active", "client connections currently open",
+		func() float64 { return float64(s.connsActive.Load()) })
+	reg.GaugeFunc("server_queries_active", "queries currently holding an admission slot",
+		func() float64 { return float64(s.adm.running()) })
+	reg.GaugeFunc("server_queries_waiting", "queries parked in the admission wait queue",
+		func() float64 { return float64(s.adm.waiting()) })
+	s.connsTotal = reg.Counter("server_connections_total", "client connections accepted")
+	s.qAccepted = reg.Counter("server_queries_accepted_total", "queries admitted and executed")
+	s.qQueued = reg.Counter("server_queries_queued_total", "queries that waited for an admission slot")
+	s.qRejected = reg.Counter("server_queries_rejected_total", "queries rejected by admission control")
+	s.qCanceled = reg.Counter("server_queries_canceled_total", "queries canceled before completing")
+	s.qFailed = reg.Counter("server_queries_failed_total", "queries that failed to parse or execute")
+	s.bytesIn = reg.Counter("server_bytes_in_total", "bytes read from clients")
+	s.bytesOut = reg.Counter("server_bytes_out_total", "bytes written to clients")
+	s.frameLatency = reg.Histogram("server_frame_seconds",
+		"request frame handling latency (read to final response)", nil)
+	return s
+}
+
+// Start begins listening and accepting connections.
+func (s *Server) Start() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed (Shutdown)
+		}
+		if s.isDraining() {
+			nc.Close()
+			continue
+		}
+		s.connsTotal.Inc()
+		s.connsActive.Add(1)
+		c := &conn{
+			srv:  s,
+			nc:   nc,
+			sess: s.db.Session(),
+		}
+		if s.cfg.SlowQueryLog != nil {
+			c.sess.SetSlowQueryLog(s.cfg.SlowQueryLog, s.cfg.SlowQueryMin)
+		}
+		c.ctx, c.cancel = context.WithCancel(context.Background())
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+			s.connsActive.Add(-1)
+		}()
+	}
+}
+
+// beginQuery registers one in-flight query, refusing when the server is
+// draining (the flag and the WaitGroup are updated under one lock so
+// Shutdown's Wait cannot miss a late Add).
+func (s *Server) beginQuery() bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.isDraining() {
+		return false
+	}
+	s.queryWG.Add(1)
+	s.activeQueries.Add(1)
+	return true
+}
+
+func (s *Server) endQuery() {
+	s.activeQueries.Add(-1)
+	s.queryWG.Done()
+}
+
+// Shutdown drains the server: the listener closes, new queries are
+// refused with wire.CodeShutdown, in-flight queries run to completion
+// (their result streams included), then every connection is closed.
+// When ctx expires first, remaining queries are canceled hard and
+// ctx's error is returned. After Shutdown returns the caller may close
+// the database — and with it the WAL — knowing no query is mid-flight.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	if !s.drained {
+		s.drained = true
+		close(s.draining)
+	}
+	s.qmu.Unlock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.queryWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Close every connection — canceling any queries that outlived ctx —
+	// and wait for the connection loops.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.cancel()
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return err
+}
+
+// countingReader / countingWriter feed the bytes-in/out counters.
+type countingReader struct {
+	r net.Conn
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w net.Conn
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+// conn is one client connection: its session, its buffered reader, and
+// the registry of in-flight query cancel functions Cancel frames probe.
+type conn struct {
+	srv    *Server
+	nc     net.Conn
+	sess   *repro.Session
+	ctx    context.Context // canceled on disconnect or hard shutdown
+	cancel context.CancelFunc
+
+	r *bufio.Reader
+
+	wmu sync.Mutex // serializes frames from concurrent query goroutines
+
+	imu      sync.Mutex
+	inflight map[uint32]context.CancelFunc
+	qwg      sync.WaitGroup // this connection's query goroutines
+}
+
+// writeFrame writes one frame under the write deadline; any error
+// poisons the connection (the caller's read loop will notice the close).
+func (c *conn) writeFrame(t wire.FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	return wire.WriteFrame(countingWriter{c.nc, c.srv.bytesOut}, t, payload)
+}
+
+func (c *conn) writeError(id uint32, code wire.ErrorCode, msg string) {
+	c.writeFrame(wire.FrameError, (&wire.ErrorFrame{ID: id, Code: code, Message: msg}).Encode())
+}
+
+// readFrame reads one frame. Waiting for the first header byte is
+// unbounded (idle REPLs are fine); once a frame starts, the rest must
+// arrive within ReadTimeout so a stalled peer cannot pin the loop.
+func (c *conn) readFrame() (wire.FrameType, []byte, error) {
+	c.nc.SetReadDeadline(time.Time{})
+	if _, err := c.r.Peek(1); err != nil {
+		return 0, nil, err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+	return wire.ReadFrame(c.r)
+}
+
+func (c *conn) serve() {
+	defer c.nc.Close()
+	defer c.cancel() // disconnect cancels every in-flight query
+	c.r = bufio.NewReader(countingReader{c.nc, c.srv.bytesIn})
+	c.inflight = make(map[uint32]context.CancelFunc)
+
+	// Handshake, under the read timeout from the first byte.
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+	t, payload, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return
+	}
+	if t != wire.FrameHello {
+		c.writeError(0, wire.CodeProtocol, fmt.Sprintf("expected hello, got %s", t))
+		return
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		c.writeError(0, wire.CodeProtocol, err.Error())
+		return
+	}
+	if hello.Version != wire.Version {
+		c.writeError(0, wire.CodeProtocol,
+			fmt.Sprintf("protocol version %d not supported (server speaks %d)", hello.Version, wire.Version))
+		return
+	}
+	ack := &wire.HelloAck{Version: wire.Version, Server: ServerName}
+	if err := c.writeFrame(wire.FrameHelloAck, ack.Encode()); err != nil {
+		return
+	}
+
+	for {
+		t, payload, err := c.readFrame()
+		if err != nil {
+			break
+		}
+		start := time.Now()
+		switch t {
+		case wire.FrameQuery:
+			q, err := wire.DecodeQuery(payload)
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+				goto out
+			}
+			c.qwg.Add(1)
+			go func() {
+				defer c.qwg.Done()
+				c.handleQuery(q)
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+			}()
+		case wire.FrameExplain:
+			ex, err := wire.DecodeExplain(payload)
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+				goto out
+			}
+			c.qwg.Add(1)
+			go func() {
+				defer c.qwg.Done()
+				c.handleExplain(ex)
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+			}()
+		case wire.FrameCancel:
+			cf, err := wire.DecodeCancel(payload)
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			c.imu.Lock()
+			if cancel, ok := c.inflight[cf.ID]; ok {
+				cancel()
+			}
+			c.imu.Unlock()
+			c.srv.frameLatency.ObserveDuration(time.Since(start))
+		case wire.FramePing:
+			c.writeFrame(wire.FramePong, nil)
+			c.srv.frameLatency.ObserveDuration(time.Since(start))
+		default:
+			c.writeError(0, wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", t))
+			goto out
+		}
+	}
+out:
+	c.cancel()
+	c.qwg.Wait() // let query goroutines finish their final writes
+}
+
+// registerQuery exposes a query's cancel function to Cancel frames.
+func (c *conn) registerQuery(id uint32, cancel context.CancelFunc) {
+	c.imu.Lock()
+	c.inflight[id] = cancel
+	c.imu.Unlock()
+}
+
+func (c *conn) unregisterQuery(id uint32) {
+	c.imu.Lock()
+	delete(c.inflight, id)
+	c.imu.Unlock()
+}
+
+// engineOf maps a wire engine byte onto the repro engine constants.
+func engineOf(e wire.Engine) (repro.Engine, error) {
+	switch e {
+	case wire.Auto:
+		return repro.Auto, nil
+	case wire.Array:
+		return repro.ArrayEngine, nil
+	case wire.StarJoin:
+		return repro.StarJoinEngine, nil
+	case wire.Bitmap:
+		return repro.BitmapEngine, nil
+	default:
+		return repro.Auto, fmt.Errorf("unknown engine %d", uint8(e))
+	}
+}
+
+// wireEngineOf maps a repro engine back to its wire byte.
+func wireEngineOf(e repro.Engine) wire.Engine {
+	switch e {
+	case repro.ArrayEngine:
+		return wire.Array
+	case repro.StarJoinEngine:
+		return wire.StarJoin
+	case repro.BitmapEngine:
+		return wire.Bitmap
+	default:
+		return wire.Auto
+	}
+}
+
+// admit runs the admission protocol for one request and reports whether
+// the caller may proceed (it then owns one slot and one queryWG entry).
+// On refusal the typed error frame has already been written.
+func (c *conn) admit(ctx context.Context, id uint32) bool {
+	if !c.srv.beginQuery() {
+		c.writeError(id, wire.CodeShutdown, "server is draining")
+		return false
+	}
+	err := c.srv.adm.acquire(ctx, c.srv.draining, func() { c.srv.qQueued.Inc() })
+	if err != nil {
+		c.srv.endQuery()
+		switch {
+		case errors.Is(err, ErrRejected):
+			c.srv.qRejected.Inc()
+			c.writeError(id, wire.CodeAdmission,
+				fmt.Sprintf("server at %d concurrent queries with %d queued",
+					c.srv.cfg.MaxConcurrent, c.srv.cfg.QueueDepth))
+		case errors.Is(err, ErrDraining):
+			c.writeError(id, wire.CodeShutdown, "server is draining")
+		default: // context canceled while queued
+			c.srv.qCanceled.Inc()
+			c.writeError(id, wire.CodeCanceled, "canceled while queued")
+		}
+		return false
+	}
+	c.srv.qAccepted.Inc()
+	return true
+}
+
+// handleQuery executes one Query frame end to end: admission, parse
+// classification, execution under the per-query context, and the
+// result stream (header, row batches, done).
+func (c *conn) handleQuery(q *wire.Query) {
+	engine, err := engineOf(q.Engine)
+	if err != nil {
+		c.writeError(q.ID, wire.CodeProtocol, err.Error())
+		return
+	}
+	ctx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	c.registerQuery(q.ID, cancel)
+	defer c.unregisterQuery(q.ID)
+
+	if !c.admit(ctx, q.ID) {
+		return
+	}
+	defer c.srv.adm.release()
+	defer c.srv.endQuery()
+
+	// Classify parse errors before execution so clients can tell a bad
+	// query from a failed one.
+	if _, err := query.ParseAndCompile(q.SQL, c.srv.db.Schema()); err != nil {
+		c.srv.qFailed.Inc()
+		c.writeError(q.ID, wire.CodeParse, err.Error())
+		return
+	}
+
+	res, err := c.sess.QueryOnContext(ctx, q.SQL, engine)
+	if err != nil {
+		if ctx.Err() != nil {
+			c.srv.qCanceled.Inc()
+			c.writeError(q.ID, wire.CodeCanceled, "query canceled")
+		} else {
+			c.srv.qFailed.Inc()
+			c.writeError(q.ID, wire.CodeExec, err.Error())
+		}
+		return
+	}
+
+	hdr := &wire.ResultHeader{
+		ID:         q.ID,
+		Plan:       res.Plan,
+		Engine:     wireEngineOf(engineOfPlan(res)),
+		GroupAttrs: res.GroupAttrs,
+	}
+	for _, a := range res.Aggs {
+		hdr.Aggs = append(hdr.Aggs, uint8(a))
+	}
+	if err := c.writeFrame(wire.FrameResultHeader, hdr.Encode()); err != nil {
+		return
+	}
+	batch := c.srv.cfg.BatchRows
+	for off := 0; off < len(res.Rows); off += batch {
+		// Cancellation between chunk batches: a canceled client stops
+		// the stream without waiting for the remaining rows.
+		if ctx.Err() != nil {
+			c.srv.qCanceled.Inc()
+			c.writeError(q.ID, wire.CodeCanceled, "query canceled mid-stream")
+			return
+		}
+		end := off + batch
+		if end > len(res.Rows) {
+			end = len(res.Rows)
+		}
+		rb := &wire.RowBatch{ID: q.ID, Rows: make([]wire.Row, 0, end-off)}
+		for _, r := range res.Rows[off:end] {
+			rb.Rows = append(rb.Rows, wire.Row{
+				Groups: r.Groups, Sum: r.Sum, Count: r.Count, Min: r.Min, Max: r.Max,
+			})
+		}
+		if err := c.writeFrame(wire.FrameRowBatch, rb.Encode()); err != nil {
+			return
+		}
+	}
+	done := &wire.ResultDone{ID: q.ID, ElapsedNS: res.Elapsed.Nanoseconds(), Rows: int64(len(res.Rows))}
+	c.writeFrame(wire.FrameResultDone, done.Encode())
+}
+
+// engineOfPlan recovers the executed engine family from the result's
+// explanation (the planner always fills it).
+func engineOfPlan(res *repro.Result) repro.Engine {
+	if res.Explanation != nil {
+		return res.Explanation.Engine
+	}
+	return repro.Auto
+}
+
+// handleExplain answers an Explain frame with the rendered explanation;
+// EXPLAIN ANALYZE text executes the query too and appends the run
+// summary, mirroring olapcli's local rendering.
+func (c *conn) handleExplain(ex *wire.Explain) {
+	engine, err := engineOf(ex.Engine)
+	if err != nil {
+		c.writeError(ex.ID, wire.CodeProtocol, err.Error())
+		return
+	}
+	ctx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	c.registerQuery(ex.ID, cancel)
+	defer c.unregisterQuery(ex.ID)
+
+	if !c.admit(ctx, ex.ID) {
+		return
+	}
+	defer c.srv.adm.release()
+	defer c.srv.endQuery()
+
+	spec, err := query.ParseAndCompile(ex.SQL, c.srv.db.Schema())
+	if err != nil {
+		c.srv.qFailed.Inc()
+		c.writeError(ex.ID, wire.CodeParse, err.Error())
+		return
+	}
+
+	var expl *repro.Explanation
+	var tail string
+	if spec.Analyze {
+		res, err := c.sess.QueryOnContext(ctx, ex.SQL, engine)
+		if err != nil {
+			if ctx.Err() != nil {
+				c.srv.qCanceled.Inc()
+				c.writeError(ex.ID, wire.CodeCanceled, "query canceled")
+			} else {
+				c.srv.qFailed.Inc()
+				c.writeError(ex.ID, wire.CodeExec, err.Error())
+			}
+			return
+		}
+		expl = res.Explanation
+		tail = fmt.Sprintf("executed: elapsed=%v io={%s} rows=%d\n",
+			res.Elapsed, res.IO.String(), len(res.Rows))
+	} else {
+		expl, err = c.sess.ExplainOnContext(ctx, ex.SQL, engine)
+		if err != nil {
+			if ctx.Err() != nil {
+				c.srv.qCanceled.Inc()
+				c.writeError(ex.ID, wire.CodeCanceled, "query canceled")
+			} else {
+				c.srv.qFailed.Inc()
+				c.writeError(ex.ID, wire.CodeExec, err.Error())
+			}
+			return
+		}
+	}
+	out := &wire.ExplainResult{
+		ID:     ex.ID,
+		Chosen: expl.Chosen,
+		Engine: wireEngineOf(expl.Engine),
+		Text:   expl.String() + tail,
+	}
+	if !strings.HasSuffix(out.Text, "\n") {
+		out.Text += "\n"
+	}
+	c.writeFrame(wire.FrameExplainResult, out.Encode())
+}

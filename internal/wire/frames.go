@@ -1,0 +1,465 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Engine selects the evaluation strategy for a remote query. Values
+// mirror the engine constants of the repro package (exec.Engine), which
+// is what the server maps them onto.
+type Engine uint8
+
+// Engines.
+const (
+	Auto     Engine = 0
+	Array    Engine = 1
+	StarJoin Engine = 2
+	Bitmap   Engine = 3
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case Auto:
+		return "auto"
+	case Array:
+		return "array"
+	case StarJoin:
+		return "starjoin"
+	case Bitmap:
+		return "bitmap"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine maps an engine name to its wire value.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "auto", "":
+		return Auto, nil
+	case "array":
+		return Array, nil
+	case "starjoin":
+		return StarJoin, nil
+	case "bitmap":
+		return Bitmap, nil
+	default:
+		return Auto, fmt.Errorf("wire: unknown engine %q", name)
+	}
+}
+
+// Row is one result group as it crosses the wire: the group labels plus
+// the full aggregate state, so any AggFunc can be read client-side.
+type Row struct {
+	Groups []string
+	Sum    int64
+	Count  int64
+	Min    int64
+	Max    int64
+}
+
+// Hello is the client's opening frame.
+type Hello struct {
+	Version uint16
+}
+
+// HelloAck is the server's handshake answer.
+type HelloAck struct {
+	Version uint16
+	Server  string
+}
+
+// Query asks the server to run sql on the chosen engine. ID is chosen
+// by the client and echoed on every response frame, so a Cancel can
+// name the query it aborts.
+type Query struct {
+	ID     uint32
+	Engine Engine
+	SQL    string
+}
+
+// Explain asks for the planner's explanation (rendered server-side);
+// EXPLAIN ANALYZE text also executes the query.
+type Explain Query
+
+// Cancel asks the server to abandon the identified in-flight query.
+type Cancel struct {
+	ID uint32
+}
+
+// ResultHeader opens a result stream: the chosen plan and the result
+// schema (group attributes and aggregate functions, as AggFunc values).
+type ResultHeader struct {
+	ID         uint32
+	Plan       string
+	Engine     Engine
+	GroupAttrs []string
+	Aggs       []uint8
+}
+
+// RowBatch carries one bounded batch of result rows.
+type RowBatch struct {
+	ID   uint32
+	Rows []Row
+}
+
+// ResultDone closes a result stream with the run totals.
+type ResultDone struct {
+	ID        uint32
+	ElapsedNS int64
+	Rows      int64
+}
+
+// ExplainResult answers an Explain frame with the rendered explanation.
+type ExplainResult struct {
+	ID     uint32
+	Chosen string
+	Engine Engine
+	Text   string
+}
+
+// ErrorFrame reports a request failure with its typed code.
+type ErrorFrame struct {
+	ID      uint32
+	Code    ErrorCode
+	Message string
+}
+
+// Err converts the frame to the *Error callers switch on.
+func (f *ErrorFrame) Err() *Error { return &Error{Code: f.Code, Message: f.Message} }
+
+// ---- payload encoding ----
+//
+// Payload fields are appended in declaration order: fixed-width integers
+// big-endian, counts and lengths as uvarints, aggregate values as zigzag
+// varints (binary.AppendVarint), strings as uvarint length + bytes.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+// dec is a cursor over one frame payload; the first malformed field
+// poisons it and every later read reports the same error.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated or malformed frame payload")
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil || uint64(len(d.b)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) strings() []string {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)) { // each string needs >= 1 byte
+		d.fail()
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+// done checks that the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in frame payload", len(d.b))
+	}
+	return nil
+}
+
+// ---- per-frame encode/decode ----
+
+// Encode renders the Hello payload.
+func (f *Hello) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, Magic)
+	return binary.BigEndian.AppendUint16(b, f.Version)
+}
+
+// DecodeHello parses a Hello payload, validating the magic.
+func DecodeHello(p []byte) (*Hello, error) {
+	d := &dec{b: p}
+	magic := d.u32()
+	f := &Hello{Version: d.u16()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("wire: bad magic 0x%08x (not an olapd client?)", magic)
+	}
+	return f, nil
+}
+
+// Encode renders the HelloAck payload.
+func (f *HelloAck) Encode() []byte {
+	b := binary.BigEndian.AppendUint16(nil, f.Version)
+	return appendString(b, f.Server)
+}
+
+// DecodeHelloAck parses a HelloAck payload.
+func DecodeHelloAck(p []byte) (*HelloAck, error) {
+	d := &dec{b: p}
+	f := &HelloAck{Version: d.u16(), Server: d.str()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func encodeQuery(id uint32, engine Engine, sql string) []byte {
+	b := binary.BigEndian.AppendUint32(nil, id)
+	b = append(b, byte(engine))
+	return appendString(b, sql)
+}
+
+func decodeQuery(p []byte) (uint32, Engine, string, error) {
+	d := &dec{b: p}
+	id := d.u32()
+	engine := Engine(d.u8())
+	sql := d.str()
+	if err := d.done(); err != nil {
+		return 0, 0, "", err
+	}
+	return id, engine, sql, nil
+}
+
+// Encode renders the Query payload.
+func (f *Query) Encode() []byte { return encodeQuery(f.ID, f.Engine, f.SQL) }
+
+// DecodeQuery parses a Query payload.
+func DecodeQuery(p []byte) (*Query, error) {
+	id, engine, sql, err := decodeQuery(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{ID: id, Engine: engine, SQL: sql}, nil
+}
+
+// Encode renders the Explain payload.
+func (f *Explain) Encode() []byte { return encodeQuery(f.ID, f.Engine, f.SQL) }
+
+// DecodeExplain parses an Explain payload.
+func DecodeExplain(p []byte) (*Explain, error) {
+	id, engine, sql, err := decodeQuery(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{ID: id, Engine: engine, SQL: sql}, nil
+}
+
+// Encode renders the Cancel payload.
+func (f *Cancel) Encode() []byte { return binary.BigEndian.AppendUint32(nil, f.ID) }
+
+// DecodeCancel parses a Cancel payload.
+func DecodeCancel(p []byte) (*Cancel, error) {
+	d := &dec{b: p}
+	f := &Cancel{ID: d.u32()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the ResultHeader payload.
+func (f *ResultHeader) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = appendString(b, f.Plan)
+	b = append(b, byte(f.Engine))
+	b = appendStrings(b, f.GroupAttrs)
+	b = binary.AppendUvarint(b, uint64(len(f.Aggs)))
+	return append(b, f.Aggs...)
+}
+
+// DecodeResultHeader parses a ResultHeader payload.
+func DecodeResultHeader(p []byte) (*ResultHeader, error) {
+	d := &dec{b: p}
+	f := &ResultHeader{
+		ID:         d.u32(),
+		Plan:       d.str(),
+		Engine:     Engine(d.u8()),
+		GroupAttrs: d.strings(),
+	}
+	n := d.uvarint()
+	for i := uint64(0); i < n; i++ {
+		f.Aggs = append(f.Aggs, d.u8())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the RowBatch payload.
+func (f *RowBatch) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = binary.AppendUvarint(b, uint64(len(f.Rows)))
+	for i := range f.Rows {
+		r := &f.Rows[i]
+		b = appendStrings(b, r.Groups)
+		b = binary.AppendVarint(b, r.Sum)
+		b = binary.AppendVarint(b, r.Count)
+		b = binary.AppendVarint(b, r.Min)
+		b = binary.AppendVarint(b, r.Max)
+	}
+	return b
+}
+
+// DecodeRowBatch parses a RowBatch payload.
+func DecodeRowBatch(p []byte) (*RowBatch, error) {
+	d := &dec{b: p}
+	f := &RowBatch{ID: d.u32()}
+	n := d.uvarint()
+	if d.err == nil && n <= uint64(len(d.b)) { // each row needs >= 1 byte
+		f.Rows = make([]Row, 0, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		f.Rows = append(f.Rows, Row{
+			Groups: d.strings(),
+			Sum:    d.varint(),
+			Count:  d.varint(),
+			Min:    d.varint(),
+			Max:    d.varint(),
+		})
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the ResultDone payload.
+func (f *ResultDone) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = binary.AppendVarint(b, f.ElapsedNS)
+	return binary.AppendVarint(b, f.Rows)
+}
+
+// DecodeResultDone parses a ResultDone payload.
+func DecodeResultDone(p []byte) (*ResultDone, error) {
+	d := &dec{b: p}
+	f := &ResultDone{ID: d.u32(), ElapsedNS: d.varint(), Rows: d.varint()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the ExplainResult payload.
+func (f *ExplainResult) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = appendString(b, f.Chosen)
+	b = append(b, byte(f.Engine))
+	return appendString(b, f.Text)
+}
+
+// DecodeExplainResult parses an ExplainResult payload.
+func DecodeExplainResult(p []byte) (*ExplainResult, error) {
+	d := &dec{b: p}
+	f := &ExplainResult{ID: d.u32(), Chosen: d.str(), Engine: Engine(d.u8()), Text: d.str()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the Error payload.
+func (f *ErrorFrame) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(f.Code))
+	return appendString(b, f.Message)
+}
+
+// DecodeError parses an Error payload.
+func DecodeError(p []byte) (*ErrorFrame, error) {
+	d := &dec{b: p}
+	f := &ErrorFrame{ID: d.u32(), Code: ErrorCode(d.u16()), Message: d.str()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

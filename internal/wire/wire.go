@@ -1,0 +1,204 @@
+// Package wire is the binary protocol olapd speaks on the wire: length-
+// prefixed typed frames carrying queries from client to server and
+// result sets, streamed row-batch-at-a-time, back. The format is
+// deliberately small — a 5-byte header (payload length + frame type)
+// followed by a payload of uvarint-framed fields — so a frame can be
+// produced and parsed without reflection or an IDL, and a result set
+// larger than memory can cross the wire in bounded batches.
+//
+// Connection lifecycle:
+//
+//	client                          server
+//	  Hello (magic, version)  --->
+//	                          <---  HelloAck (version, server banner)
+//	  Query (id, engine, sql) --->
+//	                          <---  ResultHeader (id, plan, attrs, aggs)
+//	                          <---  RowBatch (id, rows)   [repeated]
+//	                          <---  ResultDone (id, elapsed, rows)
+//
+// An Explain frame answers with one ExplainResult frame. Any request
+// can instead be answered by an Error frame carrying a typed ErrorCode;
+// Cancel (id) asks the server to abandon the identified in-flight query,
+// which then answers with Error{CodeCanceled}. Ping/Pong carry no
+// payload and exist for connection-pool health checks.
+//
+// Both sides close the protocol version handshake before anything else;
+// a version mismatch is reported with Error{CodeProtocol} and the
+// connection is dropped.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version spoken by this build. The handshake
+// rejects any other version — there is exactly one until a release has
+// to interoperate with an older one.
+const Version uint16 = 1
+
+// Magic opens every Hello frame; it lets the server reject a client
+// that is not speaking this protocol at all (an HTTP request, say)
+// before trusting any length field.
+const Magic uint32 = 0x4F4C4150 // "OLAP"
+
+// MaxFrameSize bounds one frame's payload (16 MiB). Row batches are
+// far smaller; the bound exists so a corrupt or hostile length prefix
+// cannot make either side allocate unbounded memory.
+const MaxFrameSize = 16 << 20
+
+// DefaultBatchRows is how many result rows the server packs into one
+// RowBatch frame.
+const DefaultBatchRows = 256
+
+// FrameType identifies a frame's payload.
+type FrameType uint8
+
+// Frame types. Client-to-server types sit below 0x10, server-to-client
+// types at or above it.
+const (
+	FrameHello   FrameType = 0x01
+	FrameQuery   FrameType = 0x02
+	FrameExplain FrameType = 0x03
+	FrameCancel  FrameType = 0x04
+	FramePing    FrameType = 0x05
+
+	FrameHelloAck      FrameType = 0x10
+	FrameResultHeader  FrameType = 0x11
+	FrameRowBatch      FrameType = 0x12
+	FrameResultDone    FrameType = 0x13
+	FrameExplainResult FrameType = 0x14
+	FrameError         FrameType = 0x15
+	FramePong          FrameType = 0x16
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameQuery:
+		return "query"
+	case FrameExplain:
+		return "explain"
+	case FrameCancel:
+		return "cancel"
+	case FramePing:
+		return "ping"
+	case FrameHelloAck:
+		return "hello-ack"
+	case FrameResultHeader:
+		return "result-header"
+	case FrameRowBatch:
+		return "row-batch"
+	case FrameResultDone:
+		return "result-done"
+	case FrameExplainResult:
+		return "explain-result"
+	case FrameError:
+		return "error"
+	case FramePong:
+		return "pong"
+	default:
+		return fmt.Sprintf("frame(0x%02x)", uint8(t))
+	}
+}
+
+// ErrorCode classifies an Error frame so clients can react without
+// parsing message text.
+type ErrorCode uint16
+
+// Error codes.
+const (
+	// CodeProtocol: malformed frame, bad magic, or version mismatch.
+	CodeProtocol ErrorCode = 1
+	// CodeParse: the query failed to parse or compile.
+	CodeParse ErrorCode = 2
+	// CodeAdmission: the admission controller rejected the query (the
+	// server is at max-concurrent-queries and the wait queue is full).
+	CodeAdmission ErrorCode = 3
+	// CodeCanceled: the query was canceled (client Cancel frame or
+	// client disconnect) before it finished.
+	CodeCanceled ErrorCode = 4
+	// CodeExec: the query failed during execution.
+	CodeExec ErrorCode = 5
+	// CodeShutdown: the server is draining and accepts no new queries.
+	CodeShutdown ErrorCode = 6
+)
+
+// String implements fmt.Stringer.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeProtocol:
+		return "protocol"
+	case CodeParse:
+		return "parse"
+	case CodeAdmission:
+		return "admission-rejected"
+	case CodeCanceled:
+		return "canceled"
+	case CodeExec:
+		return "exec"
+	case CodeShutdown:
+		return "shutting-down"
+	default:
+		return fmt.Sprintf("code(%d)", uint16(c))
+	}
+}
+
+// Error is the structured error a server reports for one request. It
+// travels as an Error frame and is returned by the client as-is, so
+// callers can switch on Code.
+type Error struct {
+	Code    ErrorCode
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("olapd: %s: %s", e.Code, e.Message)
+}
+
+// IsCode reports whether err is (or wraps) a wire *Error with the given
+// code.
+func IsCode(err error, code ErrorCode) bool {
+	var we *Error
+	return errors.As(err, &we) && we.Code == code
+}
+
+// headerSize is the fixed frame prefix: 4-byte big-endian payload
+// length plus the 1-byte frame type.
+const headerSize = 5
+
+// WriteFrame writes one frame: header then payload.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: %s frame payload %d exceeds %d bytes", t, len(payload), MaxFrameSize)
+	}
+	hdr := make([]byte, headerSize, headerSize+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = byte(t)
+	// One Write call per frame keeps frames atomic under a mutex-guarded
+	// writer without a second syscall.
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame, enforcing MaxFrameSize.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds %d bytes", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(hdr[4]), payload, nil
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"log/slog"
 	"time"
 
@@ -30,17 +31,42 @@ func (db *DB) Session() *Session {
 
 // Query parses, plans, and executes a query in this session.
 func (s *Session) Query(sql string) (*Result, error) {
-	return s.ex.ExecuteSQL(sql, Auto)
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with cancellation: when ctx is canceled the
+// operator loop stops at its next check (between chunk batches on the
+// array side, every few thousand tuples on the relational side) and
+// ctx's error is returned. This is how a client disconnect stops
+// server-side work.
+func (s *Session) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return s.ex.ExecuteSQLContext(ctx, sql, Auto)
 }
 
 // QueryOn executes a query on an explicit engine in this session.
 func (s *Session) QueryOn(sql string, engine Engine) (*Result, error) {
-	return s.ex.ExecuteSQL(sql, engine)
+	return s.QueryOnContext(context.Background(), sql, engine)
+}
+
+// QueryOnContext is QueryOn with cancellation (see QueryContext).
+func (s *Session) QueryOnContext(ctx context.Context, sql string, engine Engine) (*Result, error) {
+	return s.ex.ExecuteSQLContext(ctx, sql, engine)
 }
 
 // Explain plans a query in this session without running it.
 func (s *Session) Explain(sql string) (*Explanation, error) {
-	return s.ex.ExplainSQL(sql, Auto)
+	return s.ExplainContext(context.Background(), sql)
+}
+
+// ExplainContext is Explain with cancellation (checked before
+// planning).
+func (s *Session) ExplainContext(ctx context.Context, sql string) (*Explanation, error) {
+	return s.ex.ExplainSQLContext(ctx, sql, Auto)
+}
+
+// ExplainOnContext plans a query for an explicit engine with a context.
+func (s *Session) ExplainOnContext(ctx context.Context, sql string, engine Engine) (*Explanation, error) {
+	return s.ex.ExplainSQLContext(ctx, sql, engine)
 }
 
 // SetSlowQueryLog enables structured slow-query logging for this
