@@ -1,0 +1,162 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDBQueryCacheHitAndUpdateInvalidation drives the mid-tier query
+// cache end to end at the DB API: a repeated consolidation is served
+// from the result cache (EXPLAIN ANALYZE reports the hit), and an
+// array update bumps the epoch so the next run re-executes against the
+// new data instead of serving the stale rows.
+func TestDBQueryCacheHitAndUpdateInvalidation(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	db.EnableQueryCache(16 << 20)
+
+	first, err := db.QueryOn(retailQuery, ArrayEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("cold run reported cached")
+	}
+	second, err := db.QueryOn(retailQuery, ArrayEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeated run not served from the result cache")
+	}
+	if !core.RowsEqual(first.Rows, second.Rows) {
+		t.Fatalf("cached rows differ: %s", core.DiffRows(first.Rows, second.Rows))
+	}
+	if second.Elapsed > first.Elapsed {
+		t.Fatalf("cached run slower than engine run: %v > %v", second.Elapsed, first.Elapsed)
+	}
+
+	ea, err := db.QueryOn("explain analyze "+retailQuery, ArrayEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := ea.Explanation.String(); !strings.Contains(text, "cache: hit (epoch") {
+		t.Fatalf("EXPLAIN ANALYZE missing cache-hit line:\n%s", text)
+	}
+
+	es := db.Stats()
+	if !es.HasCache || es.ResultCache.Hits < 2 {
+		t.Fatalf("EngineStats cache section wrong: %+v", es)
+	}
+
+	// Update one cell: the epoch bumps and the requery must see the new
+	// value, not the cached rows.
+	v, ok, err := db.ArrayGet([]int64{4, 0, 0})
+	if err != nil || !ok {
+		t.Fatalf("seed cell missing: %v", err)
+	}
+	if err := db.UpdateArrayCells([]ArrayCellUpdate{{Keys: []int64{4, 0, 0}, Value: v + 100}}); err != nil {
+		t.Fatal(err)
+	}
+	third, err := db.QueryOn(retailQuery, ArrayEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("post-update run served stale cached rows")
+	}
+	sum := func(rows []Row) (s int64) {
+		for _, r := range rows {
+			s += r.Sum
+		}
+		return s
+	}
+	if got, want := sum(third.Rows), sum(first.Rows)+100; got != want {
+		t.Fatalf("post-update total = %d, want %d", got, want)
+	}
+	if db.Stats().ResultCache.Invalidated == 0 {
+		t.Fatal("stale entry not counted as invalidated")
+	}
+}
+
+// TestDBChunkCacheServesDecodedChunks verifies the second cache layer:
+// two different selective array queries touch the same chunks, so the
+// second one is served decoded cells from the chunk cache even though
+// its result-cache fingerprint differs. (Full scans deliberately do not
+// populate the chunk cache — scan resistance — so the test drives the
+// selective probe path, which does.)
+func TestDBChunkCacheServesDecodedChunks(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	db.EnableQueryCache(16 << 20)
+
+	if _, err := db.QueryOn(retailSelectQuery, ArrayEngine); err != nil {
+		t.Fatal(err)
+	}
+	es := db.Stats()
+	if es.ChunkCache.Entries == 0 {
+		t.Fatalf("selective probe did not populate the chunk cache: %+v", es.ChunkCache)
+	}
+	// Same selections, different grouping: a distinct result-cache key
+	// that probes the same chunks.
+	other := `select sum(volume), region
+	          from fact, product, store
+	          where product.category = 'cat1' and store.region = 'region0'
+	          group by region`
+	if _, err := db.QueryOn(other, ArrayEngine); err != nil {
+		t.Fatal(err)
+	}
+	es = db.Stats()
+	if es.ChunkCache.Hits == 0 {
+		t.Fatalf("chunk cache never hit: %+v", es.ChunkCache)
+	}
+}
+
+// TestSessionCacheOptOut checks the per-session CACHE switch: an opted-
+// out session neither reads nor populates the shared result cache.
+func TestSessionCacheOptOut(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	db.EnableQueryCache(16 << 20)
+
+	off := db.Session()
+	off.SetCache(false)
+	for i := 0; i < 2; i++ {
+		res, err := off.Query(retailQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatalf("run %d: opted-out session served from cache", i)
+		}
+	}
+	on := db.Session()
+	res, err := on.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("opted-out session populated the cache")
+	}
+	res, err = on.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("default session did not use the cache")
+	}
+}

@@ -28,8 +28,8 @@ go test -run TestExplainAnalyzeGolden -count=1 ./internal/exec/
 echo "== metrics endpoint smoke =="
 go test -run TestMetricsEndpoint -count=1 .
 
-echo "== go test -race (concurrent sessions + storage + server) =="
-go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... .
+echo "== go test -race (concurrent sessions + storage + server + cache) =="
+go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... ./internal/cache/... ./client/... .
 
 echo "== olapd server smoke =="
 smokedir=$(mktemp -d)
@@ -44,7 +44,7 @@ go build -o "$smokedir/olapcli" ./cmd/olapcli
 "$smokedir/olapgen" -out "$smokedir/smoke.db" -dims 10x10x10 -density 0.2 >/dev/null
 
 "$smokedir/olapd" -db "$smokedir/smoke.db" -listen 127.0.0.1:0 -obs 127.0.0.1:0 \
-    2>"$smokedir/olapd.log" &
+    -cache-mb 16 2>"$smokedir/olapd.log" &
 olapd_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -61,8 +61,16 @@ obs=$(sed -n 's/.*msg="observability endpoint" addr=\([^ ]*\).*/\1/p' "$smokedir
 
 "$smokedir/olapcli" -connect "$addr" \
     "select sum(volume), h01 from fact, dim0 group by h01" | grep -q "plan="
+# Same query again: the second run must be served by the result cache.
+"$smokedir/olapcli" -connect "$addr" \
+    "select sum(volume), h01 from fact, dim0 group by h01" | grep -q "plan="
 curl -sf "http://$obs/healthz" >/dev/null
-curl -sf "http://$obs/metrics" | grep -q "^server_queries_accepted_total 1"
+curl -sf "http://$obs/metrics" | grep -q "^server_queries_accepted_total 2"
+hits=$(curl -sf "http://$obs/metrics" | sed -n 's/^cache_result_hits_total //p')
+if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
+    echo "query cache did not hit on the repeated query (hits=${hits:-absent})" >&2
+    exit 1
+fi
 
 kill -TERM "$olapd_pid"
 rc=0

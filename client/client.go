@@ -230,6 +230,59 @@ func (c *Conn) Ping() error {
 	return nil
 }
 
+// SetOption flips a per-session server switch by name; the only option
+// today is "CACHE" with value "on" or "off". The round-trip runs under
+// the dial timeout (or ctx, whichever fires first).
+func (c *Conn) SetOption(ctx context.Context, name, value string) error {
+	if c.broken.Load() {
+		return errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	so := &wire.SetOption{ID: id, Name: name, Value: value}
+	c.nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	if err := c.writeFrame(wire.FrameSetOption, so.Encode()); err != nil {
+		return err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	switch t {
+	case wire.FrameOptionAck:
+		ack, err := wire.DecodeOptionAck(payload)
+		if err != nil || ack.ID != id {
+			c.broken.Store(true)
+			return fmt.Errorf("client: bad option ack: %v", err)
+		}
+		return nil
+	case wire.FrameError:
+		ef, err := wire.DecodeError(payload)
+		if err != nil {
+			c.broken.Store(true)
+			return err
+		}
+		return &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+	default:
+		c.broken.Store(true)
+		return fmt.Errorf("client: unexpected %s frame", t)
+	}
+}
+
+// SetCache turns this connection's server-side query-cache
+// participation on or off (the CACHE session option).
+func (c *Conn) SetCache(ctx context.Context, on bool) error {
+	v := "on"
+	if !on {
+		v = "off"
+	}
+	return c.SetOption(ctx, "CACHE", v)
+}
+
 // watchCancel arms ctx-cancellation for request id: when ctx fires, a
 // Cancel frame goes to the server and the read deadline drops to
 // CancelGrace, so the pending read either sees the server's

@@ -77,6 +77,22 @@ func (p *Pool) Put(c *Conn) {
 	p.idle = append(p.idle, c)
 }
 
+// finish returns a connection after one request. A connection whose
+// request failed — even with a "clean" error like a server-side reject
+// or a mid-stream onBatch abort — must prove the stream is still framed
+// correctly before it is re-pooled: it is pinged, and on any ping
+// failure closed. Connections already marked broken skip the ping and
+// are closed by Put.
+func (p *Pool) finish(c *Conn, err error) {
+	if err != nil && !c.broken.Load() {
+		if perr := c.Ping(); perr != nil {
+			c.Close()
+			return
+		}
+	}
+	p.Put(c)
+}
+
 // Query checks out a connection, runs sql on engine, and returns the
 // connection to the pool.
 func (p *Pool) Query(ctx context.Context, sql string, engine Engine) (*Result, error) {
@@ -84,8 +100,9 @@ func (p *Pool) Query(ctx context.Context, sql string, engine Engine) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	defer p.Put(c)
-	return c.Query(ctx, sql, engine)
+	res, err := c.Query(ctx, sql, engine)
+	p.finish(c, err)
+	return res, err
 }
 
 // QueryFunc is Query's streaming variant over a pooled connection.
@@ -95,8 +112,9 @@ func (p *Pool) QueryFunc(ctx context.Context, sql string, engine Engine,
 	if err != nil {
 		return err
 	}
-	defer p.Put(c)
-	return c.QueryFunc(ctx, sql, engine, hdr, onBatch)
+	qerr := c.QueryFunc(ctx, sql, engine, hdr, onBatch)
+	p.finish(c, qerr)
+	return qerr
 }
 
 // Explain checks out a connection, explains sql, and returns the
@@ -106,8 +124,9 @@ func (p *Pool) Explain(ctx context.Context, sql string, engine Engine) (*Explana
 	if err != nil {
 		return nil, err
 	}
-	defer p.Put(c)
-	return c.Explain(ctx, sql, engine)
+	expl, xerr := c.Explain(ctx, sql, engine)
+	p.finish(c, xerr)
+	return expl, xerr
 }
 
 // Close closes every idle connection and refuses further checkouts.

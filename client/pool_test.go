@@ -1,0 +1,131 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// fakeServer speaks just enough of the wire protocol for pool tests:
+// handshake, Pong for every Ping, and a typed exec error for every
+// Query. When dropAfterError is set, the connection is closed right
+// after the first error instead of answering the health-check ping, so
+// the pool's post-error re-check must fail.
+type fakeServer struct {
+	ln             net.Listener
+	dropAfterError bool
+	pings          atomic.Int64
+}
+
+func startFakeServer(t *testing.T, dropAfterError bool) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, dropAfterError: dropAfterError}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go fs.serve(nc)
+		}
+	}()
+	return fs
+}
+
+func (fs *fakeServer) serve(nc net.Conn) {
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	ft, _, err := wire.ReadFrame(br)
+	if err != nil || ft != wire.FrameHello {
+		return
+	}
+	if err := wire.WriteFrame(nc, wire.FrameHelloAck,
+		(&wire.HelloAck{Version: wire.Version, Server: "fake"}).Encode()); err != nil {
+		return
+	}
+	for {
+		ft, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		switch ft {
+		case wire.FramePing:
+			fs.pings.Add(1)
+			if err := wire.WriteFrame(nc, wire.FramePong, nil); err != nil {
+				return
+			}
+		case wire.FrameQuery:
+			q, err := wire.DecodeQuery(payload)
+			if err != nil {
+				return
+			}
+			ef := &wire.ErrorFrame{ID: q.ID, Code: wire.CodeExec, Message: "fake failure"}
+			if err := wire.WriteFrame(nc, wire.FrameError, ef.Encode()); err != nil {
+				return
+			}
+			if fs.dropAfterError {
+				return // hang up instead of answering the health check
+			}
+		default:
+			return
+		}
+	}
+}
+
+// TestPoolReChecksErroredConn: a request that returns a server-side
+// error does not prove the stream is healthy, so the pool pings before
+// re-pooling. With a healthy server, the same connection is retained
+// and reused.
+func TestPoolReChecksErroredConn(t *testing.T) {
+	fs := startFakeServer(t, false)
+	p := NewPool(fs.ln.Addr().String(), Config{}, 4)
+	defer p.Close()
+
+	_, err := p.Query(context.Background(), "select 1", Auto)
+	if !IsCode(err, CodeExec) {
+		t.Fatalf("err = %v, want CodeExec", err)
+	}
+	if got := fs.pings.Load(); got != 1 {
+		t.Fatalf("health-check pings = %d, want 1", got)
+	}
+	p.mu.Lock()
+	retained := len(p.idle)
+	p.mu.Unlock()
+	if retained != 1 {
+		t.Fatalf("healthy errored connection not re-pooled: idle = %d", retained)
+	}
+
+	// The retained connection services the next request.
+	if _, err := p.Query(context.Background(), "select 1", Auto); !IsCode(err, CodeExec) {
+		t.Fatalf("second query err = %v, want CodeExec", err)
+	}
+}
+
+// TestPoolDropsConnFailingHealthCheck: when the server hangs up after
+// the error, the post-error ping fails and the pool must close the
+// connection instead of handing the dead stream to the next caller.
+func TestPoolDropsConnFailingHealthCheck(t *testing.T) {
+	fs := startFakeServer(t, true)
+	p := NewPool(fs.ln.Addr().String(), Config{}, 4)
+	defer p.Close()
+
+	_, err := p.Query(context.Background(), "select 1", Auto)
+	if !IsCode(err, CodeExec) {
+		t.Fatalf("err = %v, want CodeExec", err)
+	}
+	p.mu.Lock()
+	retained := len(p.idle)
+	p.mu.Unlock()
+	if retained != 0 {
+		t.Fatalf("dead connection re-pooled: idle = %d", retained)
+	}
+}

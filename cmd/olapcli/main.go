@@ -35,6 +35,7 @@ func main() {
 	maxRows := flag.Int("rows", 20, "max rows to print (0 = all)")
 	metricsAddr := flag.String("metrics", "", "serve engine metrics on this address (e.g. :9090)")
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
+	cacheMB := flag.Int("cache-mb", 0, "enable the query cache with this budget in MiB (0 = off)")
 	flag.Parse()
 
 	if *connect != "" {
@@ -66,6 +67,9 @@ func main() {
 	if *slowMS > 0 {
 		db.SetSlowQueryLog(slog.New(slog.NewTextHandler(os.Stderr, nil)),
 			time.Duration(*slowMS)*time.Millisecond)
+	}
+	if *cacheMB > 0 {
+		db.EnableQueryCache(int64(*cacheMB) << 20)
 	}
 
 	if flag.NArg() > 0 {
@@ -147,6 +151,19 @@ func remoteMain(addr, engineName string, maxRows int) int {
 		if sql == "" {
 			break
 		}
+		// "cache on" / "cache off" flips the session's server-side
+		// query-cache participation (the wire CACHE option).
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "cache "); ok {
+			v = strings.TrimSpace(v)
+			if v == "on" || v == "off" {
+				if err := conn.SetCache(context.Background(), v == "on"); err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				} else {
+					fmt.Printf("cache %s\n", v)
+				}
+				continue
+			}
+		}
 		if err := runRemoteQuery(conn, sql, engine, maxRows); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
@@ -212,6 +229,17 @@ func printStats(db *repro.DB) {
 	} else {
 		fmt.Println("planner stats: none (heuristic planning)")
 	}
+	if es.HasCache {
+		fmt.Printf("result cache: hits=%d misses=%d evictions=%d invalidated=%d bytes=%d entries=%d\n",
+			es.ResultCache.Hits, es.ResultCache.Misses, es.ResultCache.Evictions,
+			es.ResultCache.Invalidated, es.ResultCache.Bytes, es.ResultCache.Entries)
+		fmt.Printf("chunk cache: hits=%d misses=%d evictions=%d invalidated=%d bytes=%d entries=%d\n",
+			es.ChunkCache.Hits, es.ChunkCache.Misses, es.ChunkCache.Evictions,
+			es.ChunkCache.Invalidated, es.ChunkCache.Bytes, es.ChunkCache.Entries)
+		fmt.Printf("singleflight dedup: %d\n", es.SingleflightDedup)
+	} else {
+		fmt.Println("query cache: off")
+	}
 }
 
 func dimKeys(s *repro.StarSchema) []string {
@@ -253,8 +281,12 @@ func runQuery(db *repro.DB, sql string, engine repro.Engine, maxRows int) error 
 		}
 		return nil
 	}
-	fmt.Printf("plan=%s elapsed=%v io={%s} rows=%d est={io=%.1f cpu=%.1f rows=%d}\n",
-		res.Plan, res.Elapsed, res.IO.String(), len(res.Rows),
+	cached := ""
+	if res.Cached {
+		cached = " cached"
+	}
+	fmt.Printf("plan=%s%s elapsed=%v io={%s} rows=%d est={io=%.1f cpu=%.1f rows=%d}\n",
+		res.Plan, cached, res.Elapsed, res.IO.String(), len(res.Rows),
 		res.Metrics.EstCostIO, res.Metrics.EstCostCPU, res.Metrics.EstRows)
 	aggNames := make([]string, len(res.Aggs))
 	for i, a := range res.Aggs {

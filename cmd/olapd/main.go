@@ -6,7 +6,7 @@
 // Usage:
 //
 //	olapd -db sales.db [-listen 127.0.0.1:7432] [-obs 127.0.0.1:9090]
-//	      [-max-concurrent N] [-queue-depth N] [-slow-ms 100]
+//	      [-max-concurrent N] [-queue-depth N] [-slow-ms 100] [-cache-mb 64]
 //
 // SIGINT/SIGTERM drain gracefully: in-flight queries finish (up to
 // -drain-timeout), new ones are refused with a typed shutdown error,
@@ -37,6 +37,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "max queries waiting for a slot (0 = 2x max-concurrent, -1 = none)")
 	batchRows := flag.Int("batch-rows", 0, "result rows per wire frame (0 = protocol default)")
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
+	cacheMB := flag.Int("cache-mb", 0, "mid-tier query cache size in MiB, split between result and chunk caches (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	flag.Parse()
 
@@ -45,6 +46,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *cacheMB > 0 {
+		db.EnableQueryCache(int64(*cacheMB) << 20)
 	}
 
 	cfg := server.Config{

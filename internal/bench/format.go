@@ -38,7 +38,7 @@ func WriteFigure(w io.Writer, fig *Figure) {
 	fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title)
 	header := []string{fig.XName}
 	for _, s := range fig.Series {
-		header = append(header, s, s+" I/O", s+" est I/O")
+		header = append(header, s, s+" I/O", s+" est I/O", s+" cached")
 	}
 	header = append(header, "speedup")
 	rows := [][]string{header}
@@ -47,12 +47,17 @@ func WriteFigure(w io.Writer, fig *Figure) {
 		for _, s := range fig.Series {
 			m, ok := p.M[s]
 			if !ok {
-				row = append(row, "-", "-", "-")
+				row = append(row, "-", "-", "-", "-")
 				continue
+			}
+			cached := formatDuration(m.CachedElapsed)
+			if !m.CacheHit {
+				cached += "*" // warm rerun missed the result cache
 			}
 			row = append(row, formatDuration(m.Elapsed),
 				fmt.Sprintf("%dp", m.IO.PhysicalReads),
-				fmt.Sprintf("%.0fp", m.Metrics.EstCostIO))
+				fmt.Sprintf("%.0fp", m.Metrics.EstCostIO),
+				cached)
 		}
 		if len(fig.Series) >= 2 {
 			a, okA := p.M[fig.Series[0]]
@@ -101,7 +106,7 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 	header := []string{"x", "label"}
 	for _, s := range fig.Series {
 		header = append(header, s+"_seconds", s+"_pages", s+"_rows",
-			s+"_est_pages", s+"_est_rows")
+			s+"_est_pages", s+"_est_rows", s+"_cached_seconds", s+"_cache_hit")
 	}
 	fmt.Fprintln(w, strings.Join(header, ","))
 	for _, p := range fig.Points {
@@ -112,7 +117,7 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 		for _, s := range fig.Series {
 			m, ok := p.M[s]
 			if !ok {
-				row = append(row, "", "", "", "", "")
+				row = append(row, "", "", "", "", "", "", "")
 				continue
 			}
 			row = append(row,
@@ -120,7 +125,9 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 				fmt.Sprintf("%d", m.IO.PhysicalReads),
 				fmt.Sprintf("%d", m.Rows),
 				fmt.Sprintf("%.1f", m.Metrics.EstCostIO),
-				fmt.Sprintf("%d", m.Metrics.EstRows))
+				fmt.Sprintf("%d", m.Metrics.EstRows),
+				fmt.Sprintf("%.6f", m.CachedElapsed.Seconds()),
+				fmt.Sprintf("%t", m.CacheHit))
 		}
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}

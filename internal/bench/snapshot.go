@@ -14,16 +14,19 @@ import (
 // written as BENCH_<id>.json so successive runs can be diffed (did the
 // crossover move? did estimated I/O drift from actual?).
 type FigureSnapshot struct {
-	ID        string          `json:"id"`
-	Title     string          `json:"title"`
-	XName     string          `json:"x_name"`
-	Scale     float64         `json:"scale"`
-	Trials    int             `json:"trials"`
-	Warm      bool            `json:"warm"`
-	Seed      int64           `json:"seed"`
-	WrittenAt time.Time       `json:"written_at"`
-	Points    []PointSnapshot `json:"points"`
-	Notes     []string        `json:"notes,omitempty"`
+	ID        string    `json:"id"`
+	Title     string    `json:"title"`
+	XName     string    `json:"x_name"`
+	Scale     float64   `json:"scale"`
+	Trials    int       `json:"trials"`
+	Warm      bool      `json:"warm"`
+	Seed      int64     `json:"seed"`
+	WrittenAt time.Time `json:"written_at"`
+	// CacheHitRate is the fraction of warm reruns that were served from
+	// the query's result cache (1.0 when every figure query hit).
+	CacheHitRate float64         `json:"cache_hit_rate"`
+	Points       []PointSnapshot `json:"points"`
+	Notes        []string        `json:"notes,omitempty"`
 }
 
 // PointSnapshot is one x-position with every series' measurement.
@@ -36,15 +39,19 @@ type PointSnapshot struct {
 // MeasurementSnapshot pairs one run's actuals with the planner's
 // estimates for the same query.
 type MeasurementSnapshot struct {
-	Plan          string       `json:"plan"`
-	ElapsedNS     int64        `json:"elapsed_ns"`
-	Rows          int          `json:"rows"`
-	PhysicalReads uint64       `json:"physical_reads"`
-	LogicalReads  uint64       `json:"logical_reads"`
-	EstIO         float64      `json:"est_io"`
-	EstCPU        float64      `json:"est_cpu"`
-	EstRows       int64        `json:"est_rows"`
-	Metrics       core.Metrics `json:"metrics"`
+	Plan          string  `json:"plan"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	Rows          int     `json:"rows"`
+	PhysicalReads uint64  `json:"physical_reads"`
+	LogicalReads  uint64  `json:"logical_reads"`
+	EstIO         float64 `json:"est_io"`
+	EstCPU        float64 `json:"est_cpu"`
+	EstRows       int64   `json:"est_rows"`
+	// CachedElapsedNS is the wall time of the warm rerun through the
+	// query cache; CacheHit reports whether it actually hit.
+	CachedElapsedNS int64        `json:"cached_elapsed_ns"`
+	CacheHit        bool         `json:"cache_hit"`
+	Metrics         core.Metrics `json:"metrics"`
 }
 
 // Snapshot converts a figure and the options that produced it.
@@ -60,22 +67,32 @@ func Snapshot(fig *Figure, opts Options) *FigureSnapshot {
 		WrittenAt: time.Now().UTC(),
 		Notes:     fig.Notes,
 	}
+	hits, total := 0, 0
 	for _, p := range fig.Points {
 		ps := PointSnapshot{X: p.X, Label: p.XLabel, Series: make(map[string]MeasurementSnapshot, len(p.M))}
 		for s, m := range p.M {
 			ps.Series[s] = MeasurementSnapshot{
-				Plan:          m.Plan,
-				ElapsedNS:     m.Elapsed.Nanoseconds(),
-				Rows:          m.Rows,
-				PhysicalReads: m.IO.PhysicalReads,
-				LogicalReads:  m.IO.LogicalReads,
-				EstIO:         m.Metrics.EstCostIO,
-				EstCPU:        m.Metrics.EstCostCPU,
-				EstRows:       m.Metrics.EstRows,
-				Metrics:       m.Metrics,
+				Plan:            m.Plan,
+				ElapsedNS:       m.Elapsed.Nanoseconds(),
+				Rows:            m.Rows,
+				PhysicalReads:   m.IO.PhysicalReads,
+				LogicalReads:    m.IO.LogicalReads,
+				EstIO:           m.Metrics.EstCostIO,
+				EstCPU:          m.Metrics.EstCostCPU,
+				EstRows:         m.Metrics.EstRows,
+				CachedElapsedNS: m.CachedElapsed.Nanoseconds(),
+				CacheHit:        m.CacheHit,
+				Metrics:         m.Metrics,
+			}
+			total++
+			if m.CacheHit {
+				hits++
 			}
 		}
 		fs.Points = append(fs.Points, ps)
+	}
+	if total > 0 {
+		fs.CacheHitRate = float64(hits) / float64(total)
 	}
 	return fs
 }

@@ -1,0 +1,192 @@
+// Package cache is the engine's mid-tier query cache: the layer between
+// the network server and the evaluation engines that makes repeated
+// consolidations cheap. It holds two cooperating caches plus a
+// singleflight group:
+//
+//   - ResultCache, a semantic result cache keyed on the executor's
+//     normalized plan fingerprint, storing materialized row sets under a
+//     cost-aware LRU (eviction prefers entries whose estimated I/O
+//     savings per byte are smallest);
+//   - ChunkCache, a decoded-chunk cache above the buffer pool that pins
+//     hot decompressed chunks so repeated array probes skip the
+//     chunk-offset decode;
+//   - Group, a context-cancel-safe singleflight, so N concurrent
+//     identical queries trigger one engine execution.
+//
+// Correctness is epoch-based: every entry is tagged with the
+// ExecContext generation current when its data was read, and a probe
+// with a newer epoch lazily discards it. Updates, loads, and DropCaches
+// bump the generation, so no probe can ever see rows or cells from a
+// replaced object version.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// entry is one cached value with the bookkeeping the LRU needs.
+type entry struct {
+	key    string
+	val    any
+	bytes  int64
+	weight float64 // estimated I/O saved per hit (page reads)
+	epoch  uint64
+}
+
+// evictionSample bounds how many LRU-tail entries one eviction
+// considers: among the sample, the entry with the least estimated I/O
+// saved per byte goes first, so a huge cheap-to-recompute result cannot
+// out-stay many small expensive ones merely by being recently touched.
+const evictionSample = 5
+
+// ResultCache is the semantic result cache: fingerprint -> materialized
+// result, bounded by bytes, with cost-aware LRU eviction and epoch
+// invalidation. Safe for concurrent use.
+type ResultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*list.Element // -> *entry
+	lru      *list.List               // front = most recently used
+
+	hits, misses, evictions, invalidated *obs.Counter
+}
+
+// NewResultCache creates a result cache bounded by maxBytes,
+// registering its counters (cache_result_*) in reg. Gauges over
+// Bytes/Len are the caller's to register, so a disabled cache can read
+// as zero.
+func NewResultCache(maxBytes int64, reg *obs.Registry) *ResultCache {
+	return &ResultCache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		hits: reg.Counter("cache_result_hits_total",
+			"queries served from the semantic result cache"),
+		misses: reg.Counter("cache_result_misses_total",
+			"result cache probes that found no current entry"),
+		evictions: reg.Counter("cache_result_evictions_total",
+			"result cache entries evicted by the cost-aware LRU"),
+		invalidated: reg.Counter("cache_result_invalidated_total",
+			"result cache entries discarded for carrying an old epoch"),
+	}
+}
+
+// Get returns the value cached under key if its epoch matches; an entry
+// from an older epoch is discarded (lazy invalidation) and reads as a
+// miss.
+func (c *ResultCache) Get(key string, epoch uint64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.epoch != epoch {
+		c.removeLocked(el)
+		c.invalidated.Inc()
+		c.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return e.val, true
+}
+
+// Put stores val under key, tagged with the epoch its data was read
+// under. bytes is the entry's memory estimate; weight is the estimated
+// I/O (page reads) a hit saves, which drives eviction order. Values
+// larger than a quarter of the budget are not cached — one giant result
+// must not flush the whole working set.
+func (c *ResultCache) Put(key string, val any, bytes int64, weight float64, epoch uint64) {
+	if bytes > c.maxBytes/4 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+	e := &entry{key: key, val: val, bytes: bytes, weight: weight, epoch: epoch}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += bytes
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		c.removeLocked(c.evictVictimLocked())
+		c.evictions.Inc()
+	}
+}
+
+// evictVictimLocked picks the eviction victim: among up to
+// evictionSample entries from the LRU tail, the one saving the least
+// estimated I/O per byte.
+func (c *ResultCache) evictVictimLocked() *list.Element {
+	victim := c.lru.Back()
+	best := victim.Value.(*entry).density()
+	el := victim.Prev()
+	for i := 1; i < evictionSample && el != nil && el != c.lru.Front(); i++ {
+		if d := el.Value.(*entry).density(); d < best {
+			victim, best = el, d
+		}
+		el = el.Prev()
+	}
+	return victim
+}
+
+// density is the eviction score: estimated page reads saved per byte
+// retained.
+func (e *entry) density() float64 {
+	if e.bytes <= 0 {
+		return e.weight
+	}
+	return e.weight / float64(e.bytes)
+}
+
+func (c *ResultCache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+// Bytes reports the retained entry bytes.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len reports the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats is a point-in-time copy of one cache's counters.
+type Stats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Invalidated int64 `json:"invalidated"`
+	Bytes       int64 `json:"bytes"`
+	Entries     int64 `json:"entries"`
+}
+
+// Stats snapshots the cache counters.
+func (c *ResultCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Evictions:   c.evictions.Value(),
+		Invalidated: c.invalidated.Value(),
+		Bytes:       c.bytes,
+		Entries:     int64(c.lru.Len()),
+	}
+}

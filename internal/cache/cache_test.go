@@ -1,0 +1,263 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/obs"
+)
+
+func TestResultCacheRoundTrip(t *testing.T) {
+	c := NewResultCache(1<<20, obs.NewRegistry())
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", "v", 100, 10, 1)
+	v, ok := c.Get("k", 1)
+	if !ok || v.(string) != "v" {
+		t.Fatalf("Get = %v, %v; want v, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResultCacheEpochInvalidation(t *testing.T) {
+	c := NewResultCache(1<<20, obs.NewRegistry())
+	c.Put("k", "v", 100, 10, 1)
+	// A probe from a newer epoch must discard the stale entry.
+	if _, ok := c.Get("k", 2); ok {
+		t.Fatal("stale-epoch entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry retained; len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Invalidated != 1 {
+		t.Fatalf("invalidated = %d, want 1", st.Invalidated)
+	}
+	// Same fingerprint is cacheable again under the new epoch.
+	c.Put("k", "v2", 100, 10, 2)
+	if v, ok := c.Get("k", 2); !ok || v.(string) != "v2" {
+		t.Fatalf("re-populated entry not served: %v, %v", v, ok)
+	}
+}
+
+func TestResultCacheCostAwareEviction(t *testing.T) {
+	// Five 200-byte entries fill the cache exactly; "cheap" has by far
+	// the lowest I/O-saved weight, so it is the eviction victim even
+	// though it is not the LRU tail.
+	c := NewResultCache(1000, obs.NewRegistry())
+	c.Put("cheap", 0, 200, 1, 1)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("costly%d", i), 0, 200, 500, 1)
+	}
+	c.Put("new", 0, 200, 500, 1)
+	if _, ok := c.Get("cheap", 1); ok {
+		t.Fatal("low-density entry survived eviction")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Get(fmt.Sprintf("costly%d", i), 1); !ok {
+			t.Fatalf("high-density entry costly%d evicted", i)
+		}
+	}
+	if _, ok := c.Get("new", 1); !ok {
+		t.Fatal("newly inserted entry evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestResultCacheOversizeSkipped(t *testing.T) {
+	c := NewResultCache(1000, obs.NewRegistry())
+	c.Put("big", 0, 300, 10, 1) // > maxBytes/4
+	if c.Len() != 0 {
+		t.Fatal("oversize entry cached")
+	}
+}
+
+func TestChunkCacheEpochAndLRU(t *testing.T) {
+	c := NewChunkCache(cellBytes*10, obs.NewRegistry())
+	v1 := c.View(1)
+	cells := []chunk.Cell{{Offset: 0, Value: 42}}
+	v1.PutDecoded(7, cells)
+	if got, ok := v1.GetDecoded(7); !ok || got[0].Value != 42 {
+		t.Fatalf("GetDecoded = %v, %v", got, ok)
+	}
+	// A view bound to a newer epoch discards the stale chunk.
+	v2 := c.View(2)
+	if _, ok := v2.GetDecoded(7); ok {
+		t.Fatal("stale-epoch chunk served")
+	}
+	if st := c.Stats(); st.Invalidated != 1 {
+		t.Fatalf("invalidated = %d, want 1", st.Invalidated)
+	}
+	// LRU eviction under the byte bound: 10 one-cell chunks fit, the
+	// 11th evicts the least recently used.
+	for i := 0; i < 11; i++ {
+		v2.PutDecoded(i, cells)
+	}
+	if _, ok := v2.GetDecoded(0); ok {
+		t.Fatal("LRU chunk 0 survived")
+	}
+	if _, ok := v2.GetDecoded(10); !ok {
+		t.Fatal("most recent chunk evicted")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+	const n = 16
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", func() (any, error) {
+				execs.Add(1)
+				<-release
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			if v.(int) != 99 {
+				t.Errorf("Do = %v, want 99", v)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let the waiters pile onto the leader's flight, then release it.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Fatalf("shared count = %d, want %d", got, n-1)
+	}
+}
+
+func TestSingleflightLeaderCancelDoesNotPoison(t *testing.T) {
+	var g Group
+	leaderIn := make(chan struct{})
+	releaseLeader := make(chan struct{})
+
+	go func() {
+		g.Do(context.Background(), "k", func() (any, error) {
+			close(leaderIn)
+			<-releaseLeader
+			return nil, context.Canceled // leader's client went away mid-run
+		})
+	}()
+	<-leaderIn
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The waiter must not inherit the leader's cancellation: it
+		// retries as the new leader and succeeds.
+		v, _, err := g.Do(context.Background(), "k", func() (any, error) { return 7, nil })
+		if err != nil {
+			t.Errorf("waiter err = %v", err)
+			return
+		}
+		if v.(int) != 7 {
+			t.Errorf("waiter v = %v, want 7", v)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(releaseLeader)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never completed after leader cancellation")
+	}
+}
+
+func TestSingleflightWaiterCancel(t *testing.T) {
+	var g Group
+	leaderIn := make(chan struct{})
+	releaseLeader := make(chan struct{})
+	defer close(releaseLeader)
+
+	go func() {
+		g.Do(context.Background(), "k", func() (any, error) {
+			close(leaderIn)
+			<-releaseLeader
+			return 1, nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func() (any, error) { return 2, nil })
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+}
+
+func TestSharedLeaderErrorIsShared(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		g.Do(context.Background(), "k", func() (any, error) {
+			close(leaderIn)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-leaderIn
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, shared, err := g.Do(context.Background(), "k", func() (any, error) {
+			t.Error("waiter re-executed fn despite shared non-context error")
+			return nil, nil
+		})
+		if !shared {
+			t.Error("waiter not marked shared")
+		}
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter err = %v, want boom", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not return")
+	}
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/obs"
+)
+
+// cellBytes is the memory estimate per decoded cell (chunk.Cell is a
+// uint32 offset plus an int64 value, padded to 16 bytes).
+const cellBytes = 16
+
+// ChunkCache pins hot decoded chunks above the buffer pool, so a
+// repeated array probe pays neither the page fetch nor the chunk-offset
+// decode. Entries are keyed by chunk number and tagged with the epoch
+// their bytes were read under; a probe from a newer epoch discards the
+// entry. Plain byte-bounded LRU — decoded chunks are near-uniform in
+// recompute cost, so no weighting is needed. Safe for concurrent use.
+type ChunkCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[int]*list.Element // chunk number -> *chunkEntry
+	lru      *list.List
+
+	hits, misses, evictions, invalidated *obs.Counter
+}
+
+type chunkEntry struct {
+	chunkNum int
+	cells    []chunk.Cell
+	bytes    int64
+	epoch    uint64
+}
+
+// NewChunkCache creates a decoded-chunk cache bounded by maxBytes,
+// registering its counters (cache_chunk_*) in reg.
+func NewChunkCache(maxBytes int64, reg *obs.Registry) *ChunkCache {
+	return &ChunkCache{
+		maxBytes: maxBytes,
+		entries:  make(map[int]*list.Element),
+		lru:      list.New(),
+		hits: reg.Counter("cache_chunk_hits_total",
+			"chunk reads served decoded from the chunk cache"),
+		misses: reg.Counter("cache_chunk_misses_total",
+			"chunk cache probes that found no current entry"),
+		evictions: reg.Counter("cache_chunk_evictions_total",
+			"chunk cache entries evicted by the LRU"),
+		invalidated: reg.Counter("cache_chunk_invalidated_total",
+			"chunk cache entries discarded for carrying an old epoch"),
+	}
+}
+
+// get returns the decoded cells of chunkNum if cached under epoch.
+func (c *ChunkCache) get(chunkNum int, epoch uint64) ([]chunk.Cell, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[chunkNum]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*chunkEntry)
+	if e.epoch != epoch {
+		c.removeLocked(el)
+		c.invalidated.Inc()
+		c.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return e.cells, true
+}
+
+// put stores the decoded cells of chunkNum under epoch. The slice is
+// retained and served to later readers, which treat decoded cells as
+// read-only throughout the engine.
+func (c *ChunkCache) put(chunkNum int, cells []chunk.Cell, epoch uint64) {
+	bytes := int64(len(cells)) * cellBytes
+	if bytes > c.maxBytes/4 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[chunkNum]; ok {
+		c.removeLocked(el)
+	}
+	e := &chunkEntry{chunkNum: chunkNum, cells: cells, bytes: bytes, epoch: epoch}
+	c.entries[chunkNum] = c.lru.PushFront(e)
+	c.bytes += bytes
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		c.removeLocked(c.lru.Back())
+		c.evictions.Inc()
+	}
+}
+
+func (c *ChunkCache) removeLocked(el *list.Element) {
+	e := el.Value.(*chunkEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.chunkNum)
+	c.bytes -= e.bytes
+}
+
+// Bytes reports the retained decoded-cell bytes.
+func (c *ChunkCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len reports the number of cached chunks.
+func (c *ChunkCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *ChunkCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Evictions:   c.evictions.Value(),
+		Invalidated: c.invalidated.Value(),
+		Bytes:       c.bytes,
+		Entries:     int64(c.lru.Len()),
+	}
+}
+
+// View binds the cache to one epoch, yielding the chunk.DecodedCache a
+// chunk store consults. The epoch is captured when an array clone is
+// handed out (under the same lock that guards the handle cache), so a
+// clone that raced a catalog mutation populates entries no current
+// probe will accept.
+func (c *ChunkCache) View(epoch uint64) chunk.DecodedCache {
+	return &chunkView{cache: c, epoch: epoch}
+}
+
+type chunkView struct {
+	cache *ChunkCache
+	epoch uint64
+}
+
+func (v *chunkView) GetDecoded(chunkNum int) ([]chunk.Cell, bool) {
+	return v.cache.get(chunkNum, v.epoch)
+}
+
+func (v *chunkView) PutDecoded(chunkNum int, cells []chunk.Cell) {
+	v.cache.put(chunkNum, cells, v.epoch)
+}

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// call is one in-flight execution waiters can block on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Group deduplicates concurrent executions of the same key: the first
+// caller (the leader) runs fn; every concurrent caller with the same
+// key blocks until the leader finishes and shares its result.
+//
+// The group is context-cancel-safe in both directions. A waiter whose
+// own context fires stops waiting immediately and returns its context
+// error — the leader keeps running for the others. A leader that fails
+// with a context error (its client disconnected mid-run) does not
+// poison the waiters: they treat the flight as vacated and retry, one
+// of them becoming the new leader. Non-context leader errors are
+// shared — identical queries would all have failed identically.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn under key, deduplicating against concurrent calls.
+// shared reports whether the result came from another caller's
+// execution.
+func (g *Group) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*call)
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err != nil && isContextErr(c.err) {
+					continue // leader was canceled; contend to replace it
+				}
+				return c.val, true, c.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.val, c.err = fn()
+
+		// Unpublish before waking waiters, so a retrying waiter cannot
+		// re-join this finished flight.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.val, false, c.err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -22,6 +22,20 @@ type chunkEntry struct {
 	cells uint64
 }
 
+// DecodedCache is an optional process-level cache of decoded chunks a
+// Store consults before paying the blob read + decode. Implementations
+// must be safe for concurrent use (clones of one Store share the same
+// cache); cell slices that cross the interface are shared and must be
+// treated as read-only by everyone.
+type DecodedCache interface {
+	// GetDecoded returns the decoded, offset-sorted cells of the chunk
+	// if cached.
+	GetDecoded(chunkNum int) ([]Cell, bool)
+	// PutDecoded offers freshly decoded cells for retention; the cache
+	// takes ownership of the slice.
+	PutDecoded(chunkNum int, cells []Cell)
+}
+
 // Store is a persistent chunked array: one blob per non-empty chunk plus
 // a metadata directory blob. A Store is immutable once built; rebuilding
 // writes a new Store.
@@ -35,6 +49,12 @@ type Store struct {
 
 	totalPages int64
 	validCells int64
+
+	// shared, when set, is a concurrent decoded-chunk cache sitting
+	// above the buffer pool: ReadChunk probes it and offers what it
+	// decodes; ScanChunks probes but never populates (scans are the
+	// cache's scan-resistance case and keep their scratch-buffer path).
+	shared DecodedCache
 
 	// One-chunk decode cache for point reads. Stores are single-reader
 	// per goroutine (clone the Store for concurrent readers).
@@ -269,8 +289,14 @@ func (s *Store) Clone() *Store {
 	return &c
 }
 
+// SetDecodedCache attaches a shared decoded-chunk cache (nil detaches).
+// Clones of this Store copy the attachment.
+func (s *Store) SetDecodedCache(d DecodedCache) { s.shared = d }
+
 // ReadChunk returns the decoded, offset-sorted cells of the chunk. Empty
-// chunks decode to nil. The returned slice is owned by the caller.
+// chunks decode to nil. The returned slice may be shared with the
+// decoded-chunk cache; callers must treat it as read-only (every engine
+// reader does — updates copy before merging).
 func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
 	if chunkNum < 0 || chunkNum >= len(s.entries) {
 		return nil, fmt.Errorf("chunk: chunk number %d out of [0,%d)", chunkNum, len(s.entries))
@@ -278,6 +304,11 @@ func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
 	e := s.entries[chunkNum]
 	if !e.ref.Valid() {
 		return nil, nil
+	}
+	if s.shared != nil {
+		if cells, ok := s.shared.GetDecoded(chunkNum); ok {
+			return cells, nil
+		}
 	}
 	data, err := s.lob.Read(e.ref)
 	if err != nil {
@@ -289,6 +320,9 @@ func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
 	}
 	if uint64(len(cells)) != e.cells {
 		return nil, fmt.Errorf("chunk: chunk %d decoded %d cells, directory says %d", chunkNum, len(cells), e.cells)
+	}
+	if s.shared != nil {
+		s.shared.PutDecoded(chunkNum, cells)
 	}
 	return cells, nil
 }
@@ -339,6 +373,15 @@ func (s *Store) ScanChunks(fn func(chunkNum int, cells []Cell) error) error {
 // buffers. The result is invalidated by the next readChunkScratch call.
 func (s *Store) readChunkScratch(cn int) ([]Cell, error) {
 	e := s.entries[cn]
+	if s.shared != nil {
+		// A cached chunk is served as-is (read-only, outlives the next
+		// call — strictly better than the scratch contract); a miss
+		// decodes into scratch without populating the cache, so one full
+		// scan cannot flush the probe working set.
+		if cells, ok := s.shared.GetDecoded(cn); ok {
+			return cells, nil
+		}
+	}
 	data, err := s.lob.ReadInto(e.ref, s.scratchEnc)
 	if err != nil {
 		return nil, fmt.Errorf("chunk: read chunk %d: %w", cn, err)

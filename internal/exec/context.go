@@ -6,6 +6,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/bitmap"
 	"repro/internal/btree"
+	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/factfile"
 	"repro/internal/obs"
@@ -37,6 +38,17 @@ type ExecContext struct {
 	dims []*catalog.DimensionTable
 	ff   *factfile.File
 	arr  *array.Array // master copy; only clones are handed out
+
+	// Mid-tier query cache (nil until EnableQueryCache): the semantic
+	// result cache, the decoded-chunk cache attached to array clones,
+	// and the singleflight group deduplicating identical concurrent
+	// queries. Entries are tagged with gen; InvalidateHandles' bump is
+	// what lazily discards them.
+	resCache   *cache.ResultCache
+	chunkCache *cache.ChunkCache
+	flight     cache.Group
+	sfDedup    *obs.Counter
+	sfWait     *obs.Histogram
 }
 
 // NewExecContext creates the shared execution state for a catalog,
@@ -83,6 +95,98 @@ func (c *ExecContext) Generation() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.gen
+}
+
+// EnableQueryCache turns on the mid-tier query cache, splitting
+// totalBytes evenly between the semantic result cache and the
+// decoded-chunk cache. totalBytes <= 0 disables both (existing entries
+// are released; counters persist). Safe to call again to resize.
+func (c *ExecContext) EnableQueryCache(totalBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if totalBytes <= 0 {
+		c.resCache, c.chunkCache = nil, nil
+		return
+	}
+	half := totalBytes / 2
+	c.resCache = cache.NewResultCache(half, c.reg)
+	c.chunkCache = cache.NewChunkCache(totalBytes-half, c.reg)
+	c.sfDedup = c.reg.Counter("cache_singleflight_dedup_total",
+		"queries that piggybacked on an identical in-flight execution")
+	c.sfWait = c.reg.Histogram("cache_singleflight_wait_seconds",
+		"time deduplicated queries waited for the leader's result", nil)
+	// Gauges read through the context so a later disable reports zero
+	// instead of a stale cache's last values.
+	c.reg.GaugeFunc("cache_result_bytes", "bytes retained by the result cache",
+		func() float64 {
+			if rc, _ := c.caches(); rc != nil {
+				return float64(rc.Bytes())
+			}
+			return 0
+		})
+	c.reg.GaugeFunc("cache_result_entries", "entries in the result cache",
+		func() float64 {
+			if rc, _ := c.caches(); rc != nil {
+				return float64(rc.Len())
+			}
+			return 0
+		})
+	c.reg.GaugeFunc("cache_chunk_bytes", "decoded bytes retained by the chunk cache",
+		func() float64 {
+			if _, cc := c.caches(); cc != nil {
+				return float64(cc.Bytes())
+			}
+			return 0
+		})
+	c.reg.GaugeFunc("cache_chunk_entries", "decoded chunks retained by the chunk cache",
+		func() float64 {
+			if _, cc := c.caches(); cc != nil {
+				return float64(cc.Len())
+			}
+			return 0
+		})
+}
+
+// caches returns the current cache layers (either may be nil).
+func (c *ExecContext) caches() (*cache.ResultCache, *cache.ChunkCache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resCache, c.chunkCache
+}
+
+// resultCache returns the result cache together with the current
+// epoch, read atomically — the epoch a probe compares and a new entry
+// is tagged with. A nil cache means the query cache is disabled.
+func (c *ExecContext) resultCache() (*cache.ResultCache, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resCache, c.gen
+}
+
+// singleflightStats returns the dedup counter and wait histogram (nil
+// until EnableQueryCache has run).
+func (c *ExecContext) singleflightStats() (*obs.Counter, *obs.Histogram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sfDedup, c.sfWait
+}
+
+// CacheStats snapshots both cache layers (zero-valued when disabled)
+// and the singleflight dedup count.
+func (c *ExecContext) CacheStats() (result, chunk cache.Stats, dedup int64, enabled bool) {
+	rc, cc := c.caches()
+	if rc != nil {
+		result = rc.Stats()
+	}
+	if cc != nil {
+		chunk = cc.Stats()
+	}
+	c.mu.Lock()
+	if c.sfDedup != nil {
+		dedup = c.sfDedup.Value()
+	}
+	c.mu.Unlock()
+	return result, chunk, dedup, rc != nil
 }
 
 // InvalidateHandles drops every cached object handle; call after
@@ -153,5 +257,12 @@ func (c *ExecContext) ArrayClone() (*array.Array, error) {
 		}
 		c.arr = arr
 	}
-	return c.arr.Clone(), nil
+	cl := c.arr.Clone()
+	if c.chunkCache != nil {
+		// Bind the clone to the current epoch while still holding the
+		// lock: a clone handed out just before an invalidation populates
+		// entries tagged with the old epoch, which no later probe accepts.
+		cl.Store().SetDecodedCache(c.chunkCache.View(c.gen))
+	}
+	return cl, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -69,6 +71,37 @@ type QueryResult struct {
 	// Trace is the span tree of this execution (plan / execute / sort
 	// phases with their wall times). Nil for EXPLAIN-only queries.
 	Trace *obs.Trace
+	// Cached reports that Rows came from the result cache (or a
+	// deduplicated concurrent execution) rather than a fresh engine run.
+	// Metrics and IO then describe the execution that produced the rows;
+	// Elapsed is this call's own wall time.
+	Cached bool
+}
+
+// cachedResult is what the result cache retains per fingerprint: the
+// materialized rows plus the metrics of the execution that produced
+// them, tagged with the epoch the execution read under.
+type cachedResult struct {
+	rows    []core.Row
+	metrics core.Metrics
+	io      storage.Stats
+	elapsed time.Duration
+	epoch   uint64
+}
+
+// resultBytes estimates the retained size of a materialized result.
+func resultBytes(rows []core.Row) int64 {
+	n := int64(0)
+	for i := range rows {
+		n += 48 // aggregate slots + slice header
+		for _, g := range rows[i].Groups {
+			n += int64(len(g)) + 16
+		}
+	}
+	if n == 0 {
+		n = 1 // empty results still occupy an entry
+	}
+	return n
 }
 
 // Executor plans and runs compiled queries against the objects in a
@@ -83,6 +116,11 @@ type Executor struct {
 	// per-session) so sessions can opt in independently.
 	slowLog *slog.Logger
 	slowMin time.Duration
+
+	// cacheOff opts this executor out of the shared query cache (the
+	// session-level CACHE OFF switch). Atomic because a server session's
+	// option frames race its in-flight query goroutines.
+	cacheOff atomic.Bool
 }
 
 // NewExecutor creates an executor with its own fresh ExecContext.
@@ -154,6 +192,16 @@ func (e *Executor) ExplainSQLContext(ctx context.Context, sql string, engine Eng
 	return e.Explain(spec, engine)
 }
 
+// SetCacheEnabled opts this executor in or out of the database's query
+// cache. It is a per-executor (per-session) switch: with the cache off,
+// queries neither probe nor populate the result cache and never join
+// another query's singleflight. The shared chunk cache is unaffected.
+func (e *Executor) SetCacheEnabled(on bool) { e.cacheOff.Store(!on) }
+
+// CacheEnabled reports whether this executor participates in the query
+// cache (regardless of whether the database has one configured).
+func (e *Executor) CacheEnabled() bool { return !e.cacheOff.Load() }
+
 // SetSlowQueryLog turns on slow-query logging for this executor:
 // queries running at or above min are reported to l with their plan,
 // algorithm counters, and buffer pool I/O. A nil logger turns it off.
@@ -202,6 +250,91 @@ func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Eng
 		return qr, nil
 	}
 
+	rc, epoch := e.ctx.resultCache()
+	if rc == nil || e.cacheOff.Load() {
+		return e.runPlan(ctx, tr, spec, plan, expl, qr, sql)
+	}
+
+	statsGen := int64(0)
+	if st := e.ctx.Catalog().Stats; st != nil {
+		statsGen = st.CollectedUnix
+	}
+	key := fingerprint(spec, plan, statsGen)
+	probeStart := time.Now()
+	if v, ok := rc.Get(key, epoch); ok {
+		return e.cachedQueryResult(qr, v.(*cachedResult), time.Since(probeStart)), nil
+	}
+
+	// Miss: run under singleflight so N concurrent identical queries
+	// execute the engine once and share the rows. The flight key carries
+	// the epoch, so a query planned after an invalidation never joins a
+	// flight reading stale objects.
+	flightKey := strconv.FormatUint(epoch, 10) + "|" + key
+	var leaderQR *QueryResult
+	v, shared, err := e.ctx.flight.Do(ctx, flightKey, func() (any, error) {
+		// Double-check under the flight: a goroutine that missed the
+		// probe above may have become leader only after the previous
+		// leader finished and populated the cache — serve that entry
+		// instead of running the engine a second time.
+		if v, ok := rc.Get(key, epoch); ok {
+			return v.(*cachedResult), nil
+		}
+		lqr, err := e.runPlan(ctx, tr, spec, plan, expl, qr, sql)
+		if err != nil {
+			return nil, err
+		}
+		leaderQR = lqr
+		cr := &cachedResult{
+			rows:    lqr.Rows,
+			metrics: lqr.Metrics,
+			io:      lqr.IO,
+			elapsed: lqr.Elapsed,
+			epoch:   epoch,
+		}
+		rc.Put(key, cr, resultBytes(lqr.Rows), est.IO, epoch)
+		return cr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !shared {
+		if leaderQR != nil {
+			return leaderQR, nil
+		}
+		// Leader whose double-check probe hit: already counted as a
+		// cache hit, not a deduplicated execution.
+		return e.cachedQueryResult(qr, v.(*cachedResult), time.Since(probeStart)), nil
+	}
+	wait := time.Since(probeStart)
+	if dedup, sfWait := e.ctx.singleflightStats(); dedup != nil {
+		dedup.Inc()
+		sfWait.Observe(wait.Seconds())
+	}
+	return e.cachedQueryResult(qr, v.(*cachedResult), wait), nil
+}
+
+// cachedQueryResult finishes qr from a cached (or deduplicated)
+// execution: the shared rows plus the metrics and I/O of the run that
+// produced them, with this call's own wall time. A served entry is not
+// an engine execution — it is not counted in queries_<engine>_total,
+// carries no trace, and EXPLAIN ANALYZE reports the hit instead of
+// per-operator actuals.
+func (e *Executor) cachedQueryResult(qr *QueryResult, cr *cachedResult, elapsed time.Duration) *QueryResult {
+	qr.Rows = cr.rows
+	qr.Metrics = cr.metrics
+	qr.IO = cr.io
+	qr.Elapsed = elapsed
+	qr.Cached = true
+	qr.Explanation.CacheHit = true
+	qr.Explanation.CacheEpoch = cr.epoch
+	return qr
+}
+
+// runPlan executes a planned query on its engine, filling qr with rows,
+// metrics, I/O deltas, the trace, and (for ANALYZE) per-operator
+// actuals.
+func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, spec *query.Spec, plan Plan, expl *Explanation, qr *QueryResult, sql string) (*QueryResult, error) {
+	est := expl.ChosenCost()
 	ioBefore := e.ctx.BufferPool().Stats()
 	start := time.Now()
 	run := tr.Root.Child("execute")

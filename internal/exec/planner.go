@@ -46,6 +46,12 @@ type Explanation struct {
 	// Analyzed is true when the query was executed and Tree carries
 	// measured actuals (EXPLAIN ANALYZE).
 	Analyzed bool
+	// CacheHit is true when the rows were served from the result cache
+	// (or a deduplicated concurrent execution) instead of running the
+	// plan; CacheEpoch is the invalidation epoch the entry was read
+	// under.
+	CacheHit   bool
+	CacheEpoch uint64
 }
 
 // String renders the explanation: the choice, the candidate costs, and
@@ -62,6 +68,9 @@ func (x *Explanation) String() string {
 		mode += ", analyzed"
 	}
 	fmt.Fprintf(&b, "plan: %s  engine=%s  S=%.6g  [%s]\n", x.Chosen, x.Engine, x.Selectivity, mode)
+	if x.CacheHit {
+		fmt.Fprintf(&b, "cache: hit (epoch %d)\n", x.CacheEpoch)
+	}
 	fmt.Fprintf(&b, "candidates:\n")
 	for _, c := range x.Candidates {
 		mark := "  "

@@ -415,6 +415,18 @@ func (c *conn) serve() {
 		case wire.FramePing:
 			c.writeFrame(wire.FramePong, nil)
 			c.srv.frameLatency.ObserveDuration(time.Since(start))
+		case wire.FrameSetOption:
+			so, err := wire.DecodeSetOption(payload)
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			// Handled synchronously on the frame loop: options are
+			// metadata, not queries, so they skip admission. An unknown
+			// name or value is a per-request error, not a protocol
+			// violation — the connection stays up.
+			c.handleSetOption(so)
+			c.srv.frameLatency.ObserveDuration(time.Since(start))
 		default:
 			c.writeError(0, wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", t))
 			goto out
@@ -423,6 +435,29 @@ func (c *conn) serve() {
 out:
 	c.cancel()
 	c.qwg.Wait() // let query goroutines finish their final writes
+}
+
+// handleSetOption applies one session option. Only CACHE on|off exists;
+// the session switch takes effect for the next query (an in-flight
+// query keeps the setting it started with).
+func (c *conn) handleSetOption(so *wire.SetOption) {
+	switch strings.ToUpper(so.Name) {
+	case "CACHE":
+		switch strings.ToLower(so.Value) {
+		case "on":
+			c.sess.SetCache(true)
+		case "off":
+			c.sess.SetCache(false)
+		default:
+			c.writeError(so.ID, wire.CodeProtocol,
+				fmt.Sprintf("bad value %q for option CACHE (want on|off)", so.Value))
+			return
+		}
+	default:
+		c.writeError(so.ID, wire.CodeProtocol, fmt.Sprintf("unknown session option %q", so.Name))
+		return
+	}
+	c.writeFrame(wire.FrameOptionAck, (&wire.OptionAck{ID: so.ID}).Encode())
 }
 
 // registerQuery exposes a query's cancel function to Cancel frames.

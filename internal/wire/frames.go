@@ -89,6 +89,21 @@ type Cancel struct {
 	ID uint32
 }
 
+// SetOption flips a per-session switch by name. The only option is
+// "CACHE" with value "on" or "off" (case-insensitive); unknown names or
+// values are answered with Error{CodeProtocol} and the session
+// continues.
+type SetOption struct {
+	ID    uint32
+	Name  string
+	Value string
+}
+
+// OptionAck acknowledges a SetOption frame.
+type OptionAck struct {
+	ID uint32
+}
+
 // ResultHeader opens a result stream: the chosen plan and the result
 // schema (group attributes and aggregate functions, as AggFunc values).
 type ResultHeader struct {
@@ -339,6 +354,36 @@ func (f *Cancel) Encode() []byte { return binary.BigEndian.AppendUint32(nil, f.I
 func DecodeCancel(p []byte) (*Cancel, error) {
 	d := &dec{b: p}
 	f := &Cancel{ID: d.u32()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the SetOption payload.
+func (f *SetOption) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = appendString(b, f.Name)
+	return appendString(b, f.Value)
+}
+
+// DecodeSetOption parses a SetOption payload.
+func DecodeSetOption(p []byte) (*SetOption, error) {
+	d := &dec{b: p}
+	f := &SetOption{ID: d.u32(), Name: d.str(), Value: d.str()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the OptionAck payload.
+func (f *OptionAck) Encode() []byte { return binary.BigEndian.AppendUint32(nil, f.ID) }
+
+// DecodeOptionAck parses an OptionAck payload.
+func DecodeOptionAck(p []byte) (*OptionAck, error) {
+	d := &dec{b: p}
+	f := &OptionAck{ID: d.u32()}
 	if err := d.done(); err != nil {
 		return nil, err
 	}

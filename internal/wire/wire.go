@@ -20,7 +20,10 @@
 // can instead be answered by an Error frame carrying a typed ErrorCode;
 // Cancel (id) asks the server to abandon the identified in-flight query,
 // which then answers with Error{CodeCanceled}. Ping/Pong carry no
-// payload and exist for connection-pool health checks.
+// payload and exist for connection-pool health checks. SetOption
+// (id, name, value) flips a per-session switch — currently only
+// CACHE on|off — and is acknowledged with OptionAck (id) or rejected
+// with Error{CodeProtocol} without dropping the connection.
 //
 // Both sides close the protocol version handshake before anything else;
 // a version mismatch is reported with Error{CodeProtocol} and the
@@ -59,11 +62,12 @@ type FrameType uint8
 // Frame types. Client-to-server types sit below 0x10, server-to-client
 // types at or above it.
 const (
-	FrameHello   FrameType = 0x01
-	FrameQuery   FrameType = 0x02
-	FrameExplain FrameType = 0x03
-	FrameCancel  FrameType = 0x04
-	FramePing    FrameType = 0x05
+	FrameHello     FrameType = 0x01
+	FrameQuery     FrameType = 0x02
+	FrameExplain   FrameType = 0x03
+	FrameCancel    FrameType = 0x04
+	FramePing      FrameType = 0x05
+	FrameSetOption FrameType = 0x06
 
 	FrameHelloAck      FrameType = 0x10
 	FrameResultHeader  FrameType = 0x11
@@ -72,6 +76,7 @@ const (
 	FrameExplainResult FrameType = 0x14
 	FrameError         FrameType = 0x15
 	FramePong          FrameType = 0x16
+	FrameOptionAck     FrameType = 0x17
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +92,8 @@ func (t FrameType) String() string {
 		return "cancel"
 	case FramePing:
 		return "ping"
+	case FrameSetOption:
+		return "set-option"
 	case FrameHelloAck:
 		return "hello-ack"
 	case FrameResultHeader:
@@ -101,6 +108,8 @@ func (t FrameType) String() string {
 		return "error"
 	case FramePong:
 		return "pong"
+	case FrameOptionAck:
+		return "option-ack"
 	default:
 		return fmt.Sprintf("frame(0x%02x)", uint8(t))
 	}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -72,6 +73,8 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// Trace is the span tree recorded for one query execution.
 	Trace = obs.Trace
+	// CacheStats are one cache layer's cumulative counters.
+	CacheStats = cache.Stats
 )
 
 // Aggregate functions, re-exported for reading Result rows.
@@ -260,6 +263,16 @@ type EngineStats struct {
 	// collected; zero when the catalog carries none (planner falls back
 	// to its structural heuristic).
 	StatsAge time.Duration `json:"stats_age_ns"`
+	// HasCache reports whether the mid-tier query cache is enabled;
+	// the cache counters below are zero when it never was.
+	HasCache bool `json:"has_cache"`
+	// ResultCache holds the semantic result cache's counters.
+	ResultCache CacheStats `json:"result_cache"`
+	// ChunkCache holds the decoded-chunk cache's counters.
+	ChunkCache CacheStats `json:"chunk_cache"`
+	// SingleflightDedup counts queries that piggybacked on an identical
+	// concurrent execution instead of running the engine themselves.
+	SingleflightDedup int64 `json:"singleflight_dedup"`
 }
 
 // Stats returns a cross-layer engine snapshot: buffer pool counters,
@@ -274,7 +287,19 @@ func (db *DB) Stats() EngineStats {
 	if st := db.cat.Stats; st != nil && st.CollectedUnix > 0 {
 		es.StatsAge = time.Since(time.Unix(st.CollectedUnix, 0))
 	}
+	es.ResultCache, es.ChunkCache, es.SingleflightDedup, es.HasCache = db.ex.Context().CacheStats()
 	return es
+}
+
+// EnableQueryCache turns on the mid-tier query cache, splitting
+// totalBytes between the semantic result cache (materialized row sets
+// keyed by normalized plan fingerprint, deduplicated with singleflight)
+// and the decoded-chunk cache that sits above the buffer pool. Loads,
+// updates, and DropCaches bump the invalidation epoch, lazily
+// discarding stale entries. totalBytes <= 0 disables the cache.
+// Sessions opt out individually with Session.SetCache(false).
+func (db *DB) EnableQueryCache(totalBytes int64) {
+	db.ex.Context().EnableQueryCache(totalBytes)
 }
 
 // Registry returns the metrics registry every layer of this database

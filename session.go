@@ -69,6 +69,13 @@ func (s *Session) ExplainOnContext(ctx context.Context, sql string, engine Engin
 	return s.ex.ExplainSQLContext(ctx, sql, engine)
 }
 
+// SetCache opts this session in or out of the database's query cache
+// (the wire protocol's CACHE on|off option). Off, the session's queries
+// neither probe nor populate the result cache and never piggyback on
+// another query's execution. On by default; a no-op when the database
+// has no cache configured.
+func (s *Session) SetCache(on bool) { s.ex.SetCacheEnabled(on) }
+
 // SetSlowQueryLog enables structured slow-query logging for this
 // session's queries: those at or above min are reported to l with their
 // SQL, plan, counters, and I/O. A nil logger disables it. Metrics
