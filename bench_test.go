@@ -278,6 +278,40 @@ func BenchmarkParallelConsolidate(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelQuery measures intra-query parallelism end to end:
+// the Figure 6 consolidation workload (Query 1 on the 40×40×40×1000
+// array) through the executor at degrees 1, 2, and 4, warm so the
+// chunk fan-out — not page I/O — is what scales. The degree-1 and
+// parallel rows are checked identical every iteration.
+func BenchmarkParallelQuery(b *testing.B) {
+	data := ds1(b, 2)
+	env := benchEnv(b, bench.EnvConfig{Data: data})
+	spec := env.Query1Spec()
+
+	env.Ex.SetParallel(1)
+	base, err := env.Ex.Execute(spec, exec.ArrayEngine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Ex.SetParallel(0)
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			env.Ex.SetParallel(workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				qr, err := env.Ex.Execute(spec, exec.ArrayEngine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !core.RowsEqual(qr.Rows, base.Rows) {
+					b.Fatalf("workers=%d rows differ from sequential", workers)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationEnumeration compares the §4.2 chunk-ordered
 // cross-product enumeration with naive index-order enumeration.
 func BenchmarkAblationEnumeration(b *testing.B) {

@@ -31,6 +31,10 @@ go test -run TestMetricsEndpoint -count=1 .
 echo "== go test -race (concurrent sessions + storage + server + cache) =="
 go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... ./internal/cache/... ./client/... .
 
+echo "== parallel differential suite under -race (GOMAXPROCS=4) =="
+GOMAXPROCS=4 go test -race -count=1 -run 'Parallel|ClampWorkers' \
+    ./internal/core/... ./internal/exec/... ./internal/bitmap/... ./internal/server/...
+
 echo "== olapd server smoke =="
 smokedir=$(mktemp -d)
 cleanup_smoke() {

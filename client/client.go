@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -230,9 +231,10 @@ func (c *Conn) Ping() error {
 	return nil
 }
 
-// SetOption flips a per-session server switch by name; the only option
-// today is "CACHE" with value "on" or "off". The round-trip runs under
-// the dial timeout (or ctx, whichever fires first).
+// SetOption flips a per-session server switch by name; the options
+// today are "CACHE" ("on"/"off") and "PARALLEL" (a worker count). The
+// round-trip runs under the dial timeout (or ctx, whichever fires
+// first).
 func (c *Conn) SetOption(ctx context.Context, name, value string) error {
 	if c.broken.Load() {
 		return errors.New("client: connection is broken")
@@ -281,6 +283,17 @@ func (c *Conn) SetCache(ctx context.Context, on bool) error {
 		v = "off"
 	}
 	return c.SetOption(ctx, "CACHE", v)
+}
+
+// SetParallel sets this connection's server-side intra-query parallel
+// degree (the PARALLEL session option): the number of workers one
+// query's operator loops may fan out to. 0 resets to the server's
+// default; 1 forces sequential execution.
+func (c *Conn) SetParallel(ctx context.Context, workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("client: negative parallel degree %d", workers)
+	}
+	return c.SetOption(ctx, "PARALLEL", strconv.Itoa(workers))
 }
 
 // watchCancel arms ctx-cancellation for request id: when ctx fires, a

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
@@ -31,7 +32,14 @@ func main() {
 	diskDir := flag.String("disk", "", "back environments with volume files in this directory (default: in-memory)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	snapshotDir := flag.String("snapshot", "", "write BENCH_<fig>.json snapshots into this directory")
+	workersFlag := flag.String("workers", "", "comma-separated intra-query degrees to sweep warm on the array series (e.g. 1,2,4)")
 	flag.Parse()
+
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	// Fail fast on an unwritable snapshot directory rather than
 	// discovering it after minutes of benchmarking.
@@ -48,6 +56,7 @@ func main() {
 		Warm:    *warm,
 		Seed:    *seed,
 		DiskDir: *diskDir,
+		Workers: workers,
 	})
 
 	type runner struct {
@@ -60,6 +69,12 @@ func main() {
 			fig, err := f()
 			if err != nil {
 				return err
+			}
+			// A requested -workers sweep that matched no query in this
+			// figure must warn, not silently fall through: the snapshot
+			// would otherwise look complete while missing the column.
+			if len(workers) > 0 && !figureHasSweep(fig) {
+				fmt.Fprintf(os.Stderr, "olapbench: warning: -workers sweep matched no queries in %s (no array-engine series ran)\n", name)
 			}
 			if *csv {
 				bench.WriteFigureCSV(os.Stdout, fig)
@@ -136,4 +151,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "olapbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// parseWorkers parses the -workers flag: a comma-separated list of
+// positive degrees. Empty means no sweep.
+func parseWorkers(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers, e.g. 1,2,4)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// figureHasSweep reports whether any measurement carries sweep data.
+func figureHasSweep(fig *bench.Figure) bool {
+	for _, p := range fig.Points {
+		for _, m := range p.M {
+			if len(m.WorkersSweep) > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,10 +37,11 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve engine metrics on this address (e.g. :9090)")
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
 	cacheMB := flag.Int("cache-mb", 0, "enable the query cache with this budget in MiB (0 = off)")
+	workers := flag.Int("workers", 0, "intra-query parallel degree (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if *connect != "" {
-		os.Exit(remoteMain(*connect, *engineName, *maxRows))
+		os.Exit(remoteMain(*connect, *engineName, *maxRows, *workers))
 	}
 
 	engine, err := parseEngine(*engineName)
@@ -70,6 +72,9 @@ func main() {
 	}
 	if *cacheMB > 0 {
 		db.EnableQueryCache(int64(*cacheMB) << 20)
+	}
+	if *workers > 0 {
+		db.SetParallel(*workers)
 	}
 
 	if flag.NArg() > 0 {
@@ -106,6 +111,16 @@ func main() {
 			printStats(db)
 			continue
 		}
+		// "parallel n" sets the intra-query worker degree (0 = default).
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "parallel "); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 0 {
+				db.SetParallel(n)
+				fmt.Printf("parallel %d\n", n)
+			} else {
+				fmt.Fprintf(os.Stderr, "error: parallel wants a non-negative integer, got %q\n", v)
+			}
+			continue
+		}
 		if err := runQuery(db, sql, engine, *maxRows); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
@@ -115,7 +130,7 @@ func main() {
 // remoteMain is the -connect mode: the same one-shot/REPL loop, but
 // every query travels the wire protocol to an olapd. Returns the
 // process exit code.
-func remoteMain(addr, engineName string, maxRows int) int {
+func remoteMain(addr, engineName string, maxRows, workers int) int {
 	engine, err := client.ParseEngine(engineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
@@ -127,6 +142,12 @@ func remoteMain(addr, engineName string, maxRows int) int {
 		return 1
 	}
 	defer conn.Close()
+	if workers > 0 {
+		if err := conn.SetParallel(context.Background(), workers); err != nil {
+			fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+			return 1
+		}
+	}
 
 	if flag.NArg() > 0 {
 		for _, sql := range flag.Args() {
@@ -163,6 +184,20 @@ func remoteMain(addr, engineName string, maxRows int) int {
 				}
 				continue
 			}
+		}
+		// "parallel n" sets the server-side worker degree for this
+		// session (the wire PARALLEL option; 0 = server default).
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "parallel "); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 0 {
+				if err := conn.SetParallel(context.Background(), n); err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				} else {
+					fmt.Printf("parallel %d\n", n)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "error: parallel wants a non-negative integer, got %q\n", v)
+			}
+			continue
 		}
 		if err := runRemoteQuery(conn, sql, engine, maxRows); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)

@@ -38,6 +38,7 @@ func main() {
 	batchRows := flag.Int("batch-rows", 0, "result rows per wire frame (0 = protocol default)")
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
 	cacheMB := flag.Int("cache-mb", 0, "mid-tier query cache size in MiB, split between result and chunk caches (0 = off)")
+	workers := flag.Int("workers", 0, "default intra-query parallel degree per session (0 = GOMAXPROCS, 1 = sequential)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queueDepth,
 		BatchRows:     *batchRows,
+		Workers:       *workers,
 	}
 	if *slowMS > 0 {
 		cfg.SlowQueryLog = log

@@ -129,6 +129,17 @@ type Measurement struct {
 	// rerun was actually served from the result cache.
 	CachedElapsed time.Duration
 	CacheHit      bool
+	// WorkersSweep, when the harness ran one (-workers), holds the warm
+	// wall time at each intra-query degree; ParallelSpeedup is
+	// elapsed(degree 1) / best parallel elapsed.
+	WorkersSweep    []WorkerTiming
+	ParallelSpeedup float64
+}
+
+// WorkerTiming is one point of a -workers sweep.
+type WorkerTiming struct {
+	Workers int
+	Elapsed time.Duration
 }
 
 // benchCacheBytes sizes the temporary query cache for warm reruns.
@@ -185,6 +196,62 @@ func (e *Env) Run(spec *query.Spec, engine exec.Engine, cold bool, trials int) (
 	best.CachedElapsed = qr.Elapsed
 	best.CacheHit = qr.Cached
 	return best, nil
+}
+
+// WorkersSweep re-runs spec warm (buffer pool populated, query cache
+// off) once per degree in workers and returns the timing at each,
+// plus the speedup of the best parallel run over degree 1. Intra-query
+// parallelism scales CPU work, not cold I/O, so the sweep deliberately
+// measures warm: every degree reads the same cached pages and the
+// difference is the fan-out. Each degree's rows and checksum are
+// verified against base. The executor's degree is restored to the
+// engine default before returning.
+func (e *Env) WorkersSweep(spec *query.Spec, engine exec.Engine, workers []int, base Measurement) ([]WorkerTiming, float64, error) {
+	defer e.Ex.SetParallel(0)
+	// One unmeasured warm-up pass so every degree starts from the same
+	// buffer-pool state.
+	e.Ex.SetParallel(1)
+	if _, err := e.Ex.Execute(spec, engine); err != nil {
+		return nil, 0, err
+	}
+	var out []WorkerTiming
+	var seq, bestPar time.Duration
+	for _, w := range workers {
+		if w < 1 {
+			continue
+		}
+		e.Ex.SetParallel(w)
+		var best time.Duration
+		for t := 0; t < 3; t++ { // keep the fastest of three warm passes
+			qr, err := e.Ex.Execute(spec, engine)
+			if err != nil {
+				return nil, 0, err
+			}
+			var sum int64
+			for _, r := range qr.Rows {
+				sum += r.Sum
+			}
+			if len(qr.Rows) != base.Rows || sum != base.Sum {
+				return nil, 0, fmt.Errorf("bench: degree %d disagrees: %d rows/%d, want %d rows/%d",
+					w, len(qr.Rows), sum, base.Rows, base.Sum)
+			}
+			if t == 0 || qr.Elapsed < best {
+				best = qr.Elapsed
+			}
+		}
+		out = append(out, WorkerTiming{Workers: w, Elapsed: best})
+		if w == 1 {
+			seq = best
+		}
+		if w > 1 && (bestPar == 0 || best < bestPar) {
+			bestPar = best
+		}
+	}
+	speedup := 0.0
+	if seq > 0 && bestPar > 0 {
+		speedup = float64(seq) / float64(bestPar)
+	}
+	return out, speedup, nil
 }
 
 // Query1Spec is the paper's Query 1: join every dimension, group by each

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/exec"
+	"repro/internal/query"
 )
 
 // Options controls a harness run.
@@ -26,6 +27,10 @@ type Options struct {
 	// that directory instead of memory, so cold-cache queries pay file
 	// system reads.
 	DiskDir string
+	// Workers, when non-empty, re-runs each figure's array-engine query
+	// warm at every listed intra-query degree and records the sweep (the
+	// -workers flag; e.g. [1, 2, 4]).
+	Workers []int
 }
 
 func (o Options) scale() float64 {
@@ -142,6 +147,21 @@ func (h *Harness) DataSet2(density float64) datagen.Config {
 func (h *Harness) cold() bool  { return !h.Opts.Warm }
 func (h *Harness) trials() int { return h.Opts.Trials }
 
+// sweepWorkers runs the -workers sweep on one measured series and
+// attaches the timings; a no-op when Options.Workers is empty.
+func (h *Harness) sweepWorkers(env *Env, spec *query.Spec, engine exec.Engine, m *Measurement) error {
+	if len(h.Opts.Workers) == 0 {
+		return nil
+	}
+	sweep, speedup, err := env.WorkersSweep(spec, engine, h.Opts.Workers, *m)
+	if err != nil {
+		return err
+	}
+	m.WorkersSweep = sweep
+	m.ParallelSpeedup = speedup
+	return nil
+}
+
 // dataSet1 returns the scaled Data Set 1 variant config.
 func (h *Harness) dataSet1(variant int) (datagen.Config, error) {
 	cfg, err := datagen.DataSet1(variant, h.Opts.seed())
@@ -202,6 +222,11 @@ func (h *Harness) Figure4() (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
+			if name == "array" {
+				if err := h.sweepWorkers(env, spec, engine, &m); err != nil {
+					return nil, err
+				}
+			}
 			p.M[name] = m
 		}
 		if err := checkAgreement(p); err != nil {
@@ -238,6 +263,11 @@ func (h *Harness) Figure5() (*Figure, error) {
 			m, err := env.Run(spec, engine, h.cold(), h.trials())
 			if err != nil {
 				return nil, err
+			}
+			if name == "array" {
+				if err := h.sweepWorkers(env, spec, engine, &m); err != nil {
+					return nil, err
+				}
 			}
 			p.M[name] = m
 		}
@@ -291,6 +321,11 @@ func (h *Harness) selectSweep(id, title string, variant, selDims int, distincts 
 			m, err := env.Run(spec, engine, h.cold(), h.trials())
 			if err != nil {
 				return nil, err
+			}
+			if name == "array" {
+				if err := h.sweepWorkers(env, spec, engine, &m); err != nil {
+					return nil, err
+				}
 			}
 			p.M[name] = m
 		}

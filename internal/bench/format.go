@@ -33,14 +33,31 @@ func formatDuration(d time.Duration) string {
 	}
 }
 
+// figureHasWorkersSweep reports whether any measurement in the figure
+// carries -workers sweep data (and so the table needs the column).
+func figureHasWorkersSweep(fig *Figure) bool {
+	for _, p := range fig.Points {
+		for _, m := range p.M {
+			if len(m.WorkersSweep) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // WriteFigure renders a figure as an aligned text table.
 func WriteFigure(w io.Writer, fig *Figure) {
 	fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title)
+	withSweep := figureHasWorkersSweep(fig)
 	header := []string{fig.XName}
 	for _, s := range fig.Series {
 		header = append(header, s, s+" I/O", s+" est I/O", s+" cached")
 	}
 	header = append(header, "speedup")
+	if withSweep {
+		header = append(header, "parallel_speedup")
+	}
 	rows := [][]string{header}
 	for _, p := range fig.Points {
 		row := []string{p.XLabel}
@@ -69,6 +86,16 @@ func WriteFigure(w io.Writer, fig *Figure) {
 			}
 		} else {
 			row = append(row, "-")
+		}
+		if withSweep {
+			cell := "-"
+			for _, s := range fig.Series {
+				if m, ok := p.M[s]; ok && m.ParallelSpeedup > 0 {
+					cell = fmt.Sprintf("%.2fx", m.ParallelSpeedup)
+					break
+				}
+			}
+			row = append(row, cell)
 		}
 		rows = append(rows, row)
 	}

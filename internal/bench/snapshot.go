@@ -49,9 +49,19 @@ type MeasurementSnapshot struct {
 	EstRows       int64   `json:"est_rows"`
 	// CachedElapsedNS is the wall time of the warm rerun through the
 	// query cache; CacheHit reports whether it actually hit.
-	CachedElapsedNS int64        `json:"cached_elapsed_ns"`
-	CacheHit        bool         `json:"cache_hit"`
-	Metrics         core.Metrics `json:"metrics"`
+	CachedElapsedNS int64 `json:"cached_elapsed_ns"`
+	CacheHit        bool  `json:"cache_hit"`
+	// WorkersSweep holds the -workers sweep timings (warm, per degree);
+	// ParallelSpeedup is elapsed(degree 1) / best parallel elapsed.
+	WorkersSweep    []WorkerTimingSnapshot `json:"workers_sweep,omitempty"`
+	ParallelSpeedup float64                `json:"parallel_speedup,omitempty"`
+	Metrics         core.Metrics           `json:"metrics"`
+}
+
+// WorkerTimingSnapshot is one degree of a -workers sweep.
+type WorkerTimingSnapshot struct {
+	Workers   int   `json:"workers"`
+	ElapsedNS int64 `json:"elapsed_ns"`
 }
 
 // Snapshot converts a figure and the options that produced it.
@@ -71,7 +81,7 @@ func Snapshot(fig *Figure, opts Options) *FigureSnapshot {
 	for _, p := range fig.Points {
 		ps := PointSnapshot{X: p.X, Label: p.XLabel, Series: make(map[string]MeasurementSnapshot, len(p.M))}
 		for s, m := range p.M {
-			ps.Series[s] = MeasurementSnapshot{
+			ms := MeasurementSnapshot{
 				Plan:            m.Plan,
 				ElapsedNS:       m.Elapsed.Nanoseconds(),
 				Rows:            m.Rows,
@@ -82,8 +92,15 @@ func Snapshot(fig *Figure, opts Options) *FigureSnapshot {
 				EstRows:         m.Metrics.EstRows,
 				CachedElapsedNS: m.CachedElapsed.Nanoseconds(),
 				CacheHit:        m.CacheHit,
+				ParallelSpeedup: m.ParallelSpeedup,
 				Metrics:         m.Metrics,
 			}
+			for _, wt := range m.WorkersSweep {
+				ms.WorkersSweep = append(ms.WorkersSweep, WorkerTimingSnapshot{
+					Workers: wt.Workers, ElapsedNS: wt.Elapsed.Nanoseconds(),
+				})
+			}
+			ps.Series[s] = ms
 			total++
 			if m.CacheHit {
 				hits++

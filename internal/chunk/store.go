@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -351,9 +352,36 @@ func (s *Store) Get(coords []int) (int64, bool, error) {
 // and is valid only during the callback. Return ErrStopScan from fn to
 // stop early.
 func (s *Store) ScanChunks(fn func(chunkNum int, cells []Cell) error) error {
-	for cn := range s.entries {
+	return s.ScanChunkRange(context.Background(), 0, len(s.entries), fn)
+}
+
+// ScanChunksContext is ScanChunks with cancellation: the context is
+// checked before every chunk read, so a canceled query abandons the scan
+// within one chunk rather than depending on the caller's callback to
+// notice.
+func (s *Store) ScanChunksContext(ctx context.Context, fn func(chunkNum int, cells []Cell) error) error {
+	return s.ScanChunkRange(ctx, 0, len(s.entries), fn)
+}
+
+// ScanChunkRange scans the non-empty chunks with lo <= chunkNum < hi, in
+// ascending order, with the same callback contract as ScanChunks. The
+// bounds are clamped to the directory; the context is checked before
+// every chunk read. Parallel consolidation partitions the chunk
+// directory into disjoint ranges, one per worker, each on its own Store
+// clone.
+func (s *Store) ScanChunkRange(ctx context.Context, lo, hi int, fn func(chunkNum int, cells []Cell) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.entries) {
+		hi = len(s.entries)
+	}
+	for cn := lo; cn < hi; cn++ {
 		if !s.entries[cn].ref.Valid() {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		cells, err := s.readChunkScratch(cn)
 		if err != nil {

@@ -1,102 +1,429 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/chunk"
+	"repro/internal/factfile"
 )
 
-// ArrayConsolidateParallel is ArrayConsolidate with the chunk scan
-// partitioned across workers — a first cut of the parallelization the
-// paper lists as future work (§6). Each worker owns a cloned chunk-store
-// cursor and a private result cube; the partials merge at the end (every
-// tracked aggregate is distributive). The buffer pool is shared and
-// thread-safe, so workers contend only on page fetches.
-func ArrayConsolidateParallel(a *array.Array, spec GroupSpec, workers int) (*Result, Metrics, error) {
+// activeWorkers tracks intra-query parallel workers currently running,
+// process-wide. Exposed through the registry as a gauge (see exec); a
+// package atomic for the same reason as bitmap.LogicalOps — workers are
+// spawned deep inside the algorithms, far from any registry.
+var activeWorkers atomic.Int64
+
+// ActiveWorkers reports the number of intra-query parallel workers
+// running right now, process-wide.
+func ActiveWorkers() int64 { return activeWorkers.Load() }
+
+// ClampWorkers resolves a requested parallel degree against the number
+// of available work units: <= 0 means GOMAXPROCS, and the degree never
+// exceeds units (an idle worker with no partition to scan is pure
+// overhead — and the clamp is what guarantees every spawned worker has
+// work, so none can block forever on an empty range).
+func ClampWorkers(workers, units int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
-		return ArrayConsolidate(a, spec)
+	if workers > units {
+		workers = units
 	}
-	g := a.Geometry()
-	numChunks := g.NumChunks()
-	if workers > numChunks {
-		workers = numChunks
+	if workers < 1 {
+		workers = 1
 	}
-	if workers <= 1 {
-		return ArrayConsolidate(a, spec)
-	}
+	return workers
+}
 
-	type partial struct {
-		res *Result
-		m   Metrics
-		err error
-	}
-	parts := make([]partial, workers)
+// workerPartial is one worker's thread-local output: a private partial
+// result cube, private counters, and the busy time the merge phase
+// turns into a parallel-efficiency figure. rows/io are the per-worker
+// numbers surfaced in EXPLAIN ANALYZE.
+type workerPartial struct {
+	res  *Result
+	m    Metrics
+	rows int64
+	io   int64
+	err  error
+	busy time.Duration
+}
+
+// runWorkers fans fn out over `workers` goroutines and waits for all of
+// them. The derived context is canceled as soon as any worker fails, so
+// siblings abandon their partitions promptly; the caller's cancellation
+// propagates the same way. Worker errors are reported in worker order
+// (caller cancellation wins) for determinism.
+func runWorkers(ctx context.Context, workers int, fn func(ctx context.Context, w int, p *workerPartial)) ([]workerPartial, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([]workerPartial, workers)
 	var wg sync.WaitGroup
-	shape := g.ChunkShape()
-	n := g.NumDims()
 	for w := 0; w < workers; w++ {
-		lo := numChunks * w / workers
-		hi := numChunks * (w + 1) / workers
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
-			gm, err := newArrayGroupMapper(a, spec)
-			if err != nil {
-				parts[w].err = err
-				return
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
+			start := time.Now()
+			fn(wctx, w, &parts[w])
+			parts[w].busy = time.Since(start)
+			if parts[w].err != nil {
+				cancel()
 			}
-			store := a.Store().Clone()
-			coords := make([]int, n)
-			for cn := lo; cn < hi; cn++ {
-				if store.ChunkCells(cn) == 0 {
-					continue
-				}
-				cells, err := store.ReadChunk(cn)
-				if err != nil {
-					parts[w].err = err
-					return
-				}
-				parts[w].m.ChunksRead++
-				start := g.ChunkStart(cn)
-				for _, c := range cells {
-					off := int(c.Offset)
-					for i := n - 1; i >= 0; i-- {
-						side := shape[i]
-						coords[i] = start[i] + off%side
-						off /= side
-					}
-					gm.result.add(gm.cellIndex(coords), c.Value)
-				}
-				parts[w].m.CellsScanned += int64(len(cells))
-			}
-			parts[w].res = gm.result
-		}(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
-
-	var total Metrics
-	var out *Result
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for w := range parts {
 		if parts[w].err != nil {
-			return nil, total, parts[w].err
+			return nil, parts[w].err
 		}
-		total.ChunksRead += parts[w].m.ChunksRead
-		total.CellsScanned += parts[w].m.CellsScanned
+	}
+	return parts, nil
+}
+
+// mergeParts folds the workers' partial cubes and counters into one
+// result. int64 aggregation is associative and the merge order is fixed
+// (worker 0 first), so the merged cube is bit-identical to a sequential
+// run whatever the interleaving was. The per-worker breakdown and the
+// efficiency figure land in the merged Metrics.
+func mergeParts(parts []workerPartial) (*Result, Metrics, error) {
+	var total Metrics
+	var out *Result
+	var busySum, busyMax time.Duration
+	for w := range parts {
+		p := &parts[w]
+		total.ChunksRead += p.m.ChunksRead
+		total.CellsScanned += p.m.CellsScanned
+		total.Probes += p.m.Probes
+		total.ProbeHits += p.m.ProbeHits
+		total.TuplesScanned += p.m.TuplesScanned
+		total.TuplesFetched += p.m.TuplesFetched
+		total.BitmapsRead += p.m.BitmapsRead
+		total.BitmapANDs += p.m.BitmapANDs
+		total.WorkerRows = append(total.WorkerRows, p.rows)
+		total.WorkerIO = append(total.WorkerIO, p.io)
+		busySum += p.busy
+		if p.busy > busyMax {
+			busyMax = p.busy
+		}
 		if out == nil {
-			out = parts[w].res
+			out = p.res
 			continue
 		}
-		if err := out.Merge(parts[w].res); err != nil {
+		if err := out.Merge(p.res); err != nil {
 			return nil, total, err
 		}
 	}
 	if out == nil {
 		return nil, total, fmt.Errorf("core: parallel consolidation produced no partials")
 	}
+	total.ParallelDegree = len(parts)
+	if busyMax > 0 {
+		total.ParallelEfficiency = float64(busySum) / (float64(len(parts)) * float64(busyMax))
+	}
 	return out, total, nil
+}
+
+// ArrayConsolidateParallel is ArrayConsolidate with the chunk scan
+// partitioned across workers — the parallelization the paper lists as
+// future work (§6). Each worker owns a cloned chunk-store cursor and a
+// private result cube; the partials merge at the end (every tracked
+// aggregate is distributive). The buffer pool is shared and thread-safe,
+// so workers contend only on page fetches.
+func ArrayConsolidateParallel(a *array.Array, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	return ArrayConsolidateParallelContext(context.Background(), a, spec, workers)
+}
+
+// ArrayConsolidateParallelContext is ArrayConsolidateParallel with
+// cancellation propagated into every worker: each partition's chunk
+// scan checks the derived context before every chunk, and the first
+// failure cancels the siblings.
+func ArrayConsolidateParallelContext(ctx context.Context, a *array.Array, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	g := a.Geometry()
+	numChunks := g.NumChunks()
+	workers = ClampWorkers(workers, numChunks)
+	if workers <= 1 {
+		return ArrayConsolidateContext(ctx, a, spec)
+	}
+	shape := g.ChunkShape()
+	n := g.NumDims()
+	parts, err := runWorkers(ctx, workers, func(ctx context.Context, w int, p *workerPartial) {
+		gm, err := newArrayGroupMapper(a, spec)
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.res = gm.result
+		store := a.Store().Clone()
+		lo := numChunks * w / workers
+		hi := numChunks * (w + 1) / workers
+		coords := make([]int, n)
+		p.err = store.ScanChunkRange(ctx, lo, hi, func(cn int, cells []chunk.Cell) error {
+			p.m.ChunksRead++
+			start := g.ChunkStart(cn)
+			for _, c := range cells {
+				off := int(c.Offset)
+				for i := n - 1; i >= 0; i-- {
+					side := shape[i]
+					coords[i] = start[i] + off%side
+					off /= side
+				}
+				gm.result.add(gm.cellIndex(coords), c.Value)
+			}
+			p.m.CellsScanned += int64(len(cells))
+			return nil
+		})
+		p.rows, p.io = p.m.CellsScanned, p.m.ChunksRead
+	})
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return mergeParts(parts)
+}
+
+// selChunkTask is one candidate chunk of the parallel selection path:
+// its chunk number plus the per-dimension positions into the selection
+// buckets, captured so a worker can rebuild the in-chunk coordinate
+// lists without re-walking the odometer.
+type selChunkTask struct {
+	cn  int
+	sel []int
+}
+
+// ArraySelectConsolidateParallelContext is ArraySelectConsolidateContext
+// with the candidate chunks fanned out to workers. The candidate list is
+// materialized once from the §4.2 cross-product enumeration; workers
+// claim chunks from an atomic dispenser (probe cost varies wildly with
+// chunk density, so static ranges would load-balance poorly), each
+// probing into a thread-local result cube merged at the end.
+func ArraySelectConsolidateParallelContext(ctx context.Context, a *array.Array, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	var m Metrics
+	lists, err := selectionIndexLists(a, sels)
+	if err != nil {
+		return nil, m, err
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			// Some predicate selected nothing: empty result, no scan.
+			gm, err := newArrayGroupMapper(a, spec)
+			if err != nil {
+				return nil, m, err
+			}
+			return gm.result, m, nil
+		}
+	}
+
+	g := a.Geometry()
+	shape := g.ChunkShape()
+	n := g.NumDims()
+	buckets := make([]dimChunkLists, n)
+	for i := range lists {
+		buckets[i] = bucketIndexList(lists[i], shape[i])
+	}
+
+	// Materialize the candidate chunks in ascending chunk-number order
+	// (the sequential enumeration order), skipping empty chunks without
+	// reading them, exactly as the sequential path does.
+	var tasks []selChunkTask
+	chunkSel := make([]int, n)
+	chunkCoords := make([]int, n)
+	store := a.Store()
+	for {
+		for i := range chunkCoords {
+			chunkCoords[i] = buckets[i].chunkCoords[chunkSel[i]]
+		}
+		if cn := g.ChunkNumber(chunkCoords); store.ChunkCells(cn) > 0 {
+			tasks = append(tasks, selChunkTask{cn: cn, sel: append([]int(nil), chunkSel...)})
+		}
+		i := n - 1
+		for ; i >= 0; i-- {
+			chunkSel[i]++
+			if chunkSel[i] < len(buckets[i].chunkCoords) {
+				break
+			}
+			chunkSel[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+
+	workers = ClampWorkers(workers, len(tasks))
+	if workers <= 1 {
+		return ArraySelectConsolidateContext(ctx, a, sels, spec)
+	}
+
+	var next atomic.Int64
+	parts, err := runWorkers(ctx, workers, func(ctx context.Context, w int, p *workerPartial) {
+		gm, err := newArrayGroupMapper(a, spec)
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.res = gm.result
+		store := a.Store().Clone()
+		coords := make([]int, n)
+		inChunkSel := make([]int, n)
+		inLists := make([][]int, n)
+		for {
+			t := next.Add(1) - 1
+			if t >= int64(len(tasks)) {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				p.err = err
+				return
+			}
+			task := tasks[t]
+			// ReadChunk (not the scratch path): the probe working set is
+			// exactly what the shared chunk cache exists to retain, matching
+			// the sequential selection path's caching behavior.
+			cells, err := store.ReadChunk(task.cn)
+			if err != nil {
+				p.err = err
+				return
+			}
+			p.m.ChunksRead++
+			for i := range inLists {
+				inLists[i] = buckets[i].inChunk[task.sel[i]]
+				inChunkSel[i] = 0
+			}
+			for {
+				offset := 0
+				for i := 0; i < n; i++ {
+					offset = offset*shape[i] + inLists[i][inChunkSel[i]]
+				}
+				p.m.Probes++
+				if v, ok := chunk.SearchCells(cells, uint32(offset)); ok {
+					p.m.ProbeHits++
+					for i := 0; i < n; i++ {
+						coords[i] = buckets[i].chunkCoords[task.sel[i]]*shape[i] + inLists[i][inChunkSel[i]]
+					}
+					gm.result.add(gm.cellIndex(coords), v)
+				}
+				i := n - 1
+				for ; i >= 0; i-- {
+					inChunkSel[i]++
+					if inChunkSel[i] < len(inLists[i]) {
+						break
+					}
+					inChunkSel[i] = 0
+				}
+				if i < 0 {
+					break
+				}
+			}
+			p.rows, p.io = p.m.ProbeHits, p.m.ChunksRead
+		}
+	})
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return mergeParts(parts)
+}
+
+// StarJoinConsolidateParallelContext is StarJoinConsolidateContext with
+// the fact scan partitioned by extent ranges across workers.
+func StarJoinConsolidateParallelContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	return starJoinParallel(ctx, ff, dims, nil, spec, workers)
+}
+
+// StarJoinSelectConsolidateParallelContext is the filtering variant of
+// StarJoinConsolidateParallelContext.
+func StarJoinSelectConsolidateParallelContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	return starJoinParallel(ctx, ff, dims, sels, spec, workers)
+}
+
+// starJoinParallel partitions the fact file into extent-aligned tuple
+// ranges — the fact file's O(1) addressing makes starting mid-file free,
+// and extent alignment means workers never share a page. The dimension
+// hash tables and selection key sets are built once and shared read-only
+// (they are write-free after construction); each worker aggregates into
+// a private clone of the result cube.
+func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	exts := ff.NumExtents()
+	workers = ClampWorkers(workers, exts)
+	if workers <= 1 {
+		return starJoin(ctx, ff, dims, sels, spec)
+	}
+	st, err := buildRelGroupState(dims, spec)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	filters, err := selectionKeySets(dims, sels)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	perExt := uint64(ff.ExtentTuples())
+	perPage := uint64(ff.TuplesPerPage())
+	n := len(dims)
+	parts, err := runWorkers(ctx, workers, func(ctx context.Context, w int, p *workerPartial) {
+		res, err := st.result.emptyClone()
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.res = res
+		local := &relGroupState{hashes: st.hashes, result: res}
+		lo := uint64(exts*w/workers) * perExt
+		hi := uint64(exts*(w+1)/workers) * perExt
+		keys := make([]int64, n)
+		agg := make(aggTable)
+		p.err = ff.ScanRange(lo, hi, func(_ uint64, rec []byte) error {
+			if p.m.TuplesScanned%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			p.m.TuplesScanned++
+			for i := range keys {
+				keys[i] = catalog.FactKey(rec, i)
+			}
+			for i, f := range filters {
+				if f != nil {
+					if _, ok := f[keys[i]]; !ok {
+						return nil
+					}
+				}
+			}
+			idx, ok := local.groupIndex(keys)
+			if !ok {
+				return nil
+			}
+			agg[idx] = struct{}{}
+			res.add(idx, catalog.FactMeasure(rec, n))
+			return nil
+		})
+		p.rows = p.m.TuplesScanned
+		p.io = int64((p.m.TuplesScanned + int64(perPage) - 1) / int64(perPage))
+	})
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return mergeParts(parts)
+}
+
+// BitmapSelectConsolidateParallelContext is BitmapSelectConsolidate-
+// Context with the bitmap word loops split across workers. Bitmap
+// retrieval and the tuple fetch stay sequential — the LOB readers are
+// not shareable and the fetch is I/O-ordered — so only the AND/OR word
+// ranges parallelize, and only when the bitmaps are large enough for
+// the split to pay (small bitmaps run the identical sequential loop,
+// with identical operation counts).
+func BitmapSelectConsolidateParallelContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
+	src BitmapIndexSource, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return bitmapSelect(ctx, ff, dims, src, sels, spec, workers)
 }

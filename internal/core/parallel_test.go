@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// parallelCase is one (selections, group spec) workload the differential
+// tests run every engine over.
+type parallelCase struct {
+	name string
+	sels []Selection
+	spec GroupSpec
+}
+
+func parallelCases() []parallelCase {
+	return []parallelCase{
+		{name: "full-scan-attrs", spec: GroupByAttrs(3, 0)},
+		{name: "full-scan-mixed", spec: GroupSpec{
+			{Target: GroupByLevel, Level: 1},
+			{Target: Collapse},
+			{Target: GroupByKey},
+		}},
+		{name: "select-single", spec: GroupByAttrs(3, 0),
+			sels: []Selection{{Dim: 0, Level: 1, Values: []string{"V0_1_0"}}}},
+		{name: "select-multi", spec: GroupByAttrs(3, 0),
+			sels: []Selection{
+				{Dim: 0, Level: 0, Values: []string{"V0_0_0", "V0_0_1"}},
+				{Dim: 2, Level: 1, Values: []string{"V2_1_0"}},
+			}},
+		{name: "select-empty", spec: GroupByAttrs(3, 0),
+			sels: []Selection{{Dim: 1, Level: 0, Values: []string{"NO_SUCH_VALUE"}}}},
+	}
+}
+
+// TestParallelEqualsSequentialAllEngines is the differential suite: for
+// every engine and every degree in {1, 2, 8}, the parallel algorithm
+// must return exactly the rows its sequential counterpart returns, and
+// the additive counters (tuples/cells scanned, probe hits) must sum to
+// the sequential totals.
+func TestParallelEqualsSequentialAllEngines(t *testing.T) {
+	fx := defaultFixture(t, 42)
+	ctx := context.Background()
+	degrees := []int{1, 2, 8}
+
+	for _, tc := range parallelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := ReferenceConsolidate(fx.ff, fx.dims, tc.sels, tc.spec)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+
+			type engineRun struct {
+				name string
+				run  func(workers int) (*Result, Metrics, error)
+			}
+			var engines []engineRun
+			if len(tc.sels) == 0 {
+				engines = append(engines,
+					engineRun{"array-scan", func(w int) (*Result, Metrics, error) {
+						return ArrayConsolidateParallelContext(ctx, fx.arr, tc.spec, w)
+					}},
+					engineRun{"starjoin", func(w int) (*Result, Metrics, error) {
+						return StarJoinConsolidateParallelContext(ctx, fx.ff, fx.dims, tc.spec, w)
+					}},
+				)
+			} else {
+				engines = append(engines,
+					engineRun{"array-select", func(w int) (*Result, Metrics, error) {
+						return ArraySelectConsolidateParallelContext(ctx, fx.arr, tc.sels, tc.spec, w)
+					}},
+					engineRun{"starjoin-select", func(w int) (*Result, Metrics, error) {
+						return StarJoinSelectConsolidateParallelContext(ctx, fx.ff, fx.dims, tc.sels, tc.spec, w)
+					}},
+					engineRun{"bitmap-select", func(w int) (*Result, Metrics, error) {
+						return BitmapSelectConsolidateParallelContext(ctx, fx.ff, fx.dims, fx.bmaps, tc.sels, tc.spec, w)
+					}},
+				)
+			}
+
+			for _, eng := range engines {
+				var seqM Metrics
+				for i, deg := range degrees {
+					res, m, err := eng.run(deg)
+					if err != nil {
+						t.Fatalf("%s degree %d: %v", eng.name, deg, err)
+					}
+					if got := res.SortedRows(); !RowsEqual(got, want) {
+						t.Fatalf("%s degree %d != reference: %s", eng.name, deg, DiffRows(got, want))
+					}
+					if i == 0 {
+						seqM = m
+						continue
+					}
+					// Work-conservation: fan-out must not scan or probe
+					// more than the sequential pass did.
+					if m.TuplesScanned != seqM.TuplesScanned {
+						t.Errorf("%s degree %d: TuplesScanned = %d, want %d",
+							eng.name, deg, m.TuplesScanned, seqM.TuplesScanned)
+					}
+					if m.CellsScanned != seqM.CellsScanned {
+						t.Errorf("%s degree %d: CellsScanned = %d, want %d",
+							eng.name, deg, m.CellsScanned, seqM.CellsScanned)
+					}
+					if m.ProbeHits != seqM.ProbeHits {
+						t.Errorf("%s degree %d: ProbeHits = %d, want %d",
+							eng.name, deg, m.ProbeHits, seqM.ProbeHits)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelClampNoIdleWorkers asks for an absurd degree on a tiny
+// fixture and asserts (a) it completes — no idle worker can deadlock the
+// merge — and (b) the recorded degree was clamped to the available work
+// units, so no spawned worker had nothing to do.
+func TestParallelClampNoIdleWorkers(t *testing.T) {
+	fx := defaultFixture(t, 43)
+	ctx := context.Background()
+	const degree = 1000
+
+	res, m, err := ArrayConsolidateParallelContext(ctx, fx.arr, GroupByAttrs(3, 0), degree)
+	if err != nil {
+		t.Fatalf("array: %v", err)
+	}
+	if units := fx.arr.Geometry().NumChunks(); m.ParallelDegree > units {
+		t.Errorf("array degree %d ran, but only %d chunks exist", m.ParallelDegree, units)
+	}
+	want, err := ReferenceConsolidate(fx.ff, fx.dims, nil, GroupByAttrs(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.SortedRows(); !RowsEqual(got, want) {
+		t.Fatalf("clamped array run != reference: %s", DiffRows(got, want))
+	}
+
+	res2, m2, err := StarJoinConsolidateParallelContext(ctx, fx.ff, fx.dims, GroupByAttrs(3, 0), degree)
+	if err != nil {
+		t.Fatalf("starjoin: %v", err)
+	}
+	if units := fx.ff.NumExtents(); m2.ParallelDegree > units {
+		t.Errorf("starjoin degree %d ran, but only %d extents exist", m2.ParallelDegree, units)
+	}
+	if got := res2.SortedRows(); !RowsEqual(got, want) {
+		t.Fatalf("clamped starjoin run != reference: %s", DiffRows(got, want))
+	}
+}
+
+// TestClampWorkers pins the clamp arithmetic.
+func TestClampWorkers(t *testing.T) {
+	cases := []struct{ workers, units, wantMax int }{
+		{4, 2, 2},   // capped at units
+		{4, 100, 4}, // unchanged
+		{1, 100, 1}, // sequential stays sequential
+		{7, 0, 1},   // no units -> 1
+	}
+	for _, c := range cases {
+		if got := ClampWorkers(c.workers, c.units); got != c.wantMax {
+			t.Errorf("ClampWorkers(%d, %d) = %d, want %d", c.workers, c.units, got, c.wantMax)
+		}
+	}
+	// 0 and negative resolve to GOMAXPROCS then clamp; with 1 unit the
+	// answer is always 1.
+	if got := ClampWorkers(0, 1); got != 1 {
+		t.Errorf("ClampWorkers(0, 1) = %d, want 1", got)
+	}
+	if got := ClampWorkers(-3, 1); got != 1 {
+		t.Errorf("ClampWorkers(-3, 1) = %d, want 1", got)
+	}
+}
+
+// TestParallelCancelPropagates cancels the context before the run and
+// asserts every parallel algorithm surfaces context.Canceled instead of
+// returning a partial result.
+func TestParallelCancelPropagates(t *testing.T) {
+	fx := defaultFixture(t, 44)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sels := []Selection{{Dim: 0, Level: 1, Values: []string{"V0_1_0"}}}
+	spec := GroupByAttrs(3, 0)
+
+	runs := []struct {
+		name string
+		run  func() error
+	}{
+		{"array-scan", func() error {
+			_, _, err := ArrayConsolidateParallelContext(ctx, fx.arr, spec, 4)
+			return err
+		}},
+		{"array-select", func() error {
+			_, _, err := ArraySelectConsolidateParallelContext(ctx, fx.arr, sels, spec, 4)
+			return err
+		}},
+		{"starjoin", func() error {
+			_, _, err := StarJoinConsolidateParallelContext(ctx, fx.ff, fx.dims, spec, 4)
+			return err
+		}},
+		{"starjoin-select", func() error {
+			_, _, err := StarJoinSelectConsolidateParallelContext(ctx, fx.ff, fx.dims, sels, spec, 4)
+			return err
+		}},
+	}
+	for _, r := range runs {
+		if err := r.run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.name, err)
+		}
+	}
+}
+
+// TestParallelDegreeRecorded asserts a genuinely parallel run records
+// its degree, per-worker rows, and an efficiency in (0, 1].
+func TestParallelDegreeRecorded(t *testing.T) {
+	fx := defaultFixture(t, 45)
+	res, m, err := ArrayConsolidateParallelContext(context.Background(), fx.arr, GroupByAttrs(3, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if m.ParallelDegree != 2 {
+		t.Fatalf("ParallelDegree = %d, want 2", m.ParallelDegree)
+	}
+	if len(m.WorkerRows) != 2 || len(m.WorkerIO) != 2 {
+		t.Fatalf("worker slices = %v / %v, want length 2", m.WorkerRows, m.WorkerIO)
+	}
+	if m.ParallelEfficiency <= 0 || m.ParallelEfficiency > 1 {
+		t.Fatalf("ParallelEfficiency = %v, want in (0, 1]", m.ParallelEfficiency)
+	}
+}

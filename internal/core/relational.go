@@ -303,6 +303,16 @@ func BitmapSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
 // cancelCheckInterval fetched tuples.
 func BitmapSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
 	src BitmapIndexSource, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	return bitmapSelect(ctx, ff, dims, src, sels, spec, 1)
+}
+
+// bitmapSelect is the §4.5 algorithm with a parallel degree for the
+// bitmap word loops: workers > 1 splits each AND/OR across word ranges
+// (bitmap.ParallelAnd/Or fall back to the sequential loop on small
+// bitmaps, so operation counts never depend on the degree). Retrieval
+// and fetch are inherently sequential here.
+func bitmapSelect(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
+	src BitmapIndexSource, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
 	var m Metrics
 	st, err := buildRelGroupState(dims, spec)
 	if err != nil {
@@ -333,11 +343,11 @@ func BitmapSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims
 			}
 			if ok {
 				m.BitmapsRead++
-				merged.Or(bm)
+				merged.ParallelOr(bm, workers)
 				m.BitmapANDs++
 			}
 		}
-		result.And(merged)
+		result.ParallelAnd(merged, workers)
 		m.BitmapANDs++
 	}
 

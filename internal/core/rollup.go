@@ -30,6 +30,14 @@ func (r *Result) EachCell(fn func(coords []int, row Row) error) error {
 	return nil
 }
 
+// emptyClone allocates a zeroed result with the same grouping shape and
+// the same (shared, read-only) label slices — the thread-local partial
+// accumulator of one parallel worker, guaranteed Merge-compatible with
+// its siblings.
+func (r *Result) emptyClone() (*Result, error) {
+	return newResult(r.groupDims, r.labels)
+}
+
 // Merge folds other into r cell by cell. Both results must come from the
 // same grouping (identical group dimensions and labels); the parallel
 // consolidation merges per-worker partial results this way.

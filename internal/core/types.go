@@ -255,6 +255,18 @@ type Metrics struct {
 	EstCostIO  float64 // predicted page reads
 	EstCostCPU float64 // predicted CPU work, in page-read equivalents
 	EstRows    int64   // predicted qualifying fact tuples
+
+	// Intra-query parallelism. ParallelDegree is the number of workers
+	// that actually ran (0 or 1 = sequential); WorkerRows and WorkerIO
+	// carry the per-worker row/chunk-read breakdown, in worker order.
+	// ParallelEfficiency is total worker busy time divided by
+	// degree x the slowest worker's busy time: 1.0 means perfectly
+	// balanced partitions, lower values mean workers idled at the merge
+	// barrier.
+	ParallelDegree     int     `json:",omitempty"`
+	WorkerRows         []int64 `json:",omitempty"`
+	WorkerIO           []int64 `json:",omitempty"`
+	ParallelEfficiency float64 `json:",omitempty"`
 }
 
 // keyLabel renders a dimension key as a group label.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/cache"
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/factfile"
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -32,6 +33,9 @@ type ExecContext struct {
 	// Shared query instruments: one histogram of wall times plus one
 	// counter per engine family, recorded by every executor's Execute.
 	queryLatency *obs.Histogram
+	// parallelEff records the per-query parallel efficiency (busy-time
+	// balance across workers) for queries that actually fanned out.
+	parallelEff *obs.Histogram
 
 	mu   sync.Mutex
 	gen  uint64 // bumped by InvalidateHandles; lets callers spot stale handles
@@ -64,11 +68,17 @@ func NewExecContext(bp *storage.BufferPool, cat *catalog.Catalog) *ExecContext {
 		"bitmap AND/OR/ANDNOT/NOT operations (process-wide)", bitmap.LogicalOps)
 	reg.CounterFunc("bitmap_index_reads_total",
 		"bitmaps fetched from stored join indexes (process-wide)", bitmap.IndexReads)
+	reg.GaugeFunc("parallel_workers_in_use",
+		"intra-query workers currently running (process-wide)",
+		func() float64 { return float64(core.ActiveWorkers()) })
 	return &ExecContext{
 		bp:           bp,
 		cat:          cat,
 		reg:          reg,
 		queryLatency: reg.Histogram("query_seconds", "query wall time", nil),
+		parallelEff: reg.Histogram("parallel_efficiency",
+			"per-query parallel efficiency: worker busy-time sum / (degree x slowest worker)",
+			[]float64{0.25, 0.5, 0.75, 0.9, 0.95, 1}),
 	}
 }
 

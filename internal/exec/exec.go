@@ -121,6 +121,10 @@ type Executor struct {
 	// session-level CACHE OFF switch). Atomic because a server session's
 	// option frames race its in-flight query goroutines.
 	cacheOff atomic.Bool
+
+	// parallel is the session's intra-query parallel degree (the
+	// PARALLEL n option): 0 = default to GOMAXPROCS, 1 = sequential.
+	parallel atomic.Int32
 }
 
 // NewExecutor creates an executor with its own fresh ExecContext.
@@ -359,6 +363,9 @@ func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, spec *query.Spec,
 	tr.End()
 	qr.Trace = tr
 	e.ctx.recordQuery(plan.Engine(), qr.Elapsed.Seconds())
+	if metrics.ParallelDegree > 1 {
+		e.ctx.parallelEff.Observe(metrics.ParallelEfficiency)
+	}
 
 	if spec.Analyze {
 		plan.Annotate(&expl.Tree, RunStats{

@@ -37,6 +37,10 @@ type Explanation struct {
 	// Selectivity is the estimated combined selectivity S of the
 	// query's selections (1 when there are none or no statistics).
 	Selectivity float64
+	// Degree is the intra-query parallel degree the chosen plan will run
+	// with: the session's setting clamped to the plan's work units
+	// (chunks / extents). 1 means sequential.
+	Degree int
 	// Candidates lists every runnable plan, cheapest first when
 	// CostBased (the chosen one is marked).
 	Candidates []Candidate
@@ -67,7 +71,11 @@ func (x *Explanation) String() string {
 	if x.Analyzed {
 		mode += ", analyzed"
 	}
-	fmt.Fprintf(&b, "plan: %s  engine=%s  S=%.6g  [%s]\n", x.Chosen, x.Engine, x.Selectivity, mode)
+	fmt.Fprintf(&b, "plan: %s  engine=%s  S=%.6g", x.Chosen, x.Engine, x.Selectivity)
+	if x.Degree > 1 {
+		fmt.Fprintf(&b, "  parallel=%d", x.Degree)
+	}
+	fmt.Fprintf(&b, "  [%s]\n", mode)
 	if x.CacheHit {
 		fmt.Fprintf(&b, "cache: hit (epoch %d)\n", x.CacheEpoch)
 	}
@@ -126,9 +134,10 @@ func (e *Executor) plan(spec *query.Spec, engine Engine) (Plan, *Explanation, er
 	schema := cat.Schema
 	st := cat.Stats
 
-	newArray := func() Plan { return &arrayPlan{spec: spec, schema: schema} }
-	newStar := func() Plan { return &starJoinPlan{spec: spec, schema: schema} }
-	newBitmap := func() Plan { return &bitmapPlan{spec: spec, schema: schema, cat: cat} }
+	deg := e.parallelDegree()
+	newArray := func() Plan { return &arrayPlan{spec: spec, schema: schema, degree: deg} }
+	newStar := func() Plan { return &starJoinPlan{spec: spec, schema: schema, degree: deg} }
+	newBitmap := func() Plan { return &bitmapPlan{spec: spec, schema: schema, cat: cat, degree: deg} }
 
 	var chosen Plan
 	forced := engine != Auto
@@ -209,6 +218,10 @@ func (e *Executor) explain(spec *query.Spec, chosen Plan, plans []Plan, forced b
 		sort.SliceStable(x.Candidates, func(i, j int) bool {
 			return x.Candidates[i].Cost.Total() < x.Candidates[j].Cost.Total()
 		})
+	}
+	x.Degree = 1
+	if pa, ok := chosen.(interface{ chosenDegree() int }); ok {
+		x.Degree = pa.chosenDegree()
 	}
 	x.Tree = chosen.Explain()
 	return x

@@ -152,11 +152,16 @@ func selectionDetail(schema *catalog.StarSchema, s core.Selection) string {
 type arrayPlan struct {
 	spec   *query.Spec
 	schema *catalog.StarSchema
+	// degree is the session's parallel degree, injected by the planner;
+	// 0 (a plan built outside the executor) means sequential. estDeg is
+	// the degree clamped to this plan's work units by Estimate.
+	degree int
 
 	est        Cost
 	estSel     float64
 	estChunks  float64 // chunks predicted to be read (select path)
 	estProbes  float64 // candidate cells predicted to be probed
+	estDeg     int
 	haveEst    bool
 	totalChunk int
 }
@@ -179,10 +184,13 @@ func (p *arrayPlan) Estimate(st *catalog.Stats) Cost {
 	p.totalChunk = a.NumChunks
 	if len(p.spec.Selections) == 0 {
 		// Full consolidation decodes every chunk: the compressed payload
-		// is the I/O, one aggregation step per valid cell is the CPU.
+		// is the I/O, one aggregation step per valid cell is the CPU. The
+		// CPU divides across the chunk-parallel workers; the I/O does not
+		// (the buffer pool is shared).
+		p.estDeg = clampUnits(p.degree, a.NumChunks)
 		p.est = Cost{
 			IO:   float64(a.EncodedBytes) / storage.PageSize,
-			CPU:  float64(a.ValidCells) * cpuCellCost,
+			CPU:  float64(a.ValidCells) * cpuCellCost / float64(p.estDeg),
 			Rows: a.ValidCells,
 		}
 		p.estSel = 1
@@ -221,14 +229,26 @@ func (p *arrayPlan) Estimate(st *catalog.Stats) Cost {
 	}
 	p.estChunks = candChunks
 	p.estProbes = candCells
+	p.estDeg = clampUnits(p.degree, int(candChunks))
 
 	perChunk := float64(a.EncodedBytes) / storage.PageSize / float64(a.NumChunks)
 	p.est = Cost{
 		IO:   candChunks*perChunk + float64(values)*btreeProbeIO,
-		CPU:  candCells * cpuProbeCost,
+		CPU:  candCells * cpuProbeCost / float64(p.estDeg),
 		Rows: int64(p.estSel*float64(a.ValidCells) + 0.5),
 	}
 	return p.est
+}
+
+// chosenDegree reports the parallel degree EXPLAIN shows for this plan.
+func (p *arrayPlan) chosenDegree() int {
+	if p.estDeg > 0 {
+		return p.estDeg
+	}
+	if p.degree > 0 {
+		return p.degree
+	}
+	return 1
 }
 
 func (p *arrayPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, core.Metrics, error) {
@@ -236,8 +256,18 @@ func (p *arrayPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, cor
 	if err != nil {
 		return nil, core.Metrics{}, err
 	}
+	deg := p.degree
+	if deg < 1 {
+		deg = 1 // plans built outside the executor run sequentially
+	}
 	if len(p.spec.Selections) > 0 {
+		if deg > 1 {
+			return core.ArraySelectConsolidateParallelContext(ctx, arr, p.spec.Selections, p.spec.Group, deg)
+		}
 		return core.ArraySelectConsolidateContext(ctx, arr, p.spec.Selections, p.spec.Group)
+	}
+	if deg > 1 {
+		return core.ArrayConsolidateParallelContext(ctx, arr, p.spec.Group, deg)
 	}
 	return core.ArrayConsolidateContext(ctx, arr, p.spec.Group)
 }
@@ -288,12 +318,23 @@ func (p *arrayPlan) Annotate(d *PlanDesc, rs RunStats) {
 	if len(p.spec.Selections) == 0 {
 		// array-scan: every valid cell visited once.
 		c.ActRows = m.CellsScanned
-		c.ActDetail = fmt.Sprintf("chunks=%d", m.ChunksRead)
+		c.ActDetail = fmt.Sprintf("chunks=%d", m.ChunksRead) + parallelDetail(m)
 		return
 	}
 	// array-probe: candidate cells probed, hits survive.
 	c.ActRows = m.ProbeHits
 	c.ActDetail = fmt.Sprintf("chunks=%d probes=%d hits=%d", m.ChunksRead, m.Probes, m.ProbeHits)
+	c.ActDetail += parallelDetail(m)
+}
+
+// parallelDetail renders the per-worker breakdown for EXPLAIN ANALYZE,
+// empty for sequential runs so existing output is byte-identical.
+func parallelDetail(m core.Metrics) string {
+	if m.ParallelDegree <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(" workers=%d eff=%.2f rows/worker=%v io/worker=%v",
+		m.ParallelDegree, m.ParallelEfficiency, m.WorkerRows, m.WorkerIO)
 }
 
 // starJoinPlan evaluates relationally with the StarJoin operator (§4.3),
@@ -301,9 +342,11 @@ func (p *arrayPlan) Annotate(d *PlanDesc, rs RunStats) {
 type starJoinPlan struct {
 	spec   *query.Spec
 	schema *catalog.StarSchema
+	degree int
 
 	est    Cost
 	estSel float64
+	estDeg int
 }
 
 func (p *starJoinPlan) Name() string {
@@ -319,13 +362,26 @@ func (p *starJoinPlan) Estimate(st *catalog.Stats) Cost {
 	fr := selectionFractions(st, len(st.Dimensions), p.spec.Selections)
 	p.estSel = combinedSelectivity(fr)
 	// The star join always scans the whole fact file and hashes every
-	// dimension, whatever the selectivity.
+	// dimension, whatever the selectivity. The per-tuple join/group CPU
+	// divides across extent-partitioned workers.
+	p.estDeg = clampUnits(p.degree, extentUnits(st.FactPages))
 	p.est = Cost{
 		IO:   float64(st.FactPages + st.DimensionPages()),
-		CPU:  float64(st.FactTuples) * cpuTupleCost,
+		CPU:  float64(st.FactTuples) * cpuTupleCost / float64(p.estDeg),
 		Rows: int64(p.estSel*float64(st.FactTuples) + 0.5),
 	}
 	return p.est
+}
+
+// chosenDegree reports the parallel degree EXPLAIN shows for this plan.
+func (p *starJoinPlan) chosenDegree() int {
+	if p.estDeg > 0 {
+		return p.estDeg
+	}
+	if p.degree > 0 {
+		return p.degree
+	}
+	return 1
 }
 
 func (p *starJoinPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, core.Metrics, error) {
@@ -337,8 +393,18 @@ func (p *starJoinPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, 
 	if err != nil {
 		return nil, core.Metrics{}, err
 	}
+	deg := p.degree
+	if deg < 1 {
+		deg = 1
+	}
 	if len(p.spec.Selections) > 0 {
+		if deg > 1 {
+			return core.StarJoinSelectConsolidateParallelContext(ctx, ff, dims, p.spec.Selections, p.spec.Group, deg)
+		}
 		return core.StarJoinSelectConsolidateContext(ctx, ff, dims, p.spec.Selections, p.spec.Group)
+	}
+	if deg > 1 {
+		return core.StarJoinConsolidateParallelContext(ctx, ff, dims, p.spec.Group, deg)
 	}
 	return core.StarJoinConsolidateContext(ctx, ff, dims, p.spec.Group)
 }
@@ -376,6 +442,7 @@ func (p *starJoinPlan) Annotate(d *PlanDesc, rs RunStats) {
 	c.Analyzed = true
 	c.ActRows = rs.Metrics.TuplesScanned
 	c.ActIO = float64(rs.IO.PhysicalReads)
+	c.ActDetail = parallelDetail(rs.Metrics)
 }
 
 // bitmapPlan evaluates selections with the bitmap-index + fact-file
@@ -386,6 +453,10 @@ type bitmapPlan struct {
 	spec   *query.Spec
 	schema *catalog.StarSchema
 	cat    *catalog.Catalog
+	// degree only splits the bitmap word loops; retrieval and the fetch
+	// are sequential, so the plan neither claims a CPU discount nor
+	// reports a parallel degree in EXPLAIN.
+	degree int
 
 	est     Cost
 	estSel  float64
@@ -447,6 +518,9 @@ func (p *bitmapPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, co
 	src := &core.LOBBitmapSource{
 		Lob:  storage.NewLOBStore(ec.BufferPool()),
 		Refs: ec.Catalog().BitmapIndexes,
+	}
+	if p.degree > 1 {
+		return core.BitmapSelectConsolidateParallelContext(ctx, ff, dims, src, p.spec.Selections, p.spec.Group, p.degree)
 	}
 	return core.BitmapSelectConsolidateContext(ctx, ff, dims, src, p.spec.Selections, p.spec.Group)
 }

@@ -156,6 +156,18 @@ func (f *File) RecordSize() int { return f.recSize }
 // NumTuples reports the number of records in the file.
 func (f *File) NumTuples() uint64 { return f.numTuples }
 
+// NumExtents reports the number of allocated extents.
+func (f *File) NumExtents() int { return len(f.extents) }
+
+// TuplesPerPage reports how many records fit on one page.
+func (f *File) TuplesPerPage() int { return f.recsPage }
+
+// ExtentTuples reports the tuple capacity of one extent — the natural
+// alignment for partitioning a parallel scan, since tuple number maps
+// arithmetically to (extent, page, offset) and ranges cut on extent
+// boundaries never share pages across workers.
+func (f *File) ExtentTuples() int { return f.recsExt }
+
 // SizeBytes reports the on-disk footprint: header, directory overflow
 // pages, and all extent pages.
 func (f *File) SizeBytes() int64 {
@@ -342,15 +354,25 @@ func (f *File) Get(tup uint64, out []byte) ([]byte, error) {
 // slice aliases the page and is valid only during the call. Return
 // ErrStopScan from fn to stop early without error.
 func (f *File) Scan(fn func(tup uint64, rec []byte) error) error {
-	var tup uint64
-	for tup < f.numTuples {
-		page, _ := f.locate(tup)
+	return f.ScanRange(0, f.numTuples, fn)
+}
+
+// ScanRange invokes fn for every record with lo <= tup < hi in tuple-
+// number order, with the same callback contract as Scan. hi is clamped
+// to the file's tuple count. Workers of a partitioned StarJoin each scan
+// one disjoint range; the O(1) locate makes starting mid-file free.
+func (f *File) ScanRange(lo, hi uint64, fn func(tup uint64, rec []byte) error) error {
+	if hi > f.numTuples {
+		hi = f.numTuples
+	}
+	tup := lo
+	for tup < hi {
+		page, off := f.locate(tup)
 		buf, err := f.bp.FetchPage(page)
 		if err != nil {
 			return err
 		}
-		off := 0
-		for off+f.recSize <= storage.PageSize && tup < f.numTuples {
+		for off+f.recSize <= storage.PageSize && tup < hi {
 			if err := fn(tup, buf[off:off+f.recSize]); err != nil {
 				f.bp.Unpin(page, false)
 				if errors.Is(err, ErrStopScan) {

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/client"
+)
+
+// TestServerParallelOption exercises the PARALLEL session option over
+// the wire: setting a degree, running queries at it, resetting to the
+// server default, and the protocol error for a bad value.
+func TestServerParallelOption(t *testing.T) {
+	srv, db := startServer(t, Config{Workers: 1})
+	want, err := db.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := client.Dial(srv.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	for _, deg := range []int{4, 2, 0} { // 0 resets to the server default
+		if err := conn.SetParallel(context.Background(), deg); err != nil {
+			t.Fatalf("SetParallel(%d): %v", deg, err)
+		}
+		res, err := conn.Query(context.Background(), retailQuery, client.Auto)
+		if err != nil {
+			t.Fatalf("query at degree %d: %v", deg, err)
+		}
+		if len(res.Rows) != len(want.Rows) {
+			t.Fatalf("degree %d rows = %d, want %d", deg, len(res.Rows), len(want.Rows))
+		}
+		for i, r := range res.Rows {
+			w := want.Rows[i]
+			if r.Sum != w.Sum || fmt.Sprint(r.Groups) != fmt.Sprint(w.Groups) {
+				t.Fatalf("degree %d row %d = %+v, want %+v", deg, i, r, w)
+			}
+		}
+	}
+
+	// A malformed degree is a protocol error and the connection survives.
+	if err := conn.SetOption(context.Background(), "PARALLEL", "lots"); !client.IsCode(err, client.CodeProtocol) {
+		t.Fatalf("bad PARALLEL value err = %v, want CodeProtocol", err)
+	}
+	if err := conn.SetParallel(context.Background(), -1); err == nil {
+		t.Fatal("negative degree must fail client-side")
+	}
+	if _, err := conn.Query(context.Background(), retailQuery, client.Auto); err != nil {
+		t.Fatalf("query after option error: %v", err)
+	}
+}

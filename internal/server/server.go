@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"net"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,10 @@ type Config struct {
 	SlowQueryLog *slog.Logger
 	// SlowQueryMin is the slow-query threshold.
 	SlowQueryMin time.Duration
+	// Workers is the default intra-query parallel degree applied to each
+	// new session; 0 leaves the engine default (GOMAXPROCS), 1 forces
+	// sequential execution. Sessions override it with PARALLEL n.
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -193,6 +198,9 @@ func (s *Server) acceptLoop() {
 		}
 		if s.cfg.SlowQueryLog != nil {
 			c.sess.SetSlowQueryLog(s.cfg.SlowQueryLog, s.cfg.SlowQueryMin)
+		}
+		if s.cfg.Workers > 0 {
+			c.sess.SetParallel(s.cfg.Workers)
 		}
 		c.ctx, c.cancel = context.WithCancel(context.Background())
 		s.mu.Lock()
@@ -437,9 +445,9 @@ out:
 	c.qwg.Wait() // let query goroutines finish their final writes
 }
 
-// handleSetOption applies one session option. Only CACHE on|off exists;
-// the session switch takes effect for the next query (an in-flight
-// query keeps the setting it started with).
+// handleSetOption applies one session option: CACHE on|off or
+// PARALLEL n. The session switch takes effect for the next query (an
+// in-flight query keeps the setting it started with).
 func (c *conn) handleSetOption(so *wire.SetOption) {
 	switch strings.ToUpper(so.Name) {
 	case "CACHE":
@@ -453,6 +461,18 @@ func (c *conn) handleSetOption(so *wire.SetOption) {
 				fmt.Sprintf("bad value %q for option CACHE (want on|off)", so.Value))
 			return
 		}
+	case "PARALLEL":
+		n, err := strconv.Atoi(strings.TrimSpace(so.Value))
+		if err != nil || n < 0 {
+			c.writeError(so.ID, wire.CodeProtocol,
+				fmt.Sprintf("bad value %q for option PARALLEL (want a non-negative integer)", so.Value))
+			return
+		}
+		if n == 0 && c.srv.cfg.Workers > 0 {
+			// 0 resets to the server's configured default, not GOMAXPROCS.
+			n = c.srv.cfg.Workers
+		}
+		c.sess.SetParallel(n)
 	default:
 		c.writeError(so.ID, wire.CodeProtocol, fmt.Sprintf("unknown session option %q", so.Name))
 		return

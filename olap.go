@@ -302,6 +302,13 @@ func (db *DB) EnableQueryCache(totalBytes int64) {
 	db.ex.Context().EnableQueryCache(totalBytes)
 }
 
+// SetParallel sets the intra-query parallel degree for queries run on
+// the DB handle itself: the number of workers one query's operator
+// loops may fan out to. 0 (the default) means GOMAXPROCS; 1 forces
+// sequential execution. Sessions carry their own degree
+// (Session.SetParallel). The degree never changes results.
+func (db *DB) SetParallel(workers int) { db.ex.SetParallel(workers) }
+
 // Registry returns the metrics registry every layer of this database
 // reports into. Callers may register their own instruments on it.
 func (db *DB) Registry() *obs.Registry { return db.ex.Context().Registry() }

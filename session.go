@@ -76,6 +76,17 @@ func (s *Session) ExplainOnContext(ctx context.Context, sql string, engine Engin
 // has no cache configured.
 func (s *Session) SetCache(on bool) { s.ex.SetCacheEnabled(on) }
 
+// SetParallel sets this session's intra-query parallel degree (the wire
+// protocol's PARALLEL n option): the number of workers a single query's
+// operator loops may fan out to. 0 (the default) means GOMAXPROCS; 1
+// forces sequential execution. The degree is clamped to the chosen
+// plan's work units and never changes results.
+func (s *Session) SetParallel(workers int) { s.ex.SetParallel(workers) }
+
+// Parallel reports the session's configured parallel degree (0 =
+// default to GOMAXPROCS at plan time).
+func (s *Session) Parallel() int { return s.ex.Parallel() }
+
 // SetSlowQueryLog enables structured slow-query logging for this
 // session's queries: those at or above min are reported to l with their
 // SQL, plan, counters, and I/O. A nil logger disables it. Metrics
