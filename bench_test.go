@@ -209,6 +209,7 @@ func BenchmarkStorage(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = arr.Store().EncodedBytes()
 	}
@@ -242,6 +243,7 @@ func BenchmarkCube(b *testing.B) {
 	}
 	spec := env.Query1Spec()
 	b.Run("lattice", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.ArrayCube(arr, spec.Group); err != nil {
 				b.Fatal(err)
@@ -249,6 +251,7 @@ func BenchmarkCube(b *testing.B) {
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.CubeNaive(arr, spec.Group); err != nil {
 				b.Fatal(err)
@@ -269,6 +272,7 @@ func BenchmarkParallelConsolidate(b *testing.B) {
 	spec := env.Query1Spec()
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.ArrayConsolidateParallel(arr, spec.Group, workers); err != nil {
 					b.Fatal(err)
@@ -326,6 +330,7 @@ func BenchmarkAblationEnumeration(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("chunk-ordered", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := env.Ex.DropCaches(); err != nil {
 				b.Fatal(err)
@@ -336,6 +341,7 @@ func BenchmarkAblationEnumeration(b *testing.B) {
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := env.Ex.DropCaches(); err != nil {
 				b.Fatal(err)

@@ -35,6 +35,15 @@ echo "== parallel differential suite under -race (GOMAXPROCS=4) =="
 GOMAXPROCS=4 go test -race -count=1 -run 'Parallel|ClampWorkers' \
     ./internal/core/... ./internal/exec/... ./internal/bitmap/... ./internal/server/...
 
+echo "== warm arena decode allocates nothing =="
+go test -run TestWarmDecodeZeroAlloc -count=1 ./internal/chunk/
+
+echo "== replacer differential + stress under -race =="
+go test -race -count=1 -run 'Replacer' ./internal/storage/
+
+echo "== arena package under gccheckmark =="
+GODEBUG=gccheckmark=1 go test -count=1 ./internal/arena/
+
 echo "== olapd server smoke =="
 smokedir=$(mktemp -d)
 cleanup_smoke() {
@@ -47,8 +56,10 @@ go build -o "$smokedir/olapd" ./cmd/olapd
 go build -o "$smokedir/olapcli" ./cmd/olapcli
 "$smokedir/olapgen" -out "$smokedir/smoke.db" -dims 10x10x10 -density 0.2 >/dev/null
 
+# -replacer 2q exercises the non-default buffer replacement policy
+# end-to-end through the flag, Open, and the query path.
 "$smokedir/olapd" -db "$smokedir/smoke.db" -listen 127.0.0.1:0 -obs 127.0.0.1:0 \
-    -cache-mb 16 2>"$smokedir/olapd.log" &
+    -cache-mb 16 -replacer 2q 2>"$smokedir/olapd.log" &
 olapd_pid=$!
 addr=""
 for _ in $(seq 1 100); do

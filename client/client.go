@@ -154,27 +154,30 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		nc.Close()
 		return nil, err
 	}
-	t, payload, err := wire.ReadFrame(c.br)
+	t, fb, err := wire.ReadFrameBuffer(c.br)
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
 	switch t {
 	case wire.FrameHelloAck:
-		ack, err := wire.DecodeHelloAck(payload)
+		ack, err := wire.DecodeHelloAck(fb.Bytes())
+		fb.Release()
 		if err != nil {
 			nc.Close()
 			return nil, err
 		}
 		c.server = ack.Server
 	case wire.FrameError:
-		ef, err := wire.DecodeError(payload)
+		ef, err := wire.DecodeError(fb.Bytes())
+		fb.Release()
 		nc.Close()
 		if err != nil {
 			return nil, err
 		}
 		return nil, &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
 	default:
+		fb.Release()
 		nc.Close()
 		return nil, fmt.Errorf("client: handshake: unexpected %s frame", t)
 	}
@@ -199,15 +202,16 @@ func (c *Conn) writeFrame(t wire.FrameType, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame under whatever read deadline is armed; a
-// failure (including a deadline hit) breaks the connection, since the
-// stream may be desynchronized mid-frame.
-func (c *Conn) readFrame() (wire.FrameType, []byte, error) {
-	t, payload, err := wire.ReadFrame(c.br)
+// readFrame reads one frame into a pooled buffer under whatever read
+// deadline is armed; a failure (including a deadline hit) breaks the
+// connection, since the stream may be desynchronized mid-frame. The
+// caller must Release the buffer once the payload is decoded.
+func (c *Conn) readFrame() (wire.FrameType, *wire.Buffer, error) {
+	t, fb, err := wire.ReadFrameBuffer(c.br)
 	if err != nil {
 		c.broken.Store(true)
 	}
-	return t, payload, err
+	return t, fb, err
 }
 
 // Ping round-trips a Ping frame; an error means the connection is dead.
@@ -220,10 +224,11 @@ func (c *Conn) Ping() error {
 	if err := c.writeFrame(wire.FramePing, nil); err != nil {
 		return err
 	}
-	t, _, err := c.readFrame()
+	t, fb, err := c.readFrame()
 	if err != nil {
 		return err
 	}
+	fb.Release() // pong carries no payload
 	if t != wire.FramePong {
 		c.broken.Store(true)
 		return fmt.Errorf("client: expected pong, got %s", t)
@@ -250,20 +255,21 @@ func (c *Conn) SetOption(ctx context.Context, name, value string) error {
 	if err := c.writeFrame(wire.FrameSetOption, so.Encode()); err != nil {
 		return err
 	}
-	t, payload, err := c.readFrame()
+	t, fb, err := c.readFrame()
 	if err != nil {
 		return err
 	}
+	defer fb.Release()
 	switch t {
 	case wire.FrameOptionAck:
-		ack, err := wire.DecodeOptionAck(payload)
+		ack, err := wire.DecodeOptionAck(fb.Bytes())
 		if err != nil || ack.ID != id {
 			c.broken.Store(true)
 			return fmt.Errorf("client: bad option ack: %v", err)
 		}
 		return nil
 	case wire.FrameError:
-		ef, err := wire.DecodeError(payload)
+		ef, err := wire.DecodeError(fb.Bytes())
 		if err != nil {
 			c.broken.Store(true)
 			return err
@@ -367,7 +373,7 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 	var batchErr error
 	batchCanceled := false
 	for {
-		t, payload, err := c.readFrame()
+		t, fb, err := c.readFrame()
 		if err != nil {
 			if ctx.Err() != nil { // grace expired with no acknowledgement
 				return ctx.Err()
@@ -375,9 +381,12 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 			return err
 		}
 		draining := batchCanceled || ctx.Err() != nil
+		// Each arm decodes then releases the pooled payload immediately;
+		// the wire decoders copy everything they retain.
 		switch t {
 		case wire.FrameResultHeader:
-			h, err := wire.DecodeResultHeader(payload)
+			h, err := wire.DecodeResultHeader(fb.Bytes())
+			fb.Release()
 			if err != nil || h.ID != id {
 				c.broken.Store(true)
 				return fmt.Errorf("client: bad result header: %v", err)
@@ -387,7 +396,8 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 			hdr.GroupAttrs = h.GroupAttrs
 			hdr.Aggs = h.Aggs
 		case wire.FrameRowBatch:
-			rb, err := wire.DecodeRowBatch(payload)
+			rb, err := wire.DecodeRowBatch(fb.Bytes())
+			fb.Release()
 			if err != nil || rb.ID != id {
 				c.broken.Store(true)
 				return fmt.Errorf("client: bad row batch: %v", err)
@@ -406,7 +416,8 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 				c.nc.SetReadDeadline(time.Now().Add(c.cfg.CancelGrace))
 			}
 		case wire.FrameResultDone:
-			d, err := wire.DecodeResultDone(payload)
+			d, err := wire.DecodeResultDone(fb.Bytes())
+			fb.Release()
 			if err != nil || d.ID != id {
 				c.broken.Store(true)
 				return fmt.Errorf("client: bad result done: %v", err)
@@ -422,7 +433,8 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 			hdr.Elapsed = time.Duration(d.ElapsedNS)
 			return nil
 		case wire.FrameError:
-			ef, err := wire.DecodeError(payload)
+			ef, err := wire.DecodeError(fb.Bytes())
+			fb.Release()
 			if err != nil {
 				c.broken.Store(true)
 				return err
@@ -435,6 +447,7 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 			}
 			return &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
 		default:
+			fb.Release()
 			c.broken.Store(true)
 			return fmt.Errorf("client: unexpected %s frame", t)
 		}
@@ -459,7 +472,7 @@ func (c *Conn) Explain(ctx context.Context, sql string, engine Engine) (*Explana
 	stop := c.watchCancel(ctx, id)
 	defer stop()
 	for {
-		t, payload, err := c.readFrame()
+		t, fb, err := c.readFrame()
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -468,7 +481,8 @@ func (c *Conn) Explain(ctx context.Context, sql string, engine Engine) (*Explana
 		}
 		switch t {
 		case wire.FrameExplainResult:
-			er, err := wire.DecodeExplainResult(payload)
+			er, err := wire.DecodeExplainResult(fb.Bytes())
+			fb.Release()
 			if err != nil || er.ID != id {
 				c.broken.Store(true)
 				return nil, fmt.Errorf("client: bad explain result: %v", err)
@@ -478,7 +492,8 @@ func (c *Conn) Explain(ctx context.Context, sql string, engine Engine) (*Explana
 			}
 			return &Explanation{Chosen: er.Chosen, Engine: Engine(er.Engine), Text: er.Text}, nil
 		case wire.FrameError:
-			ef, err := wire.DecodeError(payload)
+			ef, err := wire.DecodeError(fb.Bytes())
+			fb.Release()
 			if err != nil {
 				c.broken.Store(true)
 				return nil, err
@@ -488,6 +503,7 @@ func (c *Conn) Explain(ctx context.Context, sql string, engine Engine) (*Explana
 			}
 			return nil, &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
 		default:
+			fb.Release()
 			c.broken.Store(true)
 			return nil, fmt.Errorf("client: unexpected %s frame", t)
 		}

@@ -7,6 +7,7 @@
 //
 //	olapd -db sales.db [-listen 127.0.0.1:7432] [-obs 127.0.0.1:9090]
 //	      [-max-concurrent N] [-queue-depth N] [-slow-ms 100] [-cache-mb 64]
+//	      [-replacer lru|clock|2q]
 //
 // SIGINT/SIGTERM drain gracefully: in-flight queries finish (up to
 // -drain-timeout), new ones are refused with a typed shutdown error,
@@ -39,11 +40,12 @@ func main() {
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
 	cacheMB := flag.Int("cache-mb", 0, "mid-tier query cache size in MiB, split between result and chunk caches (0 = off)")
 	workers := flag.Int("workers", 0, "default intra-query parallel degree per session (0 = GOMAXPROCS, 1 = sequential)")
+	replacer := flag.String("replacer", "", "buffer pool replacement policy: lru (default), clock, or 2q")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	db, err := repro.Open(repro.Options{Path: *path})
+	db, err := repro.Open(repro.Options{Path: *path, Replacer: *replacer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,220 @@
+// Package arena provides a chunked bump allocator for query-lifetime
+// scratch memory: decoded chunk cells, worker-partial result cubes, and
+// similar pointer-free buffers that are allocated in bursts and dropped
+// all at once when the query finishes.
+//
+// An Arena hands out typed slices carved from large byte blocks. Nothing
+// is ever freed individually — Reset rewinds the arena to empty while
+// keeping its blocks, so a pooled arena reaches a steady state where the
+// hot path performs no heap allocation at all. Arenas are deliberately
+// not safe for concurrent use: the intended shape is one arena per
+// worker (or per query), reset and pooled on release, which is what
+// makes the fast path lock-free.
+//
+// Only pointer-free element types may be carved from an arena. Blocks
+// are plain []byte, which the garbage collector does not scan; storing a
+// pointer in one would hide it from the collector. Make enforces this at
+// run time.
+package arena
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// DefaultBlockSize is the byte size of a freshly grown block. Large
+// enough that a typical chunk decode or result cube fits in one block,
+// small enough that an idle pooled arena is cheap to keep.
+const DefaultBlockSize = 256 << 10
+
+// Package-wide accounting, exposed as obs instruments by the executor.
+// Atomics because arenas live on many goroutines even though each
+// individual arena is single-owner.
+var (
+	liveBytes   atomic.Int64
+	totalResets atomic.Int64
+)
+
+// BytesInUse reports the bytes currently handed out by all live arenas
+// (allocated since their last Reset).
+func BytesInUse() int64 { return liveBytes.Load() }
+
+// Resets reports how many times any arena has been reset — each reset is
+// one query-lifetime's worth of memory recycled instead of garbage
+// collected.
+func Resets() int64 { return totalResets.Load() }
+
+// Arena is a chunked bump allocator. The zero value is not usable; use
+// New or NewSize. Not safe for concurrent use.
+type Arena struct {
+	blocks    [][]byte
+	cur       int // index of the block being carved, -1 before first use
+	off       int // bytes carved from blocks[cur]
+	blockSize int
+	inUse     int64 // bytes handed out since the last Reset
+}
+
+// New creates an arena with the default block size.
+func New() *Arena { return NewSize(DefaultBlockSize) }
+
+// NewSize creates an arena whose blocks grow by blockSize bytes
+// (allocations larger than a block get a dedicated block).
+func NewSize(blockSize int) *Arena {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	a := &Arena{blockSize: blockSize, cur: -1}
+	// An arena abandoned without Reset (callers that never release their
+	// Result) must not leave its bytes counted forever.
+	runtime.SetFinalizer(a, func(a *Arena) { liveBytes.Add(-a.inUse) })
+	return a
+}
+
+// InUse reports the bytes handed out since the last Reset.
+func (a *Arena) InUse() int64 { return a.inUse }
+
+// Footprint reports the bytes held in blocks (the arena's high-water
+// mark), which Reset keeps for reuse.
+func (a *Arena) Footprint() int64 {
+	var n int64
+	for _, b := range a.blocks {
+		n += int64(cap(b))
+	}
+	return n
+}
+
+// Reset rewinds the arena to empty, keeping its blocks for reuse. Every
+// slice previously carved from the arena is invalidated: the memory will
+// be handed out again by later Makes.
+func (a *Arena) Reset() {
+	liveBytes.Add(-a.inUse)
+	a.inUse = 0
+	a.cur = -1
+	a.off = 0
+	totalResets.Add(1)
+}
+
+// alloc carves n bytes aligned to align and returns the base pointer.
+func (a *Arena) alloc(n, align int) unsafe.Pointer {
+	for {
+		if a.cur >= 0 && a.cur < len(a.blocks) {
+			b := a.blocks[a.cur]
+			base := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+			off := int((base+uintptr(a.off)+uintptr(align-1))&^uintptr(align-1) - base)
+			if off+n <= cap(b) {
+				p := unsafe.Pointer(unsafe.SliceData(b[:cap(b)][off:]))
+				a.off = off + n
+				a.inUse += int64(n)
+				liveBytes.Add(int64(n))
+				return p
+			}
+		}
+		// Advance to the next retained block, or grow a new one sized for
+		// the request. Blocks too small for this allocation are skipped
+		// until the next Reset — simple, and rare once block sizes settle.
+		a.cur++
+		a.off = 0
+		if a.cur < len(a.blocks) && cap(a.blocks[a.cur]) >= n+align {
+			continue
+		}
+		size := a.blockSize
+		if n+align > size {
+			size = n + align
+		}
+		blk := make([]byte, size)
+		if a.cur >= len(a.blocks) {
+			a.blocks = append(a.blocks, blk)
+			a.cur = len(a.blocks) - 1
+		} else {
+			a.blocks = append(a.blocks, nil)
+			copy(a.blocks[a.cur+1:], a.blocks[a.cur:])
+			a.blocks[a.cur] = blk
+		}
+	}
+}
+
+// ptrFree caches the pointer-free verdict per element type.
+var ptrFree sync.Map // reflect.Type -> bool
+
+// hasPointers reports whether t contains any pointer (which would be
+// invisible to the collector inside an arena block).
+func hasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return hasPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Pointers, slices, maps, strings, chans, funcs, interfaces.
+		return true
+	}
+}
+
+// Make returns a zeroed slice of n elements of T carved from the arena.
+// A nil arena falls back to the ordinary heap, so call sites need not
+// branch on whether an arena is attached. T must be pointer-free; Make
+// panics otherwise (a pointer stored in an arena block would be hidden
+// from the garbage collector).
+func Make[T any](a *Arena, n int) []T {
+	if a == nil {
+		return make([]T, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	t := reflect.TypeFor[T]()
+	ok, cached := ptrFree.Load(t)
+	if !cached {
+		ok = !hasPointers(t)
+		ptrFree.Store(t, ok)
+	}
+	if !ok.(bool) {
+		panic(fmt.Sprintf("arena: %v contains pointers", t))
+	}
+	var zero T
+	p := a.alloc(n*int(unsafe.Sizeof(zero)), int(unsafe.Alignof(zero)))
+	s := unsafe.Slice((*T)(p), n)
+	clear(s)
+	return s
+}
+
+// Pool recycles arenas across queries. Put resets the arena before
+// pooling it, so a Get in the steady state returns an arena whose blocks
+// are already grown — the zero-allocation warm path.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool creates an arena pool.
+func NewPool() *Pool {
+	p := &Pool{}
+	p.p.New = func() any { return New() }
+	return p
+}
+
+// Get returns an empty arena, reusing a pooled one when available.
+func (p *Pool) Get() *Arena { return p.p.Get().(*Arena) }
+
+// Put resets the arena and returns it to the pool. The caller must not
+// use the arena, or any slice carved from it, afterwards.
+func (p *Pool) Put(a *Arena) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	p.p.Put(a)
+}

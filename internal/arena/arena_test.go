@@ -1,0 +1,190 @@
+package arena
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestMakeBasic(t *testing.T) {
+	a := New()
+	s := Make[int64](a, 100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d, want 100", len(s))
+	}
+	for i := range s {
+		if s[i] != 0 {
+			t.Fatalf("s[%d] = %d, want zeroed", i, s[i])
+		}
+		s[i] = int64(i)
+	}
+	// A second carve must not alias the first.
+	s2 := Make[int64](a, 100)
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatalf("s2[%d] = %d, want zeroed", i, s2[i])
+		}
+		s2[i] = -1
+	}
+	for i := range s {
+		if s[i] != int64(i) {
+			t.Fatalf("s[%d] clobbered by second carve: %d", i, s[i])
+		}
+	}
+	if got := a.InUse(); got != 1600 {
+		t.Fatalf("InUse = %d, want 1600", got)
+	}
+}
+
+func TestMakeNilArenaFallsBackToHeap(t *testing.T) {
+	s := Make[uint32](nil, 7)
+	if len(s) != 7 {
+		t.Fatalf("len = %d, want 7", len(s))
+	}
+}
+
+func TestMakeZeroLen(t *testing.T) {
+	a := New()
+	if s := Make[byte](a, 0); len(s) != 0 {
+		t.Fatalf("len = %d, want 0", len(s))
+	}
+	if a.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", a.InUse())
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	a := New()
+	Make[byte](a, 3) // misalign the bump offset
+	s := Make[int64](a, 4)
+	p := uintptr(unsafe.Pointer(unsafe.SliceData(s)))
+	if p%unsafe.Alignof(int64(0)) != 0 {
+		t.Fatalf("int64 slice at %#x not aligned", p)
+	}
+	Make[byte](a, 1)
+	type cell struct {
+		Off uint32
+		Val int64
+	}
+	cs := Make[cell](a, 2)
+	p = uintptr(unsafe.Pointer(unsafe.SliceData(cs)))
+	if p%unsafe.Alignof(cell{}) != 0 {
+		t.Fatalf("cell slice at %#x not aligned", p)
+	}
+}
+
+func TestPointerTypeRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Make[*int] did not panic")
+		}
+	}()
+	Make[*int](New(), 1)
+}
+
+func TestStructWithPointerRejected(t *testing.T) {
+	type bad struct {
+		N int
+		S []byte
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Make[struct with slice] did not panic")
+		}
+	}()
+	Make[bad](New(), 1)
+}
+
+func TestResetReusesBlocks(t *testing.T) {
+	a := NewSize(4096)
+	Make[int64](a, 1000) // spills across blocks
+	Make[int64](a, 1000)
+	fp := a.Footprint()
+	if fp == 0 {
+		t.Fatal("no blocks grown")
+	}
+	a.Reset()
+	if a.InUse() != 0 {
+		t.Fatalf("InUse after Reset = %d", a.InUse())
+	}
+	Make[int64](a, 1000)
+	Make[int64](a, 1000)
+	if got := a.Footprint(); got != fp {
+		t.Fatalf("Footprint after reset+reuse = %d, want %d (no new blocks)", got, fp)
+	}
+}
+
+func TestOversizeAllocation(t *testing.T) {
+	a := NewSize(1024)
+	s := Make[byte](a, 10_000) // bigger than a block
+	if len(s) != 10_000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	s[0], s[9999] = 1, 2
+	// Smaller carves still work afterwards.
+	s2 := Make[byte](a, 100)
+	if len(s2) != 100 {
+		t.Fatalf("len = %d", len(s2))
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	base := BytesInUse()
+	a := New()
+	Make[int64](a, 128)
+	if got := BytesInUse() - base; got != 1024 {
+		t.Fatalf("BytesInUse delta = %d, want 1024", got)
+	}
+	r := Resets()
+	a.Reset()
+	if BytesInUse()-base != 0 {
+		t.Fatalf("BytesInUse delta after Reset = %d, want 0", BytesInUse()-base)
+	}
+	if Resets() != r+1 {
+		t.Fatalf("Resets = %d, want %d", Resets(), r+1)
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	Make[int64](a, 512)
+	p.Put(a)
+	b := p.Get()
+	if b.InUse() != 0 {
+		t.Fatalf("pooled arena not reset: InUse = %d", b.InUse())
+	}
+	s := Make[int64](b, 512)
+	for i := range s {
+		if s[i] != 0 {
+			t.Fatalf("reused block not zeroed at %d", i)
+		}
+	}
+	p.Put(nil) // must not panic
+}
+
+// TestWarmMakeZeroAllocs is the package-level half of the zero-alloc
+// gate: once an arena's blocks are grown, carving from it must not touch
+// the heap.
+func TestWarmMakeZeroAllocs(t *testing.T) {
+	a := New()
+	Make[int64](a, 4096) // warm: grow the block
+	a.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		s := Make[int64](a, 4096)
+		s[0] = 1
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Make allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkWarmMake(b *testing.B) {
+	b.ReportAllocs()
+	a := New()
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		s := Make[int64](a, 4096)
+		s[0] = 1
+	}
+}

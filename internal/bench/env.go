@@ -14,6 +14,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/array"
@@ -33,6 +34,8 @@ type EnvConfig struct {
 	Codec           string // "" = chunk-offset
 	BuildBitmaps    bool
 	BufferPoolBytes int // 0 = the paper's 16 MB
+	// Replacer selects the buffer pool replacement policy ("" = lru).
+	Replacer string
 	// DiskPath backs the environment with a real volume file instead of
 	// memory, so physical reads hit the file system (olapbench -disk).
 	DiskPath string
@@ -69,7 +72,10 @@ func BuildEnv(cfg EnvConfig) (*Env, error) {
 	} else {
 		disk = storage.NewMemDiskManager()
 	}
-	bp := storage.NewBufferPool(disk, frames)
+	bp, err := storage.NewBufferPoolPolicy(disk, frames, cfg.Replacer)
+	if err != nil {
+		return nil, err
+	}
 	cat := catalog.NewCatalog()
 	if err := exec.CreateSchema(bp, cat, ds.Schema()); err != nil {
 		return nil, err
@@ -134,6 +140,12 @@ type Measurement struct {
 	// elapsed(degree 1) / best parallel elapsed.
 	WorkersSweep    []WorkerTiming
 	ParallelSpeedup float64
+	// AllocBytes/AllocObjects are the GC-heap cost of the best trial:
+	// deltas of runtime.MemStats TotalAlloc and Mallocs around the
+	// measured Execute. Arena- and pool-backed paths show up here as
+	// reductions the wall clock alone can hide.
+	AllocBytes   uint64
+	AllocObjects uint64
 }
 
 // WorkerTiming is one point of a -workers sweep.
@@ -163,16 +175,22 @@ func (e *Env) Run(spec *query.Spec, engine exec.Engine, cold bool, trials int) (
 				return Measurement{}, err
 			}
 		}
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		qr, err := e.Ex.Execute(spec, engine)
 		if err != nil {
 			return Measurement{}, err
 		}
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
 		m := Measurement{
-			Plan:    qr.Plan,
-			Elapsed: qr.Elapsed,
-			Metrics: qr.Metrics,
-			IO:      qr.IO,
-			Rows:    len(qr.Rows),
+			Plan:         qr.Plan,
+			Elapsed:      qr.Elapsed,
+			Metrics:      qr.Metrics,
+			IO:           qr.IO,
+			Rows:         len(qr.Rows),
+			AllocBytes:   msAfter.TotalAlloc - msBefore.TotalAlloc,
+			AllocObjects: msAfter.Mallocs - msBefore.Mallocs,
 		}
 		for _, r := range qr.Rows {
 			m.Sum += r.Sum

@@ -52,7 +52,7 @@ func WriteFigure(w io.Writer, fig *Figure) {
 	withSweep := figureHasWorkersSweep(fig)
 	header := []string{fig.XName}
 	for _, s := range fig.Series {
-		header = append(header, s, s+" I/O", s+" est I/O", s+" cached")
+		header = append(header, s, s+" I/O", s+" est I/O", s+" cached", s+" B/op", s+" allocs")
 	}
 	header = append(header, "speedup")
 	if withSweep {
@@ -64,7 +64,7 @@ func WriteFigure(w io.Writer, fig *Figure) {
 		for _, s := range fig.Series {
 			m, ok := p.M[s]
 			if !ok {
-				row = append(row, "-", "-", "-", "-")
+				row = append(row, "-", "-", "-", "-", "-", "-")
 				continue
 			}
 			cached := formatDuration(m.CachedElapsed)
@@ -74,7 +74,9 @@ func WriteFigure(w io.Writer, fig *Figure) {
 			row = append(row, formatDuration(m.Elapsed),
 				fmt.Sprintf("%dp", m.IO.PhysicalReads),
 				fmt.Sprintf("%.0fp", m.Metrics.EstCostIO),
-				cached)
+				cached,
+				FormatBytes(int64(m.AllocBytes)),
+				fmt.Sprintf("%d", m.AllocObjects))
 		}
 		if len(fig.Series) >= 2 {
 			a, okA := p.M[fig.Series[0]]
@@ -133,7 +135,8 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 	header := []string{"x", "label"}
 	for _, s := range fig.Series {
 		header = append(header, s+"_seconds", s+"_pages", s+"_rows",
-			s+"_est_pages", s+"_est_rows", s+"_cached_seconds", s+"_cache_hit")
+			s+"_est_pages", s+"_est_rows", s+"_cached_seconds", s+"_cache_hit",
+			s+"_alloc_bytes", s+"_alloc_objects")
 	}
 	fmt.Fprintln(w, strings.Join(header, ","))
 	for _, p := range fig.Points {
@@ -144,7 +147,7 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 		for _, s := range fig.Series {
 			m, ok := p.M[s]
 			if !ok {
-				row = append(row, "", "", "", "", "", "", "")
+				row = append(row, "", "", "", "", "", "", "", "", "")
 				continue
 			}
 			row = append(row,
@@ -154,7 +157,9 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 				fmt.Sprintf("%.1f", m.Metrics.EstCostIO),
 				fmt.Sprintf("%d", m.Metrics.EstRows),
 				fmt.Sprintf("%.6f", m.CachedElapsed.Seconds()),
-				fmt.Sprintf("%t", m.CacheHit))
+				fmt.Sprintf("%t", m.CacheHit),
+				fmt.Sprintf("%d", m.AllocBytes),
+				fmt.Sprintf("%d", m.AllocObjects))
 		}
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}

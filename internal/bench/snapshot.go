@@ -55,7 +55,11 @@ type MeasurementSnapshot struct {
 	// ParallelSpeedup is elapsed(degree 1) / best parallel elapsed.
 	WorkersSweep    []WorkerTimingSnapshot `json:"workers_sweep,omitempty"`
 	ParallelSpeedup float64                `json:"parallel_speedup,omitempty"`
-	Metrics         core.Metrics           `json:"metrics"`
+	// AllocBytes/AllocObjects are the GC-heap cost of the measured run
+	// (MemStats deltas around Execute).
+	AllocBytes   uint64       `json:"alloc_bytes"`
+	AllocObjects uint64       `json:"alloc_objects"`
+	Metrics      core.Metrics `json:"metrics"`
 }
 
 // WorkerTimingSnapshot is one degree of a -workers sweep.
@@ -93,6 +97,8 @@ func Snapshot(fig *Figure, opts Options) *FigureSnapshot {
 				CachedElapsedNS: m.CachedElapsed.Nanoseconds(),
 				CacheHit:        m.CacheHit,
 				ParallelSpeedup: m.ParallelSpeedup,
+				AllocBytes:      m.AllocBytes,
+				AllocObjects:    m.AllocObjects,
 				Metrics:         m.Metrics,
 			}
 			for _, wt := range m.WorkersSweep {

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 )
 
@@ -15,6 +16,16 @@ type Cell struct {
 	Offset uint32
 	Value  int64
 }
+
+// CellAllocator returns a cell slice of exactly n elements for a decoder
+// to fill. It lets the caller choose where decoded cells live — a
+// per-query arena, a reused scratch buffer, or the GC heap — without the
+// codec knowing. The returned slice's contents may be arbitrary; the
+// decoder overwrites every element.
+type CellAllocator func(n int) []Cell
+
+// heapCells is the default allocator: ordinary GC-heap slices.
+func heapCells(n int) []Cell { return make([]Cell, n) }
 
 // Codec encodes and decodes the valid cells of one chunk. Encode requires
 // cells sorted by ascending offset with no duplicates (the paper sorts
@@ -27,6 +38,10 @@ type Codec interface {
 	Encode(cells []Cell, capacity int) ([]byte, error)
 	// Decode parses data produced by Encode with the same capacity.
 	Decode(data []byte, capacity int) ([]Cell, error)
+	// DecodeAlloc is Decode with the destination chosen by alloc (nil
+	// means the GC heap). Decoders size the slice exactly — they count
+	// cells before allocating — so alloc is called at most once.
+	DecodeAlloc(data []byte, capacity int, alloc CellAllocator) ([]Cell, error)
 }
 
 // CodecByName returns the codec registered under name.
@@ -89,11 +104,31 @@ func (OffsetCodec) Encode(cells []Cell, capacity int) ([]byte, error) {
 
 // Decode implements Codec.
 func (c OffsetCodec) Decode(data []byte, capacity int) ([]Cell, error) {
-	return c.DecodeInto(data, capacity, nil)
+	return c.DecodeAlloc(data, capacity, nil)
+}
+
+// DecodeAlloc implements Codec.
+func (OffsetCodec) DecodeAlloc(data []byte, capacity int, alloc CellAllocator) ([]Cell, error) {
+	if len(data)%offsetPairSize != 0 {
+		return nil, fmt.Errorf("chunk: offset-coded chunk of %d bytes", len(data))
+	}
+	if alloc == nil {
+		alloc = heapCells
+	}
+	cells := alloc(len(data) / offsetPairSize)
+	for i := range cells {
+		cells[i].Offset = binary.LittleEndian.Uint32(data[i*offsetPairSize:])
+		cells[i].Value = int64(binary.LittleEndian.Uint64(data[i*offsetPairSize+4:]))
+	}
+	if err := checkSorted(cells, capacity); err != nil {
+		return nil, err
+	}
+	return cells, nil
 }
 
 // DecodeInto decodes into dst (grown as needed), so scan loops can reuse
-// one cell buffer across chunks.
+// one cell buffer across chunks. Kept closure-free so the warm reuse path
+// does not allocate at all.
 func (OffsetCodec) DecodeInto(data []byte, capacity int, dst []Cell) ([]Cell, error) {
 	if len(data)%offsetPairSize != 0 {
 		return nil, fmt.Errorf("chunk: offset-coded chunk of %d bytes", len(data))
@@ -148,19 +183,36 @@ func (DenseCodec) Encode(cells []Cell, capacity int) ([]byte, error) {
 }
 
 // Decode implements Codec.
-func (DenseCodec) Decode(data []byte, capacity int) ([]Cell, error) {
+func (c DenseCodec) Decode(data []byte, capacity int) ([]Cell, error) {
+	return c.DecodeAlloc(data, capacity, nil)
+}
+
+// DecodeAlloc implements Codec. A first pass popcounts the validity
+// bitmap so the destination is sized exactly before any cell is read.
+func (DenseCodec) DecodeAlloc(data []byte, capacity int, alloc CellAllocator) ([]Cell, error) {
 	bmBytes := (capacity + 7) / 8
 	if len(data) != bmBytes+capacity*8 {
 		return nil, fmt.Errorf("chunk: dense chunk of %d bytes, want %d", len(data), bmBytes+capacity*8)
 	}
-	var cells []Cell
+	n := 0
+	for _, b := range data[:bmBytes] {
+		n += bits.OnesCount8(b)
+	}
+	if alloc == nil {
+		alloc = heapCells
+	}
+	cells := alloc(n)
+	i := 0
 	for off := 0; off < capacity; off++ {
 		if data[off/8]&(1<<(off%8)) != 0 {
-			v := int64(binary.LittleEndian.Uint64(data[bmBytes+off*8:]))
-			cells = append(cells, Cell{Offset: uint32(off), Value: v})
+			cells[i] = Cell{
+				Offset: uint32(off),
+				Value:  int64(binary.LittleEndian.Uint64(data[bmBytes+off*8:])),
+			}
+			i++
 		}
 	}
-	return cells, nil
+	return cells[:i], nil
 }
 
 // LZWCodec stores the dense representation compressed with LZW — the
@@ -190,12 +242,18 @@ func (LZWCodec) Encode(cells []Cell, capacity int) ([]byte, error) {
 }
 
 // Decode implements Codec.
-func (LZWCodec) Decode(data []byte, capacity int) ([]Cell, error) {
+func (c LZWCodec) Decode(data []byte, capacity int) ([]Cell, error) {
+	return c.DecodeAlloc(data, capacity, nil)
+}
+
+// DecodeAlloc implements Codec. The intermediate dense image stays on
+// the GC heap (it is transient); only the decoded cells use alloc.
+func (LZWCodec) DecodeAlloc(data []byte, capacity int, alloc CellAllocator) ([]Cell, error) {
 	r := lzw.NewReader(bytes.NewReader(data), lzw.LSB, 8)
 	defer r.Close()
 	dense, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("chunk: lzw decode: %w", err)
 	}
-	return DenseCodec{}.Decode(dense, capacity)
+	return DenseCodec{}.DecodeAlloc(dense, capacity, alloc)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/storage"
 )
 
@@ -66,6 +67,13 @@ type Store struct {
 	// allocate per chunk.
 	scratchEnc   []byte
 	scratchCells []Cell
+
+	// mem, when set via SetArena, supplies decode destinations for this
+	// store's query-lifetime reads. scratchAlloc is the matching
+	// CellAllocator, built once so the hot decode path does not allocate
+	// a closure per chunk.
+	mem          *arena.Arena
+	scratchAlloc CellAllocator
 }
 
 // Builder accumulates cells and writes them out as a Store.
@@ -280,19 +288,53 @@ func (s *Store) EncodedBytes() int64 {
 func (s *Store) ChunkCells(chunkNum int) int64 { return int64(s.entries[chunkNum].cells) }
 
 // Clone returns a Store sharing the immutable directory but with its own
-// decode cache and scratch buffers, for use from another goroutine.
+// decode cache and scratch buffers, for use from another goroutine. The
+// clone starts without an arena — each reader attaches its own.
 func (s *Store) Clone() *Store {
 	c := *s
 	c.cacheChunk = -1
 	c.cacheCells = nil
 	c.scratchEnc = nil
 	c.scratchCells = nil
+	c.mem = nil
+	c.scratchAlloc = nil
 	return &c
 }
 
 // SetDecodedCache attaches a shared decoded-chunk cache (nil detaches).
 // Clones of this Store copy the attachment.
 func (s *Store) SetDecodedCache(d DecodedCache) { s.shared = d }
+
+// SetArena attaches an arena supplying decode destinations for this
+// store's reads (nil detaches). With an arena attached, cells returned by
+// ReadChunk are carved from it and remain valid only until the next read
+// on this store or the arena's Reset — whichever comes first — so attach
+// arenas only to single-reader stores (per-query clones, per-worker
+// clones) whose reads never outlive the query. Attaching clears the
+// point-read cache and scratch buffers: they may reference a previous
+// arena that the caller is about to recycle.
+func (s *Store) SetArena(a *arena.Arena) {
+	s.mem = a
+	s.cacheChunk = -1
+	s.cacheCells = nil
+	s.scratchEnc = nil
+	s.scratchCells = nil
+	if a == nil {
+		s.scratchAlloc = nil
+		return
+	}
+	s.scratchAlloc = func(n int) []Cell {
+		if cap(s.scratchCells) >= n {
+			return s.scratchCells[:n]
+		}
+		c := arena.Make[Cell](a, n)
+		s.scratchCells = c
+		return c
+	}
+}
+
+// Arena returns the arena attached with SetArena, or nil.
+func (s *Store) Arena() *arena.Arena { return s.mem }
 
 // ReadChunk returns the decoded, offset-sorted cells of the chunk. Empty
 // chunks decode to nil. The returned slice may be shared with the
@@ -311,6 +353,15 @@ func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
 			return cells, nil
 		}
 	}
+	if s.shared == nil && s.mem != nil {
+		// With an arena and no shared cache, nothing downstream may retain
+		// the cells, so point reads take the scratch-reuse path too: the
+		// result is valid until the next read on this store.
+		return s.readChunkScratch(chunkNum)
+	}
+	// A shared cache takes ownership of what it is offered (PutDecoded),
+	// so anything that might reach it must live on the GC heap — never in
+	// an arena that resets at end of query.
 	data, err := s.lob.Read(e.ref)
 	if err != nil {
 		return nil, fmt.Errorf("chunk: read chunk %d: %w", chunkNum, err)
@@ -416,7 +467,11 @@ func (s *Store) readChunkScratch(cn int) ([]Cell, error) {
 	}
 	s.scratchEnc = data
 	var cells []Cell
-	if oc, ok := s.codec.(OffsetCodec); ok {
+	if s.scratchAlloc != nil {
+		// Arena-backed scratch: grows from the arena on the first chunks,
+		// then reuses the high-water slice — zero allocations once warm.
+		cells, err = s.codec.DecodeAlloc(data, s.geom.ChunkCapacity(), s.scratchAlloc)
+	} else if oc, ok := s.codec.(OffsetCodec); ok {
 		cells, err = oc.DecodeInto(data, s.geom.ChunkCapacity(), s.scratchCells)
 		if err == nil {
 			s.scratchCells = cells

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/array"
 	"repro/internal/chunk"
 )
@@ -18,8 +19,18 @@ type groupMapper struct {
 	result *Result
 }
 
-// newArrayGroupMapper builds the mapper from the ADT's dimension state.
+// newArrayGroupMapper builds the mapper from the ADT's dimension state,
+// with the result cube on the GC heap.
 func newArrayGroupMapper(a *array.Array, spec GroupSpec) (*groupMapper, error) {
+	return newArrayGroupMapperIn(a, spec, nil)
+}
+
+// newArrayGroupMapperIn is newArrayGroupMapper with the result cube's
+// aggregate state carved from ar (nil = GC heap). The mapping tables and
+// labels stay on the heap: GroupByLevel shares the dimension's loaded
+// I2I/Dict slices, and GroupByKey tables are retained by the caller only
+// through the mapper, which dies with the query either way.
+func newArrayGroupMapperIn(a *array.Array, spec GroupSpec, ar *arena.Arena) (*groupMapper, error) {
 	dims := a.Dims()
 	if len(spec) != len(dims) {
 		return nil, fmt.Errorf("core: group spec has %d entries for %d dimensions", len(spec), len(dims))
@@ -54,7 +65,7 @@ func newArrayGroupMapper(a *array.Array, spec GroupSpec) (*groupMapper, error) {
 			return nil, fmt.Errorf("core: unknown group target %d", dg.Target)
 		}
 	}
-	res, err := newResult(groupDims, labels)
+	res, err := newResultIn(ar, groupDims, labels)
 	if err != nil {
 		return nil, err
 	}
@@ -91,10 +102,15 @@ func ArrayConsolidate(a *array.Array, spec GroupSpec) (*Result, Metrics, error) 
 // the batch in flight instead of finishing the whole array.
 func ArrayConsolidateContext(ctx context.Context, a *array.Array, spec GroupSpec) (*Result, Metrics, error) {
 	var m Metrics
-	gm, err := newArrayGroupMapper(a, spec)
+	// One pooled arena per query: decode scratch and the result cube live
+	// in it, and the result carries it until Release.
+	ar := queryArenas.Get()
+	gm, err := newArrayGroupMapperIn(a, spec, ar)
 	if err != nil {
+		queryArenas.Put(ar)
 		return nil, m, err
 	}
+	a.Store().SetArena(ar)
 	g := a.Geometry()
 	shape := g.ChunkShape()
 	n := g.NumDims()
@@ -121,6 +137,10 @@ func ArrayConsolidateContext(ctx context.Context, a *array.Array, spec GroupSpec
 		return nil
 	})
 	if err != nil {
+		// Detach before recycling: the caller keeps the array, and its
+		// store must not write into an arena another query may now own.
+		a.Store().SetArena(nil)
+		gm.result.Release()
 		return nil, m, err
 	}
 	return gm.result, m, nil
@@ -245,12 +265,17 @@ func ArraySelectConsolidate(a *array.Array, sels []Selection, spec GroupSpec) (*
 // cancellation, checked once per candidate chunk before it is read.
 func ArraySelectConsolidateContext(ctx context.Context, a *array.Array, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
 	var m Metrics
-	gm, err := newArrayGroupMapper(a, spec)
+	ar := queryArenas.Get()
+	gm, err := newArrayGroupMapperIn(a, spec, ar)
 	if err != nil {
+		queryArenas.Put(ar)
 		return nil, m, err
 	}
+	a.Store().SetArena(ar)
 	lists, err := selectionIndexLists(a, sels)
 	if err != nil {
+		a.Store().SetArena(nil)
+		gm.result.Release()
 		return nil, m, err
 	}
 	for _, l := range lists {
@@ -332,6 +357,8 @@ func ArraySelectConsolidateContext(ctx context.Context, a *array.Array, sels []S
 
 	for {
 		if err := probeChunk(); err != nil {
+			a.Store().SetArena(nil)
+			gm.result.Release()
 			return nil, m, err
 		}
 		i := n - 1

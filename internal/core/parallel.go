@@ -123,6 +123,11 @@ func mergeParts(parts []workerPartial) (*Result, Metrics, error) {
 		if err := out.Merge(p.res); err != nil {
 			return nil, total, err
 		}
+		// The partial's cube is folded in; recycle its worker arena now
+		// instead of holding all of them until the query ends. Worker 0's
+		// arena travels with the merged result and is released by the
+		// executor after row materialization.
+		p.res.Release()
 	}
 	if out == nil {
 		return nil, total, fmt.Errorf("core: parallel consolidation produced no partials")
@@ -158,13 +163,18 @@ func ArrayConsolidateParallelContext(ctx context.Context, a *array.Array, spec G
 	shape := g.ChunkShape()
 	n := g.NumDims()
 	parts, err := runWorkers(ctx, workers, func(ctx context.Context, w int, p *workerPartial) {
-		gm, err := newArrayGroupMapper(a, spec)
+		// Per-worker arena: cube and decode scratch are thread-local, so
+		// the allocator needs no locking; mergeParts recycles it.
+		ar := queryArenas.Get()
+		gm, err := newArrayGroupMapperIn(a, spec, ar)
 		if err != nil {
+			queryArenas.Put(ar)
 			p.err = err
 			return
 		}
 		p.res = gm.result
 		store := a.Store().Clone()
+		store.SetArena(ar)
 		lo := numChunks * w / workers
 		hi := numChunks * (w + 1) / workers
 		coords := make([]int, n)
@@ -265,13 +275,16 @@ func ArraySelectConsolidateParallelContext(ctx context.Context, a *array.Array, 
 
 	var next atomic.Int64
 	parts, err := runWorkers(ctx, workers, func(ctx context.Context, w int, p *workerPartial) {
-		gm, err := newArrayGroupMapper(a, spec)
+		ar := queryArenas.Get()
+		gm, err := newArrayGroupMapperIn(a, spec, ar)
 		if err != nil {
+			queryArenas.Put(ar)
 			p.err = err
 			return
 		}
 		p.res = gm.result
 		store := a.Store().Clone()
+		store.SetArena(ar)
 		coords := make([]int, n)
 		inChunkSel := make([]int, n)
 		inLists := make([][]int, n)
@@ -368,8 +381,10 @@ func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.Di
 	perPage := uint64(ff.TuplesPerPage())
 	n := len(dims)
 	parts, err := runWorkers(ctx, workers, func(ctx context.Context, w int, p *workerPartial) {
-		res, err := st.result.emptyClone()
+		ar := queryArenas.Get()
+		res, err := st.result.emptyCloneIn(ar)
 		if err != nil {
+			queryArenas.Put(ar)
 			p.err = err
 			return
 		}

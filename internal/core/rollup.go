@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/arena"
 )
 
 // GroupLabels returns, per grouped dimension in dimension order, the
@@ -36,6 +38,12 @@ func (r *Result) EachCell(fn func(coords []int, row Row) error) error {
 // its siblings.
 func (r *Result) emptyClone() (*Result, error) {
 	return newResult(r.groupDims, r.labels)
+}
+
+// emptyCloneIn is emptyClone with the aggregate state carved from a —
+// the per-worker arena of a parallel partial.
+func (r *Result) emptyCloneIn(a *arena.Arena) (*Result, error) {
+	return newResultIn(a, r.groupDims, r.labels)
 }
 
 // Merge folds other into r cell by cell. Both results must come from the

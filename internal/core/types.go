@@ -21,6 +21,8 @@ import (
 	"math"
 	"sort"
 	"strconv"
+
+	"repro/internal/arena"
 )
 
 // GroupTarget says how one dimension participates in a consolidation.
@@ -115,12 +117,27 @@ type Result struct {
 	cells     int
 
 	sums, counts, mins, maxs []int64
+
+	// mem, when non-nil, owns the aggregate slices (and, for the query
+	// that built this result, its decode scratch). Release recycles it.
+	mem *arena.Arena
 }
 
-// newResult allocates a result cube. labels[i] lists the group labels of
-// the i-th grouped dimension.
+// queryArenas recycles query-lifetime arenas: one per sequential query or
+// per parallel worker, released when the result is merged or its rows
+// are materialized.
+var queryArenas = arena.NewPool()
+
+// newResult allocates a result cube on the GC heap.
 func newResult(groupDims []int, labels [][]string) (*Result, error) {
-	r := &Result{groupDims: groupDims, labels: labels, cells: 1}
+	return newResultIn(nil, groupDims, labels)
+}
+
+// newResultIn allocates a result cube with its aggregate state carved
+// from a (nil = GC heap). labels[i] lists the group labels of the i-th
+// grouped dimension.
+func newResultIn(a *arena.Arena, groupDims []int, labels [][]string) (*Result, error) {
+	r := &Result{groupDims: groupDims, labels: labels, cells: 1, mem: a}
 	r.strides = make([]int, len(labels))
 	for i := len(labels) - 1; i >= 0; i-- {
 		r.strides[i] = r.cells
@@ -129,11 +146,28 @@ func newResult(groupDims []int, labels [][]string) (*Result, error) {
 			return nil, fmt.Errorf("core: result cube exceeds %d cells", maxResultCells)
 		}
 	}
-	r.sums = make([]int64, r.cells)
-	r.counts = make([]int64, r.cells)
-	r.mins = make([]int64, r.cells)
-	r.maxs = make([]int64, r.cells)
+	r.sums = arena.Make[int64](a, r.cells)
+	r.counts = arena.Make[int64](a, r.cells)
+	r.mins = arena.Make[int64](a, r.cells)
+	r.maxs = arena.Make[int64](a, r.cells)
 	return r, nil
+}
+
+// Release returns the result's arena (if any) to the query-arena pool.
+// The result, and any cell slice decoded by the query that built it,
+// must not be used afterwards; rows already materialized with Rows or
+// SortedRows are unaffected (they are GC-heap copies). Release on a
+// heap-backed result is a no-op, so callers can release unconditionally.
+func (r *Result) Release() {
+	if r == nil || r.mem == nil {
+		return
+	}
+	a := r.mem
+	r.mem = nil
+	// Nil the aggregate slices so a use-after-release fails loudly
+	// instead of reading recycled memory.
+	r.sums, r.counts, r.mins, r.maxs = nil, nil, nil, nil
+	queryArenas.Put(a)
 }
 
 // add folds one value into the cell at linear index idx.
@@ -201,14 +235,19 @@ func (r Row) Value(agg AggFunc) int64 {
 	}
 }
 
-// Rows materializes the non-empty groups in cube order.
+// Rows materializes the non-empty groups in cube order. All group-label
+// slices share one backing array, so materializing a large result costs
+// two allocations, not one per row.
 func (r *Result) Rows() []Row {
-	out := make([]Row, 0, r.NumGroups())
+	n := r.NumGroups()
+	out := make([]Row, 0, n)
+	backing := make([]string, n*len(r.labels))
 	for idx, c := range r.counts {
 		if c == 0 {
 			continue
 		}
-		groups := make([]string, len(r.labels))
+		groups := backing[:len(r.labels):len(r.labels)]
+		backing = backing[len(r.labels):]
 		rem := idx
 		for i := range r.labels {
 			groups[i] = r.labels[i][rem/r.strides[i]]

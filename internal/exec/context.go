@@ -3,6 +3,7 @@ package exec
 import (
 	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/array"
 	"repro/internal/bitmap"
 	"repro/internal/btree"
@@ -71,6 +72,11 @@ func NewExecContext(bp *storage.BufferPool, cat *catalog.Catalog) *ExecContext {
 	reg.GaugeFunc("parallel_workers_in_use",
 		"intra-query workers currently running (process-wide)",
 		func() float64 { return float64(core.ActiveWorkers()) })
+	reg.GaugeFunc("arena_bytes_in_use",
+		"bytes handed out by live query arenas (process-wide)",
+		func() float64 { return float64(arena.BytesInUse()) })
+	reg.CounterFunc("arena_resets_total",
+		"query arenas recycled instead of garbage collected (process-wide)", arena.Resets)
 	return &ExecContext{
 		bp:           bp,
 		cat:          cat,

@@ -355,6 +355,10 @@ func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, spec *query.Spec,
 	sortSp := tr.Root.Child("sort")
 	qr.Rows = res.SortedRows()
 	sortSp.End()
+	// Rows are GC-heap copies; the cube and the query's decode scratch
+	// live in the result's arena, which can be recycled now. The plan's
+	// array clone died with plan.Run, so nothing still reads from it.
+	res.Release()
 	qr.Metrics = metrics
 	qr.Elapsed = time.Since(start)
 	qr.IO = e.ctx.BufferPool().Stats().Sub(ioBefore)

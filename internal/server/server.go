@@ -332,16 +332,18 @@ func (c *conn) writeError(id uint32, code wire.ErrorCode, msg string) {
 	c.writeFrame(wire.FrameError, (&wire.ErrorFrame{ID: id, Code: code, Message: msg}).Encode())
 }
 
-// readFrame reads one frame. Waiting for the first header byte is
-// unbounded (idle REPLs are fine); once a frame starts, the rest must
-// arrive within ReadTimeout so a stalled peer cannot pin the loop.
-func (c *conn) readFrame() (wire.FrameType, []byte, error) {
+// readFrame reads one frame into a pooled buffer the caller must
+// Release once the payload is decoded. Waiting for the first header
+// byte is unbounded (idle REPLs are fine); once a frame starts, the
+// rest must arrive within ReadTimeout so a stalled peer cannot pin the
+// loop.
+func (c *conn) readFrame() (wire.FrameType, *wire.Buffer, error) {
 	c.nc.SetReadDeadline(time.Time{})
 	if _, err := c.r.Peek(1); err != nil {
 		return 0, nil, err
 	}
 	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
-	return wire.ReadFrame(c.r)
+	return wire.ReadFrameBuffer(c.r)
 }
 
 func (c *conn) serve() {
@@ -352,15 +354,17 @@ func (c *conn) serve() {
 
 	// Handshake, under the read timeout from the first byte.
 	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
-	t, payload, err := wire.ReadFrame(c.r)
+	t, fb, err := wire.ReadFrameBuffer(c.r)
 	if err != nil {
 		return
 	}
 	if t != wire.FrameHello {
+		fb.Release()
 		c.writeError(0, wire.CodeProtocol, fmt.Sprintf("expected hello, got %s", t))
 		return
 	}
-	hello, err := wire.DecodeHello(payload)
+	hello, err := wire.DecodeHello(fb.Bytes())
+	fb.Release() // decoders copy what they keep; the buffer is done
 	if err != nil {
 		c.writeError(0, wire.CodeProtocol, err.Error())
 		return
@@ -376,14 +380,19 @@ func (c *conn) serve() {
 	}
 
 	for {
-		t, payload, err := c.readFrame()
+		t, fb, err := c.readFrame()
 		if err != nil {
 			break
 		}
 		start := time.Now()
+		// Every arm decodes (or ignores) the payload synchronously before
+		// anything blocks, and the decoded structs hold copies, so the
+		// pooled buffer is released inside the arm — the spawned query
+		// goroutines never see it.
 		switch t {
 		case wire.FrameQuery:
-			q, err := wire.DecodeQuery(payload)
+			q, err := wire.DecodeQuery(fb.Bytes())
+			fb.Release()
 			if err != nil {
 				c.writeError(0, wire.CodeProtocol, err.Error())
 				c.srv.frameLatency.ObserveDuration(time.Since(start))
@@ -396,7 +405,8 @@ func (c *conn) serve() {
 				c.srv.frameLatency.ObserveDuration(time.Since(start))
 			}()
 		case wire.FrameExplain:
-			ex, err := wire.DecodeExplain(payload)
+			ex, err := wire.DecodeExplain(fb.Bytes())
+			fb.Release()
 			if err != nil {
 				c.writeError(0, wire.CodeProtocol, err.Error())
 				c.srv.frameLatency.ObserveDuration(time.Since(start))
@@ -409,7 +419,8 @@ func (c *conn) serve() {
 				c.srv.frameLatency.ObserveDuration(time.Since(start))
 			}()
 		case wire.FrameCancel:
-			cf, err := wire.DecodeCancel(payload)
+			cf, err := wire.DecodeCancel(fb.Bytes())
+			fb.Release()
 			if err != nil {
 				c.writeError(0, wire.CodeProtocol, err.Error())
 				goto out
@@ -421,10 +432,12 @@ func (c *conn) serve() {
 			c.imu.Unlock()
 			c.srv.frameLatency.ObserveDuration(time.Since(start))
 		case wire.FramePing:
+			fb.Release()
 			c.writeFrame(wire.FramePong, nil)
 			c.srv.frameLatency.ObserveDuration(time.Since(start))
 		case wire.FrameSetOption:
-			so, err := wire.DecodeSetOption(payload)
+			so, err := wire.DecodeSetOption(fb.Bytes())
+			fb.Release()
 			if err != nil {
 				c.writeError(0, wire.CodeProtocol, err.Error())
 				goto out
@@ -436,6 +449,7 @@ func (c *conn) serve() {
 			c.handleSetOption(so)
 			c.srv.frameLatency.ObserveDuration(time.Since(start))
 		default:
+			fb.Release()
 			c.writeError(0, wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", t))
 			goto out
 		}

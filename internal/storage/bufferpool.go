@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,7 +17,8 @@ type Stats struct {
 	PhysicalReads uint64 // fetches that missed and went to disk
 	PageWrites    uint64 // dirty pages written back to disk
 	Allocations   uint64 // pages allocated
-	Evictions     uint64 // frames reclaimed from the LRU list
+	Evictions     uint64 // frames reclaimed by the replacer
+	ReplacerSaves uint64 // hot frames the replacer spared from scan pressure
 }
 
 // Sub returns s - o, counter by counter.
@@ -29,6 +29,7 @@ func (s Stats) Sub(o Stats) Stats {
 		PageWrites:    s.PageWrites - o.PageWrites,
 		Allocations:   s.Allocations - o.Allocations,
 		Evictions:     s.Evictions - o.Evictions,
+		ReplacerSaves: s.ReplacerSaves - o.ReplacerSaves,
 	}
 }
 
@@ -63,8 +64,14 @@ func (bp *BufferPool) Instrument(reg *obs.Registry) {
 		"page fetches served from memory",
 		func() int64 { return int64(bp.logicalReads.Load() - bp.physicalReads.Load()) })
 	reg.CounterFunc("bufferpool_evictions_total",
-		"frames reclaimed from the LRU list",
+		"frames reclaimed by the replacer",
 		func() int64 { return int64(bp.evictions.Load()) })
+	reg.CounterFunc("bufferpool_replacer_saves_total",
+		"hot frames the replacer spared from scan eviction pressure",
+		func() int64 { return int64(bp.rep.Saves()) })
+	reg.GaugeFunc("bufferpool_replacer",
+		"replacement policy in effect (0=lru, 1=clock, 2=2q)",
+		func() float64 { return float64(replacerCode(bp.rep.Name())) })
 	reg.CounterFunc("bufferpool_page_writes_total",
 		"dirty pages written back to the volume",
 		func() int64 { return int64(bp.pageWrites.Load()) })
@@ -100,12 +107,12 @@ type frame struct {
 	data  []byte
 	pins  int32
 	dirty bool
-	lru   *list.Element // position in the unpinned LRU list, nil while pinned
 }
 
-// BufferPool caches pages over a DiskManager with LRU replacement of
-// unpinned frames. Callers fetch a page, operate on its bytes, and unpin
-// it, marking it dirty if modified.
+// BufferPool caches pages over a DiskManager, replacing unpinned frames
+// with a pluggable policy (LRU by default; see NewReplacer). Callers
+// fetch a page, operate on its bytes, and unpin it, marking it dirty if
+// modified.
 //
 // The pool mirrors the paper's configuration: Paradise ran with a 16 MB
 // buffer pool, which is the default produced by DefaultFrames.
@@ -115,7 +122,7 @@ type BufferPool struct {
 	frames []frame
 	table  map[PageID]int // page id -> frame index
 	free   []int          // indices of empty frames
-	lru    *list.List     // frame indices, front = least recently used
+	rep    Replacer       // replacement policy over unpinned frames
 	logger PageLogger     // write-ahead hook, may be nil
 
 	logicalReads  atomic.Uint64
@@ -149,28 +156,47 @@ type BeforeImageLogger interface {
 	LogBeforeImage(id PageID, img []byte) error
 }
 
-// NewBufferPool creates a pool with the given number of frames over disk.
+// NewBufferPool creates a pool with the given number of frames over disk,
+// using LRU replacement (the historical default).
 func NewBufferPool(disk DiskManager, numFrames int) *BufferPool {
+	bp, err := NewBufferPoolPolicy(disk, numFrames, ReplacerLRU)
+	if err != nil {
+		// ReplacerLRU is always valid; only an unknown name errors.
+		panic(err)
+	}
+	return bp
+}
+
+// NewBufferPoolPolicy creates a pool with the named replacement policy
+// ("lru", "clock", or "2q"; empty selects LRU).
+func NewBufferPoolPolicy(disk DiskManager, numFrames int, policy string) (*BufferPool, error) {
 	if numFrames <= 0 {
 		numFrames = DefaultFrames
+	}
+	rep, err := NewReplacer(policy, numFrames)
+	if err != nil {
+		return nil, err
 	}
 	bp := &BufferPool{
 		disk:   disk,
 		frames: make([]frame, numFrames),
 		table:  make(map[PageID]int, numFrames),
 		free:   make([]int, 0, numFrames),
-		lru:    list.New(),
+		rep:    rep,
 	}
 	for i := range bp.frames {
 		bp.frames[i].id = InvalidPageID
 		bp.frames[i].data = make([]byte, PageSize)
 		bp.free = append(bp.free, i)
 	}
-	return bp
+	return bp, nil
 }
 
 // NumFrames reports the pool capacity in pages.
 func (bp *BufferPool) NumFrames() int { return len(bp.frames) }
+
+// ReplacerName reports the replacement policy in effect.
+func (bp *BufferPool) ReplacerName() string { return bp.rep.Name() }
 
 // SetPageLogger installs the write-ahead hook. Pass nil to disable
 // logging. Must be called before the pool is shared between goroutines.
@@ -207,10 +233,11 @@ func (bp *BufferPool) Stats() Stats {
 		PageWrites:    bp.pageWrites.Load(),
 		Allocations:   bp.allocations.Load(),
 		Evictions:     bp.evictions.Load(),
+		ReplacerSaves: bp.rep.Saves(),
 	}
 }
 
-// victim evicts the least recently used unpinned frame and returns its
+// victim evicts the replacer's choice of unpinned frame and returns its
 // index, or an error when every frame is pinned. Caller holds bp.mu.
 func (bp *BufferPool) victim() (int, error) {
 	if n := len(bp.free); n > 0 {
@@ -218,19 +245,16 @@ func (bp *BufferPool) victim() (int, error) {
 		bp.free = bp.free[:n-1]
 		return idx, nil
 	}
-	el := bp.lru.Front()
-	if el == nil {
+	idx := bp.rep.Victim()
+	if idx < 0 {
 		return 0, ErrBufferPoolFull
 	}
-	idx := el.Value.(int)
 	f := &bp.frames[idx]
-	bp.lru.Remove(el)
-	f.lru = nil
 	if f.dirty {
 		if err := bp.writeBack(f); err != nil {
-			// Put the frame back at the LRU front so it stays evictable
-			// once the fault clears.
-			f.lru = bp.lru.PushFront(idx)
+			// Put the frame back at the most-evictable position so it is
+			// retried first once the fault clears.
+			bp.rep.Restore(idx, f.id)
 			return 0, err
 		}
 	}
@@ -249,9 +273,8 @@ func (bp *BufferPool) FetchPage(id PageID) ([]byte, error) {
 	defer bp.mu.Unlock()
 	if idx, ok := bp.table[id]; ok {
 		f := &bp.frames[idx]
-		if f.lru != nil {
-			bp.lru.Remove(f.lru)
-			f.lru = nil
+		if f.pins == 0 {
+			bp.rep.Pin(idx)
 		}
 		f.pins++
 		return f.data, nil
@@ -292,9 +315,8 @@ func (bp *BufferPool) FetchPageForWrite(id PageID) ([]byte, error) {
 				return nil, err
 			}
 		}
-		if f.lru != nil {
-			bp.lru.Remove(f.lru)
-			f.lru = nil
+		if f.pins == 0 {
+			bp.rep.Pin(idx)
 		}
 		f.pins++
 		return f.data, nil
@@ -377,7 +399,7 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.lru = bp.lru.PushBack(idx)
+		bp.rep.Unpin(idx, id)
 	}
 	return nil
 }
@@ -455,10 +477,7 @@ func (bp *BufferPool) DropAll() error {
 			}
 		}
 		delete(bp.table, f.id)
-		if f.lru != nil {
-			bp.lru.Remove(f.lru)
-			f.lru = nil
-		}
+		bp.rep.Remove(i)
 		f.id = InvalidPageID
 		f.dirty = false
 		bp.free = append(bp.free, i)

@@ -1,0 +1,348 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync/atomic"
+)
+
+// Replacer is the buffer pool's page-replacement policy over unpinned
+// frames. The pool calls it with its own mutex held, so implementations
+// need no locking of their own (Saves is the exception: it is read by
+// Stats without the pool mutex, hence atomic).
+//
+// The frame-index protocol: a frame enters the replacer when its pin
+// count drops to zero (Unpin), leaves when it is pinned again (Pin),
+// evicted (Victim) or dropped (Remove). Restore re-inserts a frame whose
+// eviction failed (dirty write-back error) at the most-evictable
+// position, so the pool retries it first. The page ID accompanies Unpin
+// and Restore because history-keeping policies (2Q) track identity
+// across evictions.
+type Replacer interface {
+	// Name returns the policy name ("lru", "clock", "2q").
+	Name() string
+	// Unpin makes the frame evictable.
+	Unpin(idx int, id PageID)
+	// Pin makes the frame non-evictable (it is in use again).
+	Pin(idx int)
+	// Victim removes and returns the frame to evict, or -1 if none is
+	// evictable.
+	Victim() int
+	// Restore re-inserts a frame returned by Victim at the
+	// most-evictable position, after a failed eviction.
+	Restore(idx int, id PageID)
+	// Remove forgets the frame entirely (the pool is dropping it).
+	// Removing a frame the replacer does not hold is a no-op.
+	Remove(idx int)
+	// Saves counts hot frames spared from a scan's eviction pressure:
+	// clock second chances granted, and 2Q evictions served from the
+	// scan queue while hot frames sat in the main queue.
+	Saves() uint64
+}
+
+// Replacement policy names accepted by NewReplacer (and the DB option /
+// olapd -replacer flag).
+const (
+	ReplacerLRU   = "lru"
+	ReplacerClock = "clock"
+	Replacer2Q    = "2q"
+)
+
+// NewReplacer builds the named replacement policy for a pool of `frames`
+// frames. An empty name selects LRU, the historical default.
+func NewReplacer(name string, frames int) (Replacer, error) {
+	switch name {
+	case "", ReplacerLRU:
+		return newLRUReplacer(frames), nil
+	case ReplacerClock:
+		return newClockReplacer(frames), nil
+	case Replacer2Q:
+		return new2QReplacer(frames), nil
+	default:
+		return nil, fmt.Errorf("storage: unknown replacer %q (want lru, clock, or 2q)", name)
+	}
+}
+
+// replacerCode maps a policy name to the numeric gauge value exported by
+// Instrument.
+func replacerCode(name string) int {
+	switch name {
+	case ReplacerClock:
+		return 1
+	case Replacer2Q:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// lruReplacer evicts the least recently unpinned frame — the policy the
+// pool hardwired before replacement became pluggable. A doubly linked
+// list keeps unpinned frames in unpin order; elems[idx] locates a
+// frame's node for O(1) removal on re-pin.
+type lruReplacer struct {
+	l     *list.List // of int frame index; front = least recent
+	elems []*list.Element
+}
+
+func newLRUReplacer(frames int) *lruReplacer {
+	return &lruReplacer{l: list.New(), elems: make([]*list.Element, frames)}
+}
+
+func (r *lruReplacer) Name() string { return ReplacerLRU }
+
+func (r *lruReplacer) Unpin(idx int, _ PageID) {
+	if r.elems[idx] == nil {
+		r.elems[idx] = r.l.PushBack(idx)
+	}
+}
+
+func (r *lruReplacer) Pin(idx int) {
+	if e := r.elems[idx]; e != nil {
+		r.l.Remove(e)
+		r.elems[idx] = nil
+	}
+}
+
+func (r *lruReplacer) Victim() int {
+	e := r.l.Front()
+	if e == nil {
+		return -1
+	}
+	r.l.Remove(e)
+	idx := e.Value.(int)
+	r.elems[idx] = nil
+	return idx
+}
+
+func (r *lruReplacer) Restore(idx int, _ PageID) {
+	if r.elems[idx] == nil {
+		r.elems[idx] = r.l.PushFront(idx)
+	}
+}
+
+func (r *lruReplacer) Remove(idx int) { r.Pin(idx) }
+
+func (r *lruReplacer) Saves() uint64 { return 0 }
+
+// clockReplacer is the classic second-chance policy: a hand sweeps the
+// frame array; a frame referenced since the hand last passed (its ref
+// bit is set) is spared once, so one sequential sweep cannot flush pages
+// that are re-referenced between hand revolutions.
+type clockReplacer struct {
+	state []uint8 // 0 = not held, 1 = held ref=0, 2 = held ref=1
+	hand  int
+	held  int
+	saves atomic.Uint64
+}
+
+func newClockReplacer(frames int) *clockReplacer {
+	return &clockReplacer{state: make([]uint8, frames)}
+}
+
+func (r *clockReplacer) Name() string { return ReplacerClock }
+
+func (r *clockReplacer) Unpin(idx int, _ PageID) {
+	if r.state[idx] == 0 {
+		r.held++
+	}
+	r.state[idx] = 2
+}
+
+func (r *clockReplacer) Pin(idx int) {
+	if r.state[idx] != 0 {
+		r.state[idx] = 0
+		r.held--
+	}
+}
+
+func (r *clockReplacer) Victim() int {
+	if r.held == 0 {
+		return -1
+	}
+	for {
+		i := r.hand
+		r.hand++
+		if r.hand == len(r.state) {
+			r.hand = 0
+		}
+		switch r.state[i] {
+		case 2:
+			r.state[i] = 1 // second chance
+			r.saves.Add(1)
+		case 1:
+			r.state[i] = 0
+			r.held--
+			return i
+		}
+	}
+}
+
+func (r *clockReplacer) Restore(idx int, _ PageID) {
+	if r.state[idx] == 0 {
+		r.held++
+	}
+	// ref=0: the failed eviction should be retried before touching
+	// anything else, and the hand reaches it within one revolution.
+	r.state[idx] = 1
+}
+
+func (r *clockReplacer) Remove(idx int) { r.Pin(idx) }
+
+func (r *clockReplacer) Saves() uint64 { return r.saves.Load() }
+
+// twoQEntry is one resident frame in a 2Q queue: the frame index plus
+// the page it held when it was unpinned, recorded so an A1in eviction
+// can leave the page's identity in the A1out ghost list.
+type twoQEntry struct {
+	idx int
+	id  PageID
+}
+
+// twoQReplacer is a simplified 2Q [Johnson & Shasha, VLDB '94]: pages
+// seen once sit in a FIFO scan queue (A1in) and are evicted from it
+// without ever disturbing the main queue; pages re-referenced — while
+// resident, or within the A1out ghost window after an A1in eviction —
+// are promoted to the main LRU queue (Am). A sequential sweep therefore
+// churns only A1in while the hot working set rides out the scan in Am.
+type twoQReplacer struct {
+	a1in  *list.List // of twoQEntry; front = oldest (FIFO)
+	am    *list.List // of twoQEntry; front = least recently promoted
+	elems []*list.Element
+	inAm  []bool
+	// hot[idx] is set when the page currently in the frame was
+	// re-referenced while resident; its next Unpin promotes to Am.
+	hot []bool
+
+	// A1out: ghosts of pages evicted from A1in. A re-reference while
+	// ghosted proves the page is not scan-only and earns Am on arrival.
+	ghost     map[PageID]*list.Element
+	ghostList *list.List // of PageID; front = oldest
+	ghostCap  int
+
+	kin   int // keep A1in at most this long while Am has victims
+	saves atomic.Uint64
+}
+
+func new2QReplacer(frames int) *twoQReplacer {
+	kin := frames / 4
+	if kin < 1 {
+		kin = 1
+	}
+	ghostCap := frames
+	if ghostCap < 1 {
+		ghostCap = 1
+	}
+	return &twoQReplacer{
+		a1in:      list.New(),
+		am:        list.New(),
+		elems:     make([]*list.Element, frames),
+		inAm:      make([]bool, frames),
+		hot:       make([]bool, frames),
+		ghost:     make(map[PageID]*list.Element, ghostCap),
+		ghostList: list.New(),
+		ghostCap:  ghostCap,
+		kin:       kin,
+	}
+}
+
+func (r *twoQReplacer) Name() string { return Replacer2Q }
+
+func (r *twoQReplacer) Unpin(idx int, id PageID) {
+	if r.elems[idx] != nil {
+		return
+	}
+	promote := r.hot[idx]
+	r.hot[idx] = false
+	if ge, ok := r.ghost[id]; ok {
+		promote = true
+		r.ghostList.Remove(ge)
+		delete(r.ghost, id)
+	}
+	if promote {
+		r.elems[idx] = r.am.PushBack(twoQEntry{idx, id})
+		r.inAm[idx] = true
+	} else {
+		r.elems[idx] = r.a1in.PushBack(twoQEntry{idx, id})
+		r.inAm[idx] = false
+	}
+}
+
+func (r *twoQReplacer) Pin(idx int) {
+	if e := r.elems[idx]; e != nil {
+		if r.inAm[idx] {
+			r.am.Remove(e)
+		} else {
+			r.a1in.Remove(e)
+		}
+		r.elems[idx] = nil
+		// Referenced again while resident: promoted on next Unpin.
+		r.hot[idx] = true
+	}
+}
+
+func (r *twoQReplacer) Victim() int {
+	// Evict from the scan queue while it is over its target length (or
+	// the main queue has nothing to give); its page becomes a ghost so a
+	// prompt re-reference still earns promotion.
+	if e := r.a1in.Front(); e != nil && (r.a1in.Len() > r.kin || r.am.Len() == 0) {
+		r.a1in.Remove(e)
+		ent := e.Value.(twoQEntry)
+		r.elems[ent.idx] = nil
+		r.hot[ent.idx] = false
+		r.addGhost(ent.id)
+		if r.am.Len() > 0 {
+			r.saves.Add(1) // a hot Am frame sat out this eviction
+		}
+		return ent.idx
+	}
+	e := r.am.Front()
+	if e == nil {
+		return -1
+	}
+	r.am.Remove(e)
+	ent := e.Value.(twoQEntry)
+	r.elems[ent.idx] = nil
+	r.hot[ent.idx] = false
+	return ent.idx
+}
+
+func (r *twoQReplacer) addGhost(id PageID) {
+	if _, ok := r.ghost[id]; ok {
+		return
+	}
+	if r.ghostList.Len() >= r.ghostCap {
+		oldest := r.ghostList.Front()
+		r.ghostList.Remove(oldest)
+		delete(r.ghost, oldest.Value.(PageID))
+	}
+	r.ghost[id] = r.ghostList.PushBack(id)
+}
+
+func (r *twoQReplacer) Restore(idx int, id PageID) {
+	if r.elems[idx] != nil {
+		return
+	}
+	// Most evictable: head of the scan queue. The ghost entry added by
+	// the failed eviction is stale (the page never left); drop it.
+	if ge, ok := r.ghost[id]; ok {
+		r.ghostList.Remove(ge)
+		delete(r.ghost, id)
+	}
+	r.elems[idx] = r.a1in.PushFront(twoQEntry{idx, id})
+	r.inAm[idx] = false
+}
+
+func (r *twoQReplacer) Remove(idx int) {
+	if e := r.elems[idx]; e != nil {
+		if r.inAm[idx] {
+			r.am.Remove(e)
+		} else {
+			r.a1in.Remove(e)
+		}
+		r.elems[idx] = nil
+	}
+	r.hot[idx] = false
+}
+
+func (r *twoQReplacer) Saves() uint64 { return r.saves.Load() }

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxPayload is the canonical name of the per-frame payload bound. It
+// must be checked against a received length prefix before any buffer —
+// pooled or not — is sized from it.
+const MaxPayload = MaxFrameSize
+
+// maxPooledBuffer bounds what Release returns to the pool; a rare huge
+// frame's buffer is dropped for the GC instead of pinning MBs forever.
+const maxPooledBuffer = 1 << 20
+
+// Buffer is a pooled frame payload. Bytes is valid until Release; after
+// Release the buffer must not be touched (its backing array is handed to
+// the next reader).
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the payload. It aliases pooled memory — decode before
+// Release, and copy anything retained.
+func (b *Buffer) Bytes() []byte {
+	if b == nil {
+		return nil
+	}
+	return b.b
+}
+
+// Release returns the buffer to the frame pool. Safe on nil.
+func (b *Buffer) Release() {
+	if b == nil {
+		return
+	}
+	if cap(b.b) > maxPooledBuffer {
+		return // let the GC take the rare oversized frame
+	}
+	b.b = b.b[:0]
+	framePool.Put(b)
+}
+
+var framePool = sync.Pool{New: func() any { return &Buffer{b: make([]byte, 0, 4096)} }}
+
+// getBuffer returns a pooled buffer sized to n bytes. The caller must
+// have validated n against MaxPayload first: the bound is what makes a
+// hostile length prefix unable to size an allocation.
+func getBuffer(n int) *Buffer {
+	fb := framePool.Get().(*Buffer)
+	if cap(fb.b) < n {
+		fb.b = make([]byte, n)
+	} else {
+		fb.b = fb.b[:n]
+	}
+	return fb
+}
+
+// ReadFrameBuffer reads one frame into a pooled buffer, enforcing
+// MaxPayload before sizing anything from the length prefix. The caller
+// owns the returned buffer and must Release it once the payload is
+// decoded (both sides' frame decoders copy everything they retain, so
+// release-after-decode is safe).
+func ReadFrameBuffer(r io.Reader) (FrameType, *Buffer, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds %d bytes", n, MaxPayload)
+	}
+	fb := getBuffer(int(n))
+	if _, err := io.ReadFull(r, fb.b); err != nil {
+		fb.Release()
+		return 0, nil, err
+	}
+	return FrameType(hdr[4]), fb, nil
+}

@@ -49,7 +49,8 @@ const Magic uint32 = 0x4F4C4150 // "OLAP"
 
 // MaxFrameSize bounds one frame's payload (16 MiB). Row batches are
 // far smaller; the bound exists so a corrupt or hostile length prefix
-// cannot make either side allocate unbounded memory.
+// cannot make either side allocate unbounded memory. MaxPayload (in
+// pool.go) is the canonical name; this alias predates it.
 const MaxFrameSize = 16 << 20
 
 // DefaultBatchRows is how many result rows the server packs into one
@@ -181,29 +182,34 @@ func IsCode(err error, code ErrorCode) bool {
 // length plus the 1-byte frame type.
 const headerSize = 5
 
-// WriteFrame writes one frame: header then payload.
+// WriteFrame writes one frame: header then payload, assembled in a
+// pooled buffer and issued as one Write call — frames stay atomic under
+// a mutex-guarded writer without a second syscall, and the steady state
+// allocates nothing per frame.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
-	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("wire: %s frame payload %d exceeds %d bytes", t, len(payload), MaxFrameSize)
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: %s frame payload %d exceeds %d bytes", t, len(payload), MaxPayload)
 	}
-	hdr := make([]byte, headerSize, headerSize+len(payload))
-	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
-	hdr[4] = byte(t)
-	// One Write call per frame keeps frames atomic under a mutex-guarded
-	// writer without a second syscall.
-	_, err := w.Write(append(hdr, payload...))
+	fb := getBuffer(headerSize + len(payload))
+	binary.BigEndian.PutUint32(fb.b, uint32(len(payload)))
+	fb.b[4] = byte(t)
+	copy(fb.b[headerSize:], payload)
+	_, err := w.Write(fb.b)
+	fb.Release()
 	return err
 }
 
-// ReadFrame reads one frame, enforcing MaxFrameSize.
+// ReadFrame reads one frame into a fresh heap slice the caller owns,
+// enforcing MaxPayload before allocating from the length prefix. Hot
+// paths use ReadFrameBuffer instead, which reuses pooled payloads.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > MaxFrameSize {
-		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds %d bytes", n, MaxFrameSize)
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds %d bytes", n, MaxPayload)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -111,6 +111,10 @@ type Options struct {
 	// databases (bulk experiment loads that are rebuilt on loss).
 	// In-memory databases never log.
 	DisableWAL bool
+	// Replacer selects the buffer pool's page-replacement policy:
+	// "lru" (default), "clock", or "2q". 2Q keeps hot dimension and
+	// index pages resident while large fact scans sweep the pool.
+	Replacer string
 }
 
 // DB is an open database handle. It is not safe for concurrent use; open
@@ -152,7 +156,12 @@ func Open(opts Options) (*DB, error) {
 			frames = 8
 		}
 	}
-	db.bp = storage.NewBufferPool(db.disk, frames)
+	bp, err := storage.NewBufferPoolPolicy(db.disk, frames, opts.Replacer)
+	if err != nil {
+		db.disk.Close()
+		return nil, err
+	}
+	db.bp = bp
 	if opts.Path != "" && !opts.DisableWAL {
 		l, err := wal.Open(walPath(opts.Path))
 		if err != nil {
