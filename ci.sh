@@ -28,8 +28,8 @@ go test -run TestExplainAnalyzeGolden -count=1 ./internal/exec/
 echo "== metrics endpoint smoke =="
 go test -run TestMetricsEndpoint -count=1 .
 
-echo "== go test -race (concurrent sessions + storage + server + cache) =="
-go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... ./internal/cache/... ./client/... .
+echo "== go test -race (concurrent sessions + storage + server + cache + obs) =="
+go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... ./internal/cache/... ./internal/obs/... ./client/... .
 
 echo "== parallel differential suite under -race (GOMAXPROCS=4) =="
 GOMAXPROCS=4 go test -race -count=1 -run 'Parallel|ClampWorkers' \
@@ -86,6 +86,22 @@ if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
     echo "query cache did not hit on the repeated query (hits=${hits:-absent})" >&2
     exit 1
 fi
+
+# TRACE on: the query ID printed by the client must appear verbatim in
+# the flight recorder behind /debug/queries, and the result must carry
+# a span tree.
+traced=$("$smokedir/olapcli" -connect "$addr" -trace \
+    "select sum(volume), h02 from fact, dim0 group by h02")
+qid=$(echo "$traced" | sed -n 's/.*query_id=\([0-9a-f-]*\).*/\1/p' | head -n 1)
+if [ -z "$qid" ]; then
+    echo "traced query printed no query_id:" >&2
+    echo "$traced" >&2
+    exit 1
+fi
+echo "$traced" | grep -q "admission-wait"
+curl -sf "http://$obs/debug/queries?id=$qid" | grep -q "\"query_id\": \"$qid\""
+curl -sf "http://$obs/debug/queries" | grep -q "$qid"
+curl -sf "http://$obs/debug/pprof/cmdline" >/dev/null
 
 kill -TERM "$olapd_pid"
 rc=0

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -64,6 +65,9 @@ func (c ErrorCode) String() string { return wire.ErrorCode(c).String() }
 type Error struct {
 	Code    ErrorCode
 	Message string
+	// QueryID names the failed execution when the server knew it — the
+	// handle for /debug/queries and the server's slow-query log.
+	QueryID string
 }
 
 // Error implements the error interface.
@@ -93,6 +97,14 @@ type Result struct {
 	Rows       []Row
 	// Elapsed is the server-side execution time (not round-trip).
 	Elapsed time.Duration
+	// QueryID is the query's identity: minted client-side before the
+	// frame is sent, echoed back by the server, and usable to look the
+	// execution up in /debug/queries, Profiles, and the server's
+	// slow-query log.
+	QueryID string
+	// Trace is the rendered span tree, filled only when the session has
+	// TRACE on (SetTrace).
+	Trace string
 }
 
 // Explanation is the server's rendered planning decision for a query;
@@ -237,9 +249,9 @@ func (c *Conn) Ping() error {
 }
 
 // SetOption flips a per-session server switch by name; the options
-// today are "CACHE" ("on"/"off") and "PARALLEL" (a worker count). The
-// round-trip runs under the dial timeout (or ctx, whichever fires
-// first).
+// today are "CACHE" ("on"/"off"), "PARALLEL" (a worker count), and
+// "TRACE" ("on"/"off"). The round-trip runs under the dial timeout (or
+// ctx, whichever fires first).
 func (c *Conn) SetOption(ctx context.Context, name, value string) error {
 	if c.broken.Load() {
 		return errors.New("client: connection is broken")
@@ -302,6 +314,68 @@ func (c *Conn) SetParallel(ctx context.Context, workers int) error {
 	return c.SetOption(ctx, "PARALLEL", strconv.Itoa(workers))
 }
 
+// SetTrace turns this connection's server-side tracing on or off (the
+// TRACE session option). On, every query runs with the full
+// fine-grained span tree — sampling bypassed — and Result.Trace carries
+// the rendered tree back.
+func (c *Conn) SetTrace(ctx context.Context, on bool) error {
+	v := "on"
+	if !on {
+		v = "off"
+	}
+	return c.SetOption(ctx, "TRACE", v)
+}
+
+// Profiles reads the server's flight recorder and returns the raw JSON.
+// With queryID set it is that one query's profile (an exec error when
+// the record has aged out); otherwise it is {"recent": [...],
+// "slowest": [...]} with recent capped at limit (0 means the whole
+// ring). The round-trip runs under the dial timeout (or ctx, whichever
+// fires first).
+func (c *Conn) Profiles(ctx context.Context, queryID string, limit int) (string, error) {
+	if c.broken.Load() {
+		return "", errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	c.nextID++
+	id := c.nextID
+	gp := &wire.GetProfiles{ID: id, QueryID: queryID, Limit: uint32(limit)}
+	c.nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	if err := c.writeFrame(wire.FrameGetProfiles, gp.Encode()); err != nil {
+		return "", err
+	}
+	t, fb, err := c.readFrame()
+	if err != nil {
+		return "", err
+	}
+	defer fb.Release()
+	switch t {
+	case wire.FrameProfilesResult:
+		pr, err := wire.DecodeProfilesResult(fb.Bytes())
+		if err != nil || pr.ID != id {
+			c.broken.Store(true)
+			return "", fmt.Errorf("client: bad profiles result: %v", err)
+		}
+		return pr.JSON, nil
+	case wire.FrameError:
+		ef, err := wire.DecodeError(fb.Bytes())
+		if err != nil {
+			c.broken.Store(true)
+			return "", err
+		}
+		return "", &Error{Code: ErrorCode(ef.Code), Message: ef.Message, QueryID: ef.QueryID}
+	default:
+		c.broken.Store(true)
+		return "", fmt.Errorf("client: unexpected %s frame", t)
+	}
+}
+
 // watchCancel arms ctx-cancellation for request id: when ctx fires, a
 // Cancel frame goes to the server and the read deadline drops to
 // CancelGrace, so the pending read either sees the server's
@@ -359,13 +433,18 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 	}
 	c.nextID++
 	id := c.nextID
-	q := &wire.Query{ID: id, Engine: wire.Engine(engine), SQL: sql}
+	// Mint the query's identity here, before the frame leaves: the ID
+	// names this execution in the server's trace, flight recorder, and
+	// slow-query log even if the connection dies before the response.
+	qid := obs.NewQueryID()
+	q := &wire.Query{ID: id, Engine: wire.Engine(engine), SQL: sql, TraceID: qid}
 	if err := c.writeFrame(wire.FrameQuery, q.Encode()); err != nil {
 		return err
 	}
 	if hdr == nil {
 		hdr = &Result{}
 	}
+	hdr.QueryID = qid
 
 	stop := c.watchCancel(ctx, id)
 	defer stop()
@@ -431,6 +510,10 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 				return ctx.Err()
 			}
 			hdr.Elapsed = time.Duration(d.ElapsedNS)
+			if d.QueryID != "" {
+				hdr.QueryID = d.QueryID // server-authoritative echo
+			}
+			hdr.Trace = d.Trace
 			return nil
 		case wire.FrameError:
 			ef, err := wire.DecodeError(fb.Bytes())
@@ -445,7 +528,7 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 			if ef.Code == wire.CodeCanceled && (ctx.Err() != nil) {
 				return ctx.Err()
 			}
-			return &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+			return &Error{Code: ErrorCode(ef.Code), Message: ef.Message, QueryID: ef.QueryID}
 		default:
 			fb.Release()
 			c.broken.Store(true)

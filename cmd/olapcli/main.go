@@ -15,7 +15,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -29,6 +31,10 @@ import (
 	"repro/client"
 )
 
+// traceMode mirrors the session's TRACE switch so result rendering
+// knows to print the span tree (flag -trace, meta-command "trace on").
+var traceMode bool
+
 func main() {
 	path := flag.String("db", "olap.db", "database path")
 	connect := flag.String("connect", "", "query a remote olapd at host:port instead of opening -db")
@@ -38,7 +44,9 @@ func main() {
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds (0 = off)")
 	cacheMB := flag.Int("cache-mb", 0, "enable the query cache with this budget in MiB (0 = off)")
 	workers := flag.Int("workers", 0, "intra-query parallel degree (0 = GOMAXPROCS, 1 = sequential)")
+	trace := flag.Bool("trace", false, "trace every query and print its span tree")
 	flag.Parse()
+	traceMode = *trace
 
 	if *connect != "" {
 		os.Exit(remoteMain(*connect, *engineName, *maxRows, *workers))
@@ -76,6 +84,9 @@ func main() {
 	if *workers > 0 {
 		db.SetParallel(*workers)
 	}
+	if traceMode {
+		db.SetTrace(true)
+	}
 
 	if flag.NArg() > 0 {
 		for _, sql := range flag.Args() {
@@ -111,6 +122,28 @@ func main() {
 			printStats(db)
 			continue
 		}
+		// "recent" lists the flight recorder's latest query profiles;
+		// "profile <id>" dumps one as JSON.
+		if strings.EqualFold(sql, "recent") {
+			printRecent(db.FlightRecorder().Recent(10))
+			continue
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "profile "); ok {
+			printProfile(db.FlightRecorder().Profile(strings.TrimSpace(v)))
+			continue
+		}
+		// "trace on|off" toggles per-query span collection and rendering.
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "trace "); ok {
+			switch strings.TrimSpace(v) {
+			case "on", "off":
+				traceMode = strings.TrimSpace(v) == "on"
+				db.SetTrace(traceMode)
+				fmt.Printf("trace %s\n", strings.TrimSpace(v))
+			default:
+				fmt.Fprintf(os.Stderr, "error: trace wants on|off, got %q\n", v)
+			}
+			continue
+		}
 		// "parallel n" sets the intra-query worker degree (0 = default).
 		if v, ok := strings.CutPrefix(strings.ToLower(sql), "parallel "); ok {
 			if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 0 {
@@ -144,6 +177,12 @@ func remoteMain(addr, engineName string, maxRows, workers int) int {
 	defer conn.Close()
 	if workers > 0 {
 		if err := conn.SetParallel(context.Background(), workers); err != nil {
+			fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+			return 1
+		}
+	}
+	if traceMode {
+		if err := conn.SetTrace(context.Background(), true); err != nil {
 			fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
 			return 1
 		}
@@ -185,6 +224,29 @@ func remoteMain(addr, engineName string, maxRows, workers int) int {
 				continue
 			}
 		}
+		// "trace on|off" flips the server-side TRACE session option:
+		// every query returns its rendered span tree with the result.
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "trace "); ok {
+			v = strings.TrimSpace(v)
+			if v == "on" || v == "off" {
+				if err := conn.SetTrace(context.Background(), v == "on"); err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				} else {
+					traceMode = v == "on"
+					fmt.Printf("trace %s\n", v)
+				}
+				continue
+			}
+		}
+		// "recent" and "profile <id>" read the server's flight recorder.
+		if strings.EqualFold(sql, "recent") {
+			printRemoteProfiles(conn, "", 10)
+			continue
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "profile "); ok {
+			printRemoteProfiles(conn, strings.TrimSpace(v), 0)
+			continue
+		}
 		// "parallel n" sets the server-side worker degree for this
 		// session (the wire PARALLEL option; 0 = server default).
 		if v, ok := strings.CutPrefix(strings.ToLower(sql), "parallel "); ok {
@@ -222,8 +284,8 @@ func runRemoteQuery(conn *client.Conn, sql string, engine client.Engine, maxRows
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plan=%s engine=%s elapsed=%v rows=%d\n",
-		res.Plan, res.Engine, res.Elapsed, len(res.Rows))
+	fmt.Printf("plan=%s engine=%s elapsed=%v rows=%d query_id=%s\n",
+		res.Plan, res.Engine, res.Elapsed, len(res.Rows), res.QueryID)
 	aggNames := make([]string, len(res.Aggs))
 	for i, a := range res.Aggs {
 		aggNames[i] = repro.AggFunc(a).String()
@@ -247,7 +309,58 @@ func runRemoteQuery(conn *client.Conn, sql string, engine client.Engine, maxRows
 		}
 		fmt.Printf("%s | %s\n", strings.Join(r.Groups, ", "), strings.Join(vals, ", "))
 	}
+	if res.Trace != "" {
+		fmt.Printf("trace %s:\n%s", res.QueryID, res.Trace)
+	}
 	return nil
+}
+
+// printRecent renders flight-recorder profiles one per line, most
+// recent first (the "recent" meta-command).
+func printRecent(profiles []*repro.QueryProfile) {
+	if len(profiles) == 0 {
+		fmt.Println("no recorded queries")
+		return
+	}
+	for _, p := range profiles {
+		line := fmt.Sprintf("%s  %8.2fms  engine=%s degree=%d rows=%d cache_hit=%v",
+			p.QueryID, float64(p.Wall)/1e6, p.Engine, p.Degree, p.Rows, p.CacheHit)
+		if p.Err != "" {
+			line += " error=" + p.Err
+		}
+		fmt.Println(line)
+	}
+}
+
+// printProfile dumps one profile as indented JSON (the "profile <id>"
+// meta-command).
+func printProfile(p *repro.QueryProfile) {
+	if p == nil {
+		fmt.Fprintln(os.Stderr, "error: no such query (aged out of the flight recorder?)")
+		return
+	}
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Println(string(b))
+}
+
+// printRemoteProfiles fetches flight-recorder JSON over the wire and
+// pretty-prints it ("recent" / "profile <id>" in -connect mode).
+func printRemoteProfiles(conn *client.Conn, queryID string, limit int) {
+	raw, err := conn.Profiles(context.Background(), queryID, limit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, []byte(raw), "", "  "); err != nil {
+		fmt.Println(raw)
+		return
+	}
+	fmt.Println(buf.String())
 }
 
 // printStats renders the cross-layer engine snapshot (the interactive
@@ -263,6 +376,10 @@ func printStats(db *repro.DB) {
 		fmt.Printf("planner stats age: %v\n", es.StatsAge.Round(time.Second))
 	} else {
 		fmt.Println("planner stats: none (heuristic planning)")
+	}
+	if es.Queries > 0 {
+		fmt.Printf("queries: %d latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			es.Queries, es.LatencyP50*1e3, es.LatencyP95*1e3, es.LatencyP99*1e3)
 	}
 	if es.HasCache {
 		fmt.Printf("result cache: hits=%d misses=%d evictions=%d invalidated=%d bytes=%d entries=%d\n",
@@ -320,9 +437,13 @@ func runQuery(db *repro.DB, sql string, engine repro.Engine, maxRows int) error 
 	if res.Cached {
 		cached = " cached"
 	}
-	fmt.Printf("plan=%s%s elapsed=%v io={%s} rows=%d est={io=%.1f cpu=%.1f rows=%d}\n",
+	qid := ""
+	if res.QueryID != "" {
+		qid = " query_id=" + res.QueryID
+	}
+	fmt.Printf("plan=%s%s elapsed=%v io={%s} rows=%d est={io=%.1f cpu=%.1f rows=%d}%s\n",
 		res.Plan, cached, res.Elapsed, res.IO.String(), len(res.Rows),
-		res.Metrics.EstCostIO, res.Metrics.EstCostCPU, res.Metrics.EstRows)
+		res.Metrics.EstCostIO, res.Metrics.EstCostCPU, res.Metrics.EstRows, qid)
 	aggNames := make([]string, len(res.Aggs))
 	for i, a := range res.Aggs {
 		aggNames[i] = a.String()
@@ -346,6 +467,9 @@ func runQuery(db *repro.DB, sql string, engine repro.Engine, maxRows int) error 
 			}
 		}
 		fmt.Printf("%s | %s\n", strings.Join(r.Groups, ", "), strings.Join(vals, ", "))
+	}
+	if traceMode && res.Trace != nil {
+		fmt.Printf("trace %s:\n%s", res.QueryID, res.Trace.String())
 	}
 	return nil
 }

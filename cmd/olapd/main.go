@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,7 +34,7 @@ import (
 func main() {
 	path := flag.String("db", "olap.db", "database path")
 	listen := flag.String("listen", "127.0.0.1:7432", "query protocol listen address")
-	obsAddr := flag.String("obs", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /healthz, /debug/queries, and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max queries running at once (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "max queries waiting for a slot (0 = 2x max-concurrent, -1 = none)")
 	batchRows := flag.Int("batch-rows", 0, "result rows per wire frame (0 = protocol default)")
@@ -81,6 +82,17 @@ func main() {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		// The flight recorder: the last N completed queries' profiles and
+		// the slowest seen, as JSON (?id=<query-id> for one, ?n= to cap).
+		mux.Handle("/debug/queries", db.FlightRecorder().Handler())
+		// Profiling. Executor and worker goroutines run under pprof labels
+		// (query_id, engine, fingerprint, worker), so CPU samples here can
+		// be cut per query.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		// Listen explicitly so ":0" reports the bound port in the log.
 		lis, err := net.Listen("tcp", *obsAddr)
 		if err != nil {

@@ -14,7 +14,9 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/array"
@@ -146,6 +148,23 @@ type Measurement struct {
 	// reductions the wall clock alone can hide.
 	AllocBytes   uint64
 	AllocObjects uint64
+	// LatencyP50/LatencyP95 are nearest-rank percentiles across the
+	// measured trials' wall times (both equal Elapsed when trials == 1).
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	// Wait is the best trial's wait breakdown, read back from the
+	// executor's flight recorder — where the wall time went.
+	Wait WaitBreakdown
+}
+
+// WaitBreakdown mirrors the flight recorder's phase timings for one
+// query (see obs.QueryProfile).
+type WaitBreakdown struct {
+	Admission time.Duration
+	Cache     time.Duration
+	Plan      time.Duration
+	Exec      time.Duration
+	Sort      time.Duration
 }
 
 // WorkerTiming is one point of a -workers sweep.
@@ -169,6 +188,8 @@ func (e *Env) Run(spec *query.Spec, engine exec.Engine, cold bool, trials int) (
 		trials = 1
 	}
 	var best Measurement
+	var bestQID string
+	elapsed := make([]time.Duration, 0, trials)
 	for t := 0; t < trials; t++ {
 		if cold {
 			if err := e.Ex.DropCaches(); err != nil {
@@ -195,13 +216,29 @@ func (e *Env) Run(spec *query.Spec, engine exec.Engine, cold bool, trials int) (
 		for _, r := range qr.Rows {
 			m.Sum += r.Sum
 		}
+		elapsed = append(elapsed, m.Elapsed)
 		if t == 0 || m.Elapsed < best.Elapsed {
 			best = m
+			bestQID = qr.QueryID
+		}
+	}
+	best.LatencyP50 = durPercentile(elapsed, 0.50)
+	best.LatencyP95 = durPercentile(elapsed, 0.95)
+
+	ectx := e.Ex.Context()
+	// The best trial's wait breakdown, from the flight recorder (the
+	// same record /debug/queries serves for server-side runs).
+	if p := ectx.FlightRecorder().Profile(bestQID); p != nil {
+		best.Wait = WaitBreakdown{
+			Admission: p.AdmissionWait,
+			Cache:     p.CacheWait,
+			Plan:      p.PlanTime,
+			Exec:      p.ExecTime,
+			Sort:      p.SortTime,
 		}
 	}
 
 	// Warm rerun: fill then hit, under a temporary query cache.
-	ectx := e.Ex.Context()
 	ectx.EnableQueryCache(benchCacheBytes)
 	defer ectx.EnableQueryCache(0)
 	if _, err := e.Ex.Execute(spec, engine); err != nil {
@@ -214,6 +251,23 @@ func (e *Env) Run(spec *query.Spec, engine exec.Engine, cold bool, trials int) (
 	best.CachedElapsed = qr.Elapsed
 	best.CacheHit = qr.Cached
 	return best, nil
+}
+
+// durPercentile returns the nearest-rank q-th percentile of ds.
+func durPercentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // WorkersSweep re-runs spec warm (buffer pool populated, query cache

@@ -60,6 +60,21 @@ type MeasurementSnapshot struct {
 	AllocBytes   uint64       `json:"alloc_bytes"`
 	AllocObjects uint64       `json:"alloc_objects"`
 	Metrics      core.Metrics `json:"metrics"`
+	// LatencyP50NS/LatencyP95NS are percentiles across the measured
+	// trials (equal to ElapsedNS when trials == 1).
+	LatencyP50NS int64 `json:"latency_p50_ns,omitempty"`
+	LatencyP95NS int64 `json:"latency_p95_ns,omitempty"`
+	// Wait is the best trial's flight-recorder wait breakdown.
+	Wait *WaitSnapshot `json:"wait,omitempty"`
+}
+
+// WaitSnapshot is a Measurement's wait breakdown in nanoseconds.
+type WaitSnapshot struct {
+	AdmissionNS int64 `json:"admission_ns,omitempty"`
+	CacheNS     int64 `json:"cache_wait_ns,omitempty"`
+	PlanNS      int64 `json:"plan_ns,omitempty"`
+	ExecNS      int64 `json:"exec_ns,omitempty"`
+	SortNS      int64 `json:"sort_ns,omitempty"`
 }
 
 // WorkerTimingSnapshot is one degree of a -workers sweep.
@@ -100,6 +115,17 @@ func Snapshot(fig *Figure, opts Options) *FigureSnapshot {
 				AllocBytes:      m.AllocBytes,
 				AllocObjects:    m.AllocObjects,
 				Metrics:         m.Metrics,
+				LatencyP50NS:    m.LatencyP50.Nanoseconds(),
+				LatencyP95NS:    m.LatencyP95.Nanoseconds(),
+			}
+			if w := m.Wait; w != (WaitBreakdown{}) {
+				ms.Wait = &WaitSnapshot{
+					AdmissionNS: w.Admission.Nanoseconds(),
+					CacheNS:     w.Cache.Nanoseconds(),
+					PlanNS:      w.Plan.Nanoseconds(),
+					ExecNS:      w.Exec.Nanoseconds(),
+					SortNS:      w.Sort.Nanoseconds(),
+				}
 			}
 			for _, wt := range m.WorkersSweep {
 				ms.WorkersSweep = append(ms.WorkersSweep, WorkerTimingSnapshot{

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,7 +74,13 @@ func runWorkers(ctx context.Context, workers int, fn func(ctx context.Context, w
 			activeWorkers.Add(1)
 			defer activeWorkers.Add(-1)
 			start := time.Now()
-			fn(wctx, w, &parts[w])
+			// The worker label composes with the query_id/engine/
+			// fingerprint labels the executor put on wctx, so CPU
+			// profiles attribute samples to individual workers of a
+			// specific query.
+			pprof.Do(wctx, pprof.Labels("worker", strconv.Itoa(w)), func(ctx context.Context) {
+				fn(ctx, w, &parts[w])
+			})
 			parts[w].busy = time.Since(start)
 			if parts[w].err != nil {
 				cancel()
@@ -112,6 +120,7 @@ func mergeParts(parts []workerPartial) (*Result, Metrics, error) {
 		total.BitmapANDs += p.m.BitmapANDs
 		total.WorkerRows = append(total.WorkerRows, p.rows)
 		total.WorkerIO = append(total.WorkerIO, p.io)
+		total.WorkerBusyNS = append(total.WorkerBusyNS, int64(p.busy))
 		busySum += p.busy
 		if p.busy > busyMax {
 			busyMax = p.busy

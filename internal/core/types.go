@@ -296,15 +296,17 @@ type Metrics struct {
 	EstRows    int64   // predicted qualifying fact tuples
 
 	// Intra-query parallelism. ParallelDegree is the number of workers
-	// that actually ran (0 or 1 = sequential); WorkerRows and WorkerIO
-	// carry the per-worker row/chunk-read breakdown, in worker order.
-	// ParallelEfficiency is total worker busy time divided by
+	// that actually ran (0 or 1 = sequential); WorkerRows, WorkerIO,
+	// and WorkerBusyNS carry the per-worker row/chunk-read/busy-time
+	// breakdown, in worker order (busy time feeds the per-worker trace
+	// spans). ParallelEfficiency is total worker busy time divided by
 	// degree x the slowest worker's busy time: 1.0 means perfectly
 	// balanced partitions, lower values mean workers idled at the merge
 	// barrier.
 	ParallelDegree     int     `json:",omitempty"`
 	WorkerRows         []int64 `json:",omitempty"`
 	WorkerIO           []int64 `json:",omitempty"`
+	WorkerBusyNS       []int64 `json:",omitempty"`
 	ParallelEfficiency float64 `json:",omitempty"`
 }
 

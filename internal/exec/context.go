@@ -38,6 +38,13 @@ type ExecContext struct {
 	// balance across workers) for queries that actually fanned out.
 	parallelEff *obs.Histogram
 
+	// Query-lifecycle tracing: the flight recorder keeps the last N
+	// completed queries' profiles (served at /debug/queries); the
+	// sampler decides which queries collect fine-grained spans. Both
+	// are shared database-wide.
+	recorder *obs.FlightRecorder
+	sampler  *obs.Sampler
+
 	mu   sync.Mutex
 	gen  uint64 // bumped by InvalidateHandles; lets callers spot stale handles
 	dims []*catalog.DimensionTable
@@ -85,7 +92,30 @@ func NewExecContext(bp *storage.BufferPool, cat *catalog.Catalog) *ExecContext {
 		parallelEff: reg.Histogram("parallel_efficiency",
 			"per-query parallel efficiency: worker busy-time sum / (degree x slowest worker)",
 			[]float64{0.25, 0.5, 0.75, 0.9, 0.95, 1}),
+		recorder: obs.NewFlightRecorder(obs.DefaultFlightRecorderSize, obs.DefaultFlightRecorderTopK),
+		sampler:  obs.NewSampler(DefaultTraceSampleEvery),
 	}
+}
+
+// DefaultTraceSampleEvery is the default fine-grained span sampling
+// rate: 1 in this many queries collects per-worker spans. Coarse spans
+// and the flight recorder cover every query regardless; TRACE on
+// bypasses sampling for its session.
+const DefaultTraceSampleEvery = 64
+
+// FlightRecorder returns the database-wide recorder of completed-query
+// profiles.
+func (c *ExecContext) FlightRecorder() *obs.FlightRecorder { return c.recorder }
+
+// TraceSampler returns the fine-grained span sampler, so callers can
+// retune the rate (0 disables sampling).
+func (c *ExecContext) TraceSampler() *obs.Sampler { return c.sampler }
+
+// QueryLatency reports the shared wall-time histogram's count and
+// bucket-interpolated p50/p95/p99 estimates, in seconds.
+func (c *ExecContext) QueryLatency() (count int64, p50, p95, p99 float64) {
+	h := c.queryLatency
+	return h.Count(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 }
 
 // BufferPool returns the underlying buffer pool.

@@ -3,11 +3,14 @@ package exec
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
+	"runtime/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -64,12 +67,19 @@ type QueryResult struct {
 	Metrics    core.Metrics
 	Elapsed    time.Duration
 	IO         storage.Stats
+	// QueryID names this execution end to end: it appears in the trace,
+	// the slow-query log, the flight recorder's /debug/queries profile,
+	// and pprof labels. Carried in from the client's wire frame, or
+	// minted here for embedded callers. Empty for EXPLAIN-only queries.
+	QueryID string
 	// Explanation describes the planning decision: estimated
 	// selectivity, every candidate's cost, and the chosen plan tree.
 	// After EXPLAIN ANALYZE its tree carries per-operator actuals.
 	Explanation *Explanation
-	// Trace is the span tree of this execution (plan / execute / sort
-	// phases with their wall times). Nil for EXPLAIN-only queries.
+	// Trace is the span tree of this execution: admission wait (when
+	// the server measured one), the cache probe, plan / execute / sort
+	// phases, and — on sampled or TRACE-on queries — per-worker spans.
+	// Nil for EXPLAIN-only queries.
 	Trace *obs.Trace
 	// Cached reports that Rows came from the result cache (or a
 	// deduplicated concurrent execution) rather than a fresh engine run.
@@ -125,6 +135,10 @@ type Executor struct {
 	// parallel is the session's intra-query parallel degree (the
 	// PARALLEL n option): 0 = default to GOMAXPROCS, 1 = sequential.
 	parallel atomic.Int32
+
+	// traceOn is the session's TRACE switch: every query collects the
+	// fully sampled span tree regardless of the database sampler.
+	traceOn atomic.Bool
 }
 
 // NewExecutor creates an executor with its own fresh ExecContext.
@@ -206,6 +220,15 @@ func (e *Executor) SetCacheEnabled(on bool) { e.cacheOff.Store(!on) }
 // cache (regardless of whether the database has one configured).
 func (e *Executor) CacheEnabled() bool { return !e.cacheOff.Load() }
 
+// SetTrace switches per-session tracing: with TRACE on, every query
+// collects the fully sampled span tree (per-worker spans included) and
+// the result carries it for rendering — the session-level override of
+// the database's 1-in-N sampler.
+func (e *Executor) SetTrace(on bool) { e.traceOn.Store(on) }
+
+// TraceEnabled reports the session TRACE switch.
+func (e *Executor) TraceEnabled() bool { return e.traceOn.Load() }
+
 // SetSlowQueryLog turns on slow-query logging for this executor:
 // queries running at or above min are reported to l with their plan,
 // algorithm counters, and buffer pool I/O. A nil logger turns it off.
@@ -229,18 +252,43 @@ func (e *Executor) ExecuteContext(ctx context.Context, spec *query.Spec, engine 
 
 // executeSpec is Execute with the query text threaded through for the
 // slow-query log (empty when the caller started from a compiled Spec).
+//
+// It owns the query's whole observable lifecycle: the trace (seeded
+// with the server-measured admission wait when one rode in on the
+// context's QueryTag), the sampling decision, and the flight-recorder
+// profile every exit path publishes through finishQuery.
 func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Engine, sql string) (*QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	prof := &obs.QueryProfile{Start: time.Now(), SQL: sql}
+	traceOn := e.traceOn.Load()
+	if tag := obs.QueryTagFromContext(ctx); tag != nil {
+		prof.QueryID = tag.ID
+		prof.AdmissionWait = tag.AdmissionWait
+		traceOn = traceOn || tag.TraceOn
+	}
+	if prof.QueryID == "" {
+		prof.QueryID = obs.NewQueryID()
+	}
 	tr := obs.NewTrace("query")
-	sp := tr.Root.Child("plan")
+	tr.SetSampled(traceOn || e.ctx.sampler.Sample())
+	prof.Sampled = tr.Sampled()
+	tr.Root.Set("query_id", prof.QueryID)
+	if prof.AdmissionWait > 0 {
+		tr.Root.ChildAt("admission-wait", prof.Start.Add(-prof.AdmissionWait), prof.AdmissionWait)
+	}
+	planSp := tr.Root.Child("plan")
 	plan, expl, err := e.plan(spec, engine)
-	sp.End()
+	planSp.End()
+	prof.PlanTime = planSp.Duration
 	if err != nil {
 		return nil, err
 	}
+	prof.Plan = plan.Name()
+	prof.Engine = plan.Engine().String()
 	qr := &QueryResult{
+		QueryID:     prof.QueryID,
 		GroupAttrs:  spec.GroupAttrs,
 		Aggs:        spec.Aggs,
 		Plan:        plan.Name(),
@@ -251,23 +299,38 @@ func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Eng
 	qr.Metrics.EstCostCPU = est.CPU
 	qr.Metrics.EstRows = est.Rows
 	if spec.Explain && !spec.Analyze {
+		qr.QueryID = ""
 		return qr, nil
 	}
-
-	rc, epoch := e.ctx.resultCache()
-	if rc == nil || e.cacheOff.Load() {
-		return e.runPlan(ctx, tr, spec, plan, expl, qr, sql)
-	}
+	prof.EstIO = est.IO
+	prof.EstRows = est.Rows
 
 	statsGen := int64(0)
 	if st := e.ctx.Catalog().Stats; st != nil {
 		statsGen = st.CollectedUnix
 	}
 	key := fingerprint(spec, plan, statsGen)
+	prof.Fingerprint = fingerprintHash(key)
+
+	rc, epoch := e.ctx.resultCache()
+	prof.CacheEpoch = epoch
+	if rc == nil || e.cacheOff.Load() {
+		rqr, rerr := e.runPlan(ctx, tr, prof, spec, plan, expl, qr)
+		return e.finishQuery(tr, prof, rqr, rerr)
+	}
+
+	probeSp := tr.Root.Child("cache-probe")
 	probeStart := time.Now()
 	if v, ok := rc.Get(key, epoch); ok {
-		return e.cachedQueryResult(qr, v.(*cachedResult), time.Since(probeStart)), nil
+		probeSp.Set("hit", true)
+		probeSp.End()
+		prof.CacheHit = true
+		prof.CacheWait = probeSp.Duration
+		return e.finishQuery(tr, prof, e.cachedQueryResult(qr, v.(*cachedResult), time.Since(probeStart)), nil)
 	}
+	probeSp.Set("hit", false)
+	probeSp.End()
+	prof.CacheWait = probeSp.Duration
 
 	// Miss: run under singleflight so N concurrent identical queries
 	// execute the engine once and share the rows. The flight key carries
@@ -283,7 +346,7 @@ func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Eng
 		if v, ok := rc.Get(key, epoch); ok {
 			return v.(*cachedResult), nil
 		}
-		lqr, err := e.runPlan(ctx, tr, spec, plan, expl, qr, sql)
+		lqr, err := e.runPlan(ctx, tr, prof, spec, plan, expl, qr)
 		if err != nil {
 			return nil, err
 		}
@@ -299,30 +362,75 @@ func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Eng
 		return cr, nil
 	})
 	if err != nil {
-		return nil, err
+		return e.finishQuery(tr, prof, nil, err)
 	}
 	if !shared {
 		if leaderQR != nil {
-			return leaderQR, nil
+			return e.finishQuery(tr, prof, leaderQR, nil)
 		}
 		// Leader whose double-check probe hit: already counted as a
 		// cache hit, not a deduplicated execution.
-		return e.cachedQueryResult(qr, v.(*cachedResult), time.Since(probeStart)), nil
+		prof.CacheHit = true
+		prof.CacheWait += time.Since(probeStart)
+		return e.finishQuery(tr, prof, e.cachedQueryResult(qr, v.(*cachedResult), time.Since(probeStart)), nil)
 	}
 	wait := time.Since(probeStart)
+	tr.Root.ChildAt("singleflight-wait", probeStart, wait)
+	prof.CacheHit = true
+	prof.CacheWait += wait
 	if dedup, sfWait := e.ctx.singleflightStats(); dedup != nil {
 		dedup.Inc()
 		sfWait.Observe(wait.Seconds())
 	}
-	return e.cachedQueryResult(qr, v.(*cachedResult), wait), nil
+	return e.finishQuery(tr, prof, e.cachedQueryResult(qr, v.(*cachedResult), wait), nil)
+}
+
+// finishQuery is the single exit for every executed (or failed) query,
+// cached or fresh: it closes the trace, attaches it to the result,
+// publishes the flight-recorder profile, and emits the slow-query log
+// line with the correlation fields (query_id, cache_hit,
+// parallel_degree) that join the three views of the same query.
+func (e *Executor) finishQuery(tr *obs.Trace, prof *obs.QueryProfile, qr *QueryResult, err error) (*QueryResult, error) {
+	tr.End()
+	prof.Wall = time.Since(prof.Start)
+	if err != nil {
+		prof.Err = err.Error()
+		e.ctx.recorder.Record(prof)
+		return nil, err
+	}
+	prof.Rows = len(qr.Rows)
+	prof.Degree = qr.Metrics.ParallelDegree
+	prof.PhysicalReads = qr.IO.PhysicalReads
+	prof.LogicalReads = qr.IO.LogicalReads
+	prof.CacheHit = prof.CacheHit || qr.Cached
+	qr.Trace = tr
+	e.ctx.recorder.Record(prof)
+	if e.slowLog != nil && qr.Elapsed >= e.slowMin {
+		e.slowLog.Warn("slow query",
+			slog.String("query_id", prof.QueryID),
+			slog.String("sql", prof.SQL),
+			slog.String("plan", qr.Plan),
+			slog.String("engine", prof.Engine),
+			slog.Duration("elapsed", qr.Elapsed),
+			slog.Int("rows", len(qr.Rows)),
+			slog.Bool("cache_hit", prof.CacheHit),
+			slog.Int("parallel_degree", qr.Metrics.ParallelDegree),
+			slog.Uint64("physical_reads", qr.IO.PhysicalReads),
+			slog.Uint64("logical_reads", qr.IO.LogicalReads),
+			slog.Float64("est_io", prof.EstIO),
+			slog.Int64("est_rows", prof.EstRows),
+		)
+	}
+	return qr, nil
 }
 
 // cachedQueryResult finishes qr from a cached (or deduplicated)
 // execution: the shared rows plus the metrics and I/O of the run that
 // produced them, with this call's own wall time. A served entry is not
 // an engine execution — it is not counted in queries_<engine>_total,
-// carries no trace, and EXPLAIN ANALYZE reports the hit instead of
-// per-operator actuals.
+// and EXPLAIN ANALYZE reports the hit instead of per-operator actuals.
+// The trace it does carry (attached by finishQuery) shows the probe,
+// not engine spans.
 func (e *Executor) cachedQueryResult(qr *QueryResult, cr *cachedResult, elapsed time.Duration) *QueryResult {
 	qr.Rows = cr.rows
 	qr.Metrics = cr.metrics
@@ -335,17 +443,33 @@ func (e *Executor) cachedQueryResult(qr *QueryResult, cr *cachedResult, elapsed 
 }
 
 // runPlan executes a planned query on its engine, filling qr with rows,
-// metrics, I/O deltas, the trace, and (for ANALYZE) per-operator
-// actuals.
-func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, spec *query.Spec, plan Plan, expl *Explanation, qr *QueryResult, sql string) (*QueryResult, error) {
+// metrics, I/O deltas, and (for ANALYZE) per-operator actuals. The
+// engine runs under pprof labels (query_id / engine / fingerprint) so
+// CPU profiles attribute samples to queries; worker goroutines inherit
+// the labels through the context. Trace closing, profile recording,
+// and slow-query logging happen in finishQuery, not here — the leader
+// of a singleflight runs this while its followers wait outside.
+func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, prof *obs.QueryProfile, spec *query.Spec, plan Plan, expl *Explanation, qr *QueryResult) (*QueryResult, error) {
 	est := expl.ChosenCost()
 	ioBefore := e.ctx.BufferPool().Stats()
 	start := time.Now()
 	run := tr.Root.Child("execute")
 	run.Set("plan", plan.Name())
 	run.Set("engine", plan.Engine().String())
-	res, metrics, err := plan.Run(ctx, e.ctx)
+	var (
+		res     *core.Result
+		metrics core.Metrics
+		err     error
+	)
+	pprof.Do(ctx, pprof.Labels(
+		"query_id", prof.QueryID,
+		"engine", plan.Engine().String(),
+		"fingerprint", prof.Fingerprint,
+	), func(ctx context.Context) {
+		res, metrics, err = plan.Run(ctx, e.ctx)
+	})
 	run.End()
+	prof.ExecTime = run.Duration
 	if err != nil {
 		return nil, err
 	}
@@ -355,6 +479,7 @@ func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, spec *query.Spec,
 	sortSp := tr.Root.Child("sort")
 	qr.Rows = res.SortedRows()
 	sortSp.End()
+	prof.SortTime = sortSp.Duration
 	// Rows are GC-heap copies; the cube and the query's decode scratch
 	// live in the result's arena, which can be recycled now. The plan's
 	// array clone died with plan.Run, so nothing still reads from it.
@@ -364,8 +489,23 @@ func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, spec *query.Spec,
 	qr.IO = e.ctx.BufferPool().Stats().Sub(ioBefore)
 	run.Set("rows", len(qr.Rows))
 	run.Set("physical_reads", qr.IO.PhysicalReads)
-	tr.End()
-	qr.Trace = tr
+	prof.ArenaBytes = arena.BytesInUse()
+	if tr.Sampled() {
+		run.Set("logical_reads", qr.IO.LogicalReads)
+		run.Set("arena_bytes", prof.ArenaBytes)
+		// Per-worker fine spans, synthesized from the busy times the
+		// merge phase collected — no hot-loop instrumentation.
+		for w := 0; w < len(metrics.WorkerBusyNS); w++ {
+			busy := time.Duration(metrics.WorkerBusyNS[w])
+			ws := run.ChildAt("worker-"+strconv.Itoa(w), start, busy)
+			if w < len(metrics.WorkerRows) {
+				ws.Set("rows", metrics.WorkerRows[w])
+			}
+			if w < len(metrics.WorkerIO) {
+				ws.Set("io", metrics.WorkerIO[w])
+			}
+		}
+	}
 	e.ctx.recordQuery(plan.Engine(), qr.Elapsed.Seconds())
 	if metrics.ParallelDegree > 1 {
 		e.ctx.parallelEff.Observe(metrics.ParallelEfficiency)
@@ -380,20 +520,17 @@ func (e *Executor) runPlan(ctx context.Context, tr *obs.Trace, spec *query.Spec,
 		})
 		expl.Analyzed = true
 	}
-	if e.slowLog != nil && qr.Elapsed >= e.slowMin {
-		e.slowLog.Warn("slow query",
-			slog.String("sql", sql),
-			slog.String("plan", qr.Plan),
-			slog.String("engine", plan.Engine().String()),
-			slog.Duration("elapsed", qr.Elapsed),
-			slog.Int("rows", len(qr.Rows)),
-			slog.Uint64("physical_reads", qr.IO.PhysicalReads),
-			slog.Uint64("logical_reads", qr.IO.LogicalReads),
-			slog.Float64("est_io", est.IO),
-			slog.Int64("est_rows", est.Rows),
-		)
-	}
 	return qr, nil
+}
+
+// fingerprintHash compresses a semantic fingerprint into the 16-hex
+// form used as a pprof label and flight-recorder field — the full
+// fingerprint spells out every predicate value and can be arbitrarily
+// long.
+func fingerprintHash(fp string) string {
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	return strconv.FormatUint(h.Sum64(), 16)
 }
 
 // ExecuteSQL parses, compiles, and executes a SQL-subset query.

@@ -33,6 +33,8 @@ type GaugeValue struct {
 
 // HistogramValue is one histogram in a Snapshot. Buckets are cumulative
 // counts per upper bound, Prometheus-style; the final bucket is +Inf.
+// P50/P95/P99 are bucket-interpolated quantile estimates (see
+// Histogram.Quantile), zero when the histogram is empty.
 type HistogramValue struct {
 	Name    string    `json:"name"`
 	Help    string    `json:"help,omitempty"`
@@ -40,6 +42,9 @@ type HistogramValue struct {
 	Buckets []int64   `json:"buckets"`
 	Count   int64     `json:"count"`
 	Sum     float64   `json:"sum"`
+	P50     float64   `json:"p50,omitempty"`
+	P95     float64   `json:"p95,omitempty"`
+	P99     float64   `json:"p99,omitempty"`
 }
 
 // Counter returns the named counter's value from the snapshot, or 0.
@@ -98,6 +103,11 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.buckets {
 			cum += h.buckets[i].Load()
 			hv.Buckets = append(hv.Buckets, cum)
+		}
+		if hv.Count > 0 {
+			hv.P50 = bucketQuantile(hv.Bounds, hv.Buckets, hv.Count, 0.50)
+			hv.P95 = bucketQuantile(hv.Bounds, hv.Buckets, hv.Count, 0.95)
+			hv.P99 = bucketQuantile(hv.Bounds, hv.Buckets, hv.Count, 0.99)
 		}
 		s.Histograms = append(s.Histograms, hv)
 	}

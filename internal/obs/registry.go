@@ -115,6 +115,52 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum reports the running sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// target rank — the same estimate Prometheus's histogram_quantile
+// computes server-side. Returns 0 on an empty histogram; ranks landing
+// in the +Inf bucket report the highest finite bound (the estimate
+// cannot exceed what the buckets resolve).
+func (h *Histogram) Quantile(q float64) float64 {
+	cum := make([]int64, len(h.buckets))
+	total := int64(0)
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+		cum[i] = total
+	}
+	return bucketQuantile(h.bounds, cum, total, q)
+}
+
+// bucketQuantile is the interpolation shared by Histogram.Quantile and
+// the snapshot exposition; cum holds cumulative bucket counts, the last
+// entry being the +Inf bucket (== count).
+func bucketQuantile(bounds []float64, cum []int64, count int64, q float64) float64 {
+	if count == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i == len(bounds) {
+			return bounds[len(bounds)-1] // +Inf bucket
+		}
+		lo := 0.0
+		prev := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+			prev = cum[i-1]
+		}
+		inBucket := c - prev
+		if inBucket == 0 {
+			return bounds[i]
+		}
+		return lo + (bounds[i]-lo)*(rank-float64(prev))/float64(inBucket)
+	}
+	return bounds[len(bounds)-1]
+}
+
 // LatencyBuckets are the default bounds for latency histograms, in
 // seconds: 1µs to 10s, a decade apart, with a few intra-decade points in
 // the query-relevant millisecond range.

@@ -19,6 +19,11 @@ type Attr struct {
 // A span is written by the goroutine that created it; the mutex only
 // guards the child list so sibling spans may be produced concurrently
 // (parallel plan stages).
+//
+// Every method is a no-op on a nil receiver, and Child on a nil span
+// returns nil. Fine-grained instrumentation can therefore hold a nil
+// span when the trace is unsampled and pay nothing — no allocation, no
+// clock read (see Trace.Fine).
 type Span struct {
 	Name     string        `json:"name"`
 	Start    time.Time     `json:"start"`
@@ -31,7 +36,24 @@ type Span struct {
 
 // Child starts a nested span.
 func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
 	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildAt records an already-measured region as a closed child span.
+// Layers that time a wait themselves (server admission, per-worker busy
+// time) use it to graft the measurement into the tree after the fact.
+func (s *Span) ChildAt(name string, start time.Time, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: start, Duration: d}
 	s.mu.Lock()
 	s.Children = append(s.Children, c)
 	s.mu.Unlock()
@@ -40,6 +62,9 @@ func (s *Span) Child(name string) *Span {
 
 // End closes the span, fixing its duration. Idempotent.
 func (s *Span) End() {
+	if s == nil {
+		return
+	}
 	if s.Duration == 0 {
 		s.Duration = time.Since(s.Start)
 	}
@@ -47,6 +72,9 @@ func (s *Span) End() {
 
 // Set attaches one key/value annotation.
 func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
 	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
 	s.mu.Unlock()
@@ -54,13 +82,43 @@ func (s *Span) Set(key string, value any) {
 
 // Trace is the span tree of one query execution, attached to the
 // QueryResult so callers can see where the time went.
+//
+// Coarse spans (plan, execute, sort, the cache probe) are recorded on
+// every trace; fine-grained spans (per-worker breakdowns) only when the
+// trace is sampled — see Fine.
 type Trace struct {
 	Root *Span `json:"root"`
+
+	// sampled gates fine-grained spans. It is set once, before the
+	// query fans out to workers, and only read afterwards.
+	sampled bool
 }
 
 // NewTrace opens a trace whose root span starts now.
 func NewTrace(name string) *Trace {
 	return &Trace{Root: &Span{Name: name, Start: time.Now()}}
+}
+
+// SetSampled marks the trace for fine-grained span collection. Must be
+// called before the query fans out (it is not synchronized).
+func (t *Trace) SetSampled(on bool) {
+	if t != nil {
+		t.sampled = on
+	}
+}
+
+// Sampled reports whether fine-grained spans are being collected.
+func (t *Trace) Sampled() bool { return t != nil && t.sampled }
+
+// Fine starts a child span of parent only when the trace is sampled;
+// otherwise it returns nil, and the nil span absorbs Set/End/Child
+// calls without allocating. This is the zero-cost gate for spans too
+// numerous to record on every query.
+func (t *Trace) Fine(parent *Span, name string) *Span {
+	if t == nil || !t.sampled {
+		return nil
+	}
+	return parent.Child(name)
 }
 
 // End closes the root span.

@@ -12,6 +12,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -314,6 +315,11 @@ type conn struct {
 
 	wmu sync.Mutex // serializes frames from concurrent query goroutines
 
+	// traceOn mirrors the session's TRACE option for the frame loop:
+	// when set, ResultDone frames carry the rendered span tree. Atomic
+	// because option frames race in-flight query goroutines.
+	traceOn atomic.Bool
+
 	imu      sync.Mutex
 	inflight map[uint32]context.CancelFunc
 	qwg      sync.WaitGroup // this connection's query goroutines
@@ -330,6 +336,14 @@ func (c *conn) writeFrame(t wire.FrameType, payload []byte) error {
 
 func (c *conn) writeError(id uint32, code wire.ErrorCode, msg string) {
 	c.writeFrame(wire.FrameError, (&wire.ErrorFrame{ID: id, Code: code, Message: msg}).Encode())
+}
+
+// writeQueryError is writeError for failures inside an identified
+// execution: the frame carries the query ID so clients can join the
+// error against /debug/queries and the slow-query log.
+func (c *conn) writeQueryError(id uint32, code wire.ErrorCode, msg, queryID string) {
+	c.writeFrame(wire.FrameError,
+		(&wire.ErrorFrame{ID: id, Code: code, Message: msg, QueryID: queryID}).Encode())
 }
 
 // readFrame reads one frame into a pooled buffer the caller must
@@ -448,6 +462,15 @@ func (c *conn) serve() {
 			// violation — the connection stays up.
 			c.handleSetOption(so)
 			c.srv.frameLatency.ObserveDuration(time.Since(start))
+		case wire.FrameGetProfiles:
+			gp, err := wire.DecodeGetProfiles(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			c.handleGetProfiles(gp)
+			c.srv.frameLatency.ObserveDuration(time.Since(start))
 		default:
 			fb.Release()
 			c.writeError(0, wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", t))
@@ -459,11 +482,24 @@ out:
 	c.qwg.Wait() // let query goroutines finish their final writes
 }
 
-// handleSetOption applies one session option: CACHE on|off or
-// PARALLEL n. The session switch takes effect for the next query (an
-// in-flight query keeps the setting it started with).
+// handleSetOption applies one session option: CACHE on|off,
+// PARALLEL n, or TRACE on|off. The session switch takes effect for the
+// next query (an in-flight query keeps the setting it started with).
 func (c *conn) handleSetOption(so *wire.SetOption) {
 	switch strings.ToUpper(so.Name) {
+	case "TRACE":
+		switch strings.ToLower(so.Value) {
+		case "on":
+			c.sess.SetTrace(true)
+			c.traceOn.Store(true)
+		case "off":
+			c.sess.SetTrace(false)
+			c.traceOn.Store(false)
+		default:
+			c.writeError(so.ID, wire.CodeProtocol,
+				fmt.Sprintf("bad value %q for option TRACE (want on|off)", so.Value))
+			return
+		}
 	case "CACHE":
 		switch strings.ToLower(so.Value) {
 		case "on":
@@ -575,33 +611,49 @@ func (c *conn) handleQuery(q *wire.Query) {
 		c.writeError(q.ID, wire.CodeProtocol, err.Error())
 		return
 	}
+	// The query's identity for tracing and the flight recorder:
+	// client-minted when the frame carries one, server-minted otherwise.
+	qid := q.TraceID
+	if qid == "" {
+		qid = obs.NewQueryID()
+	}
 	ctx, cancel := context.WithCancel(c.ctx)
 	defer cancel()
 	c.registerQuery(q.ID, cancel)
 	defer c.unregisterQuery(q.ID)
 
+	admitStart := time.Now()
 	if !c.admit(ctx, q.ID) {
 		return
 	}
 	defer c.srv.adm.release()
 	defer c.srv.endQuery()
+	admissionWait := time.Since(admitStart)
 
 	// Classify parse errors before execution so clients can tell a bad
 	// query from a failed one.
 	if _, err := query.ParseAndCompile(q.SQL, c.srv.db.Schema()); err != nil {
 		c.srv.qFailed.Inc()
-		c.writeError(q.ID, wire.CodeParse, err.Error())
+		c.writeQueryError(q.ID, wire.CodeParse, err.Error(), qid)
 		return
 	}
 
+	// Hand the identity and the measured admission wait to the executor:
+	// it grafts the wait into the span tree and stamps the ID through the
+	// trace, slow-query log, flight recorder, and pprof labels.
+	ctx = obs.ContextWithQueryTag(ctx, &obs.QueryTag{
+		ID:            qid,
+		TraceOn:       c.traceOn.Load(),
+		AdmissionWait: admissionWait,
+	})
 	res, err := c.sess.QueryOnContext(ctx, q.SQL, engine)
 	if err != nil {
 		if ctx.Err() != nil {
 			c.srv.qCanceled.Inc()
-			c.writeError(q.ID, wire.CodeCanceled, "query canceled")
+			c.writeQueryError(q.ID, wire.CodeCanceled, "query canceled", qid)
 		} else {
 			c.srv.qFailed.Inc()
-			c.writeError(q.ID, wire.CodeExec, err.Error())
+			c.writeQueryError(q.ID, wire.CodeExec, err.Error(), qid)
 		}
 		return
 	}
@@ -624,7 +676,7 @@ func (c *conn) handleQuery(q *wire.Query) {
 		// the stream without waiting for the remaining rows.
 		if ctx.Err() != nil {
 			c.srv.qCanceled.Inc()
-			c.writeError(q.ID, wire.CodeCanceled, "query canceled mid-stream")
+			c.writeQueryError(q.ID, wire.CodeCanceled, "query canceled mid-stream", qid)
 			return
 		}
 		end := off + batch
@@ -641,8 +693,44 @@ func (c *conn) handleQuery(q *wire.Query) {
 			return
 		}
 	}
-	done := &wire.ResultDone{ID: q.ID, ElapsedNS: res.Elapsed.Nanoseconds(), Rows: int64(len(res.Rows))}
+	done := &wire.ResultDone{
+		ID:        q.ID,
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+		Rows:      int64(len(res.Rows)),
+		QueryID:   res.QueryID,
+	}
+	if c.traceOn.Load() && res.Trace != nil {
+		done.Trace = res.Trace.String()
+	}
 	c.writeFrame(wire.FrameResultDone, done.Encode())
+}
+
+// handleGetProfiles answers a GetProfiles frame from the database's
+// flight recorder: one profile by query ID, or the recent/slowest sets
+// (the same shape /debug/queries serves). Like SetOption it is
+// metadata, served on the frame loop without admission.
+func (c *conn) handleGetProfiles(gp *wire.GetProfiles) {
+	fr := c.srv.db.FlightRecorder()
+	var payload any
+	if gp.QueryID != "" {
+		p := fr.Profile(gp.QueryID)
+		if p == nil {
+			c.writeError(gp.ID, wire.CodeExec, fmt.Sprintf("no profile for query %q", gp.QueryID))
+			return
+		}
+		payload = p
+	} else {
+		payload = struct {
+			Recent  []*obs.QueryProfile `json:"recent"`
+			Slowest []*obs.QueryProfile `json:"slowest"`
+		}{fr.Recent(int(gp.Limit)), fr.Slowest()}
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		c.writeError(gp.ID, wire.CodeExec, err.Error())
+		return
+	}
+	c.writeFrame(wire.FrameProfilesResult, (&wire.ProfilesResult{ID: gp.ID, JSON: string(b)}).Encode())
 }
 
 // engineOfPlan recovers the executed engine family from the result's

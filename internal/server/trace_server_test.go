@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/client"
+)
+
+// syncBuffer lets the slow-query log be written from query goroutines
+// and read by the test without a race.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServerTraceRoundTrip proves the query ID survives the whole
+// journey: minted by the client, carried in the Query frame, stamped
+// into the span tree returned with TRACE on, the server's slow-query
+// log, and the flight recorder behind /debug/queries and GetProfiles.
+func TestServerTraceRoundTrip(t *testing.T) {
+	var logBuf syncBuffer
+	srv, db := startServer(t, Config{
+		SlowQueryLog: slog.New(slog.NewTextHandler(&logBuf, nil)),
+		SlowQueryMin: 0, // log every query
+	})
+	db.EnableQueryCache(8 << 20)
+
+	conn, err := client.Dial(srv.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	if err := conn.SetTrace(ctx, true); err != nil {
+		t.Fatalf("SetTrace: %v", err)
+	}
+	if err := conn.SetParallel(ctx, 2); err != nil {
+		t.Fatalf("SetParallel: %v", err)
+	}
+
+	res, err := conn.Query(ctx, retailQuery, client.Array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryID == "" {
+		t.Fatal("result carries no query ID")
+	}
+	if res.Trace == "" {
+		t.Fatal("TRACE on but result carries no span tree")
+	}
+	for _, span := range []string{"admission-wait", "plan", "cache-probe", "execute", "worker-"} {
+		if !strings.Contains(res.Trace, span) {
+			t.Errorf("trace missing %q span:\n%s", span, res.Trace)
+		}
+	}
+	if !strings.Contains(res.Trace, res.QueryID) {
+		t.Errorf("trace does not carry the query ID %s:\n%s", res.QueryID, res.Trace)
+	}
+
+	// The same ID, verbatim, in the slow-query log with the correlation
+	// attributes.
+	logs := logBuf.String()
+	if !strings.Contains(logs, res.QueryID) {
+		t.Fatalf("slow-query log missing query ID %s:\n%s", res.QueryID, logs)
+	}
+	for _, attr := range []string{"cache_hit=", "parallel_degree="} {
+		if !strings.Contains(logs, attr) {
+			t.Errorf("slow-query log missing %s attr:\n%s", attr, logs)
+		}
+	}
+
+	// ...and in the flight recorder, served by /debug/queries.
+	rr := httptest.NewRecorder()
+	db.FlightRecorder().Handler().ServeHTTP(rr,
+		httptest.NewRequest("GET", "/debug/queries?id="+res.QueryID, nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/queries?id= status %d", rr.Code)
+	}
+	var prof struct {
+		QueryID string `json:"query_id"`
+		Engine  string `json:"engine"`
+		Degree  int    `json:"parallel_degree"`
+		Rows    int    `json:"rows"`
+		Sampled bool   `json:"sampled"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &prof); err != nil {
+		t.Fatal(err)
+	}
+	if prof.QueryID != res.QueryID || prof.Rows != len(res.Rows) || !prof.Sampled {
+		t.Fatalf("profile = %+v, want id %s rows %d sampled", prof, res.QueryID, len(res.Rows))
+	}
+
+	// The same record over the wire (GetProfiles).
+	js, err := conn.Profiles(ctx, res.QueryID, 0)
+	if err != nil {
+		t.Fatalf("Profiles(id): %v", err)
+	}
+	if !strings.Contains(js, res.QueryID) {
+		t.Fatalf("Profiles(id) JSON missing the ID: %s", js)
+	}
+	js, err = conn.Profiles(ctx, "", 5)
+	if err != nil {
+		t.Fatalf("Profiles(recent): %v", err)
+	}
+	if !strings.Contains(js, `"recent"`) || !strings.Contains(js, res.QueryID) {
+		t.Fatalf("Profiles(recent) = %s", js)
+	}
+	if _, err := conn.Profiles(ctx, "ffffffff-ffffffff", 0); !client.IsCode(err, client.CodeExec) {
+		t.Fatalf("Profiles(unknown) err = %v, want CodeExec", err)
+	}
+
+	// A cache hit still produces a trace and a profile.
+	res2, err := conn.Query(ctx, retailQuery, client.Array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.QueryID == "" || res2.QueryID == res.QueryID {
+		t.Fatalf("second query ID = %q", res2.QueryID)
+	}
+	if !strings.Contains(res2.Trace, "cache-probe") {
+		t.Fatalf("cache-hit trace missing probe span:\n%s", res2.Trace)
+	}
+	rr = httptest.NewRecorder()
+	db.FlightRecorder().Handler().ServeHTTP(rr,
+		httptest.NewRequest("GET", "/debug/queries?id="+res2.QueryID, nil))
+	var prof2 struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &prof2); err != nil || !prof2.CacheHit {
+		t.Fatalf("cache-hit profile = %s (err %v)", rr.Body.String(), err)
+	}
+
+	// Error frames carry the query ID too.
+	_, err = conn.Query(ctx, "not sql", client.Auto)
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Code != client.CodeParse || ce.QueryID == "" {
+		t.Fatalf("parse error = %#v, want CodeParse with a query ID", err)
+	}
+
+	// TRACE off: results keep their ID but stop carrying span trees.
+	if err := conn.SetTrace(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := conn.Query(ctx, retailQuery, client.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.QueryID == "" {
+		t.Fatal("query ID should survive TRACE off")
+	}
+	if res3.Trace != "" {
+		t.Fatalf("TRACE off but trace returned:\n%s", res3.Trace)
+	}
+}
+
+// TestServerTraceOptionValidation exercises the TRACE option's error
+// path: a bad value is a per-request error that leaves the connection
+// usable.
+func TestServerTraceOptionValidation(t *testing.T) {
+	srv, _ := startServer(t, Config{})
+	conn, err := client.Dial(srv.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	if err := conn.SetOption(ctx, "TRACE", "maybe"); !client.IsCode(err, client.CodeProtocol) {
+		t.Fatalf("TRACE maybe err = %v, want CodeProtocol", err)
+	}
+	if err := conn.SetOption(ctx, "trace", "on"); err != nil {
+		t.Fatalf("option names should be case-insensitive: %v", err)
+	}
+	if _, err := conn.Query(ctx, retailQuery, client.Auto); err != nil {
+		t.Fatalf("query after option error: %v", err)
+	}
+}

@@ -73,11 +73,15 @@ type HelloAck struct {
 
 // Query asks the server to run sql on the chosen engine. ID is chosen
 // by the client and echoed on every response frame, so a Cancel can
-// name the query it aborts.
+// name the query it aborts — it is per-connection request correlation,
+// not the query's identity. TraceID is that identity: the client-minted
+// query ID the server stamps into its trace, slow-query log, flight
+// recorder, and pprof labels (empty lets the server mint one).
 type Query struct {
-	ID     uint32
-	Engine Engine
-	SQL    string
+	ID      uint32
+	Engine  Engine
+	SQL     string
+	TraceID string
 }
 
 // Explain asks for the planner's explanation (rendered server-side);
@@ -89,8 +93,8 @@ type Cancel struct {
 	ID uint32
 }
 
-// SetOption flips a per-session switch by name. The only option is
-// "CACHE" with value "on" or "off" (case-insensitive); unknown names or
+// SetOption flips a per-session switch by name: "CACHE" on|off,
+// "PARALLEL" n, or "TRACE" on|off (case-insensitive); unknown names or
 // values are answered with Error{CodeProtocol} and the session
 // continues.
 type SetOption struct {
@@ -120,11 +124,16 @@ type RowBatch struct {
 	Rows []Row
 }
 
-// ResultDone closes a result stream with the run totals.
+// ResultDone closes a result stream with the run totals. QueryID echoes
+// the query's trace identity (the client's TraceID, or the one the
+// server minted); Trace carries the rendered span tree when the
+// session has TRACE on, empty otherwise.
 type ResultDone struct {
 	ID        uint32
 	ElapsedNS int64
 	Rows      int64
+	QueryID   string
+	Trace     string
 }
 
 // ExplainResult answers an Explain frame with the rendered explanation.
@@ -135,11 +144,31 @@ type ExplainResult struct {
 	Text   string
 }
 
-// ErrorFrame reports a request failure with its typed code.
+// ErrorFrame reports a request failure with its typed code. QueryID
+// carries the failed query's trace identity when the failure happened
+// inside an identified execution (empty for protocol-level errors), so
+// error frames join the flight recorder and log like results do.
 type ErrorFrame struct {
 	ID      uint32
 	Code    ErrorCode
 	Message string
+	QueryID string
+}
+
+// GetProfiles asks the server for flight-recorder profiles: the
+// QueryID's single profile when set, otherwise the Limit most recent
+// (0 = the whole ring) plus the retained slowest set.
+type GetProfiles struct {
+	ID      uint32
+	QueryID string
+	Limit   uint32
+}
+
+// ProfilesResult answers GetProfiles with the profiles rendered as
+// JSON — the same shape /debug/queries serves.
+type ProfilesResult struct {
+	ID   uint32
+	JSON string
 }
 
 // Err converts the frame to the *Error callers switch on.
@@ -306,45 +335,47 @@ func DecodeHelloAck(p []byte) (*HelloAck, error) {
 	return f, nil
 }
 
-func encodeQuery(id uint32, engine Engine, sql string) []byte {
+func encodeQuery(id uint32, engine Engine, sql, traceID string) []byte {
 	b := binary.BigEndian.AppendUint32(nil, id)
 	b = append(b, byte(engine))
-	return appendString(b, sql)
+	b = appendString(b, sql)
+	return appendString(b, traceID)
 }
 
-func decodeQuery(p []byte) (uint32, Engine, string, error) {
+func decodeQuery(p []byte) (uint32, Engine, string, string, error) {
 	d := &dec{b: p}
 	id := d.u32()
 	engine := Engine(d.u8())
 	sql := d.str()
+	traceID := d.str()
 	if err := d.done(); err != nil {
-		return 0, 0, "", err
+		return 0, 0, "", "", err
 	}
-	return id, engine, sql, nil
+	return id, engine, sql, traceID, nil
 }
 
 // Encode renders the Query payload.
-func (f *Query) Encode() []byte { return encodeQuery(f.ID, f.Engine, f.SQL) }
+func (f *Query) Encode() []byte { return encodeQuery(f.ID, f.Engine, f.SQL, f.TraceID) }
 
 // DecodeQuery parses a Query payload.
 func DecodeQuery(p []byte) (*Query, error) {
-	id, engine, sql, err := decodeQuery(p)
+	id, engine, sql, traceID, err := decodeQuery(p)
 	if err != nil {
 		return nil, err
 	}
-	return &Query{ID: id, Engine: engine, SQL: sql}, nil
+	return &Query{ID: id, Engine: engine, SQL: sql, TraceID: traceID}, nil
 }
 
 // Encode renders the Explain payload.
-func (f *Explain) Encode() []byte { return encodeQuery(f.ID, f.Engine, f.SQL) }
+func (f *Explain) Encode() []byte { return encodeQuery(f.ID, f.Engine, f.SQL, f.TraceID) }
 
 // DecodeExplain parses an Explain payload.
 func DecodeExplain(p []byte) (*Explain, error) {
-	id, engine, sql, err := decodeQuery(p)
+	id, engine, sql, traceID, err := decodeQuery(p)
 	if err != nil {
 		return nil, err
 	}
-	return &Explain{ID: id, Engine: engine, SQL: sql}, nil
+	return &Explain{ID: id, Engine: engine, SQL: sql, TraceID: traceID}, nil
 }
 
 // Encode renders the Cancel payload.
@@ -461,13 +492,21 @@ func DecodeRowBatch(p []byte) (*RowBatch, error) {
 func (f *ResultDone) Encode() []byte {
 	b := binary.BigEndian.AppendUint32(nil, f.ID)
 	b = binary.AppendVarint(b, f.ElapsedNS)
-	return binary.AppendVarint(b, f.Rows)
+	b = binary.AppendVarint(b, f.Rows)
+	b = appendString(b, f.QueryID)
+	return appendString(b, f.Trace)
 }
 
 // DecodeResultDone parses a ResultDone payload.
 func DecodeResultDone(p []byte) (*ResultDone, error) {
 	d := &dec{b: p}
-	f := &ResultDone{ID: d.u32(), ElapsedNS: d.varint(), Rows: d.varint()}
+	f := &ResultDone{
+		ID:        d.u32(),
+		ElapsedNS: d.varint(),
+		Rows:      d.varint(),
+		QueryID:   d.str(),
+		Trace:     d.str(),
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
@@ -496,13 +535,47 @@ func DecodeExplainResult(p []byte) (*ExplainResult, error) {
 func (f *ErrorFrame) Encode() []byte {
 	b := binary.BigEndian.AppendUint32(nil, f.ID)
 	b = binary.BigEndian.AppendUint16(b, uint16(f.Code))
-	return appendString(b, f.Message)
+	b = appendString(b, f.Message)
+	return appendString(b, f.QueryID)
 }
 
 // DecodeError parses an Error payload.
 func DecodeError(p []byte) (*ErrorFrame, error) {
 	d := &dec{b: p}
-	f := &ErrorFrame{ID: d.u32(), Code: ErrorCode(d.u16()), Message: d.str()}
+	f := &ErrorFrame{ID: d.u32(), Code: ErrorCode(d.u16()), Message: d.str(), QueryID: d.str()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the GetProfiles payload.
+func (f *GetProfiles) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = appendString(b, f.QueryID)
+	return binary.AppendUvarint(b, uint64(f.Limit))
+}
+
+// DecodeGetProfiles parses a GetProfiles payload.
+func DecodeGetProfiles(p []byte) (*GetProfiles, error) {
+	d := &dec{b: p}
+	f := &GetProfiles{ID: d.u32(), QueryID: d.str(), Limit: uint32(d.uvarint())}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Encode renders the ProfilesResult payload.
+func (f *ProfilesResult) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	return appendString(b, f.JSON)
+}
+
+// DecodeProfilesResult parses a ProfilesResult payload.
+func DecodeProfilesResult(p []byte) (*ProfilesResult, error) {
+	d := &dec{b: p}
+	f := &ProfilesResult{ID: d.u32(), JSON: d.str()}
 	if err := d.done(); err != nil {
 		return nil, err
 	}

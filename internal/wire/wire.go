@@ -21,9 +21,17 @@
 // Cancel (id) asks the server to abandon the identified in-flight query,
 // which then answers with Error{CodeCanceled}. Ping/Pong carry no
 // payload and exist for connection-pool health checks. SetOption
-// (id, name, value) flips a per-session switch — currently only
-// CACHE on|off — and is acknowledged with OptionAck (id) or rejected
-// with Error{CodeProtocol} without dropping the connection.
+// (id, name, value) flips a per-session switch — CACHE on|off,
+// PARALLEL n, or TRACE on|off — and is acknowledged with OptionAck (id)
+// or rejected with Error{CodeProtocol} without dropping the connection.
+//
+// Tracing: a Query frame carries the client-minted query ID (TraceID)
+// that names the execution in the server's slow-query log, flight
+// recorder, and pprof labels; ResultDone and Error echo it back, and
+// with the session option TRACE on, ResultDone also carries the
+// rendered span tree. GetProfiles (id, query-id, limit) reads the
+// server's flight recorder — recent profiles, or one query by ID — and
+// is answered with ProfilesResult (id, JSON).
 //
 // Both sides close the protocol version handshake before anything else;
 // a version mismatch is reported with Error{CodeProtocol} and the
@@ -39,8 +47,10 @@ import (
 
 // Version is the protocol version spoken by this build. The handshake
 // rejects any other version — there is exactly one until a release has
-// to interoperate with an older one.
-const Version uint16 = 1
+// to interoperate with an older one. Version 2 added trace-context
+// fields (query IDs on Query/ResultDone/Error, the TRACE option's span
+// tree) and the GetProfiles/ProfilesResult pair.
+const Version uint16 = 2
 
 // Magic opens every Hello frame; it lets the server reject a client
 // that is not speaking this protocol at all (an HTTP request, say)
@@ -63,21 +73,23 @@ type FrameType uint8
 // Frame types. Client-to-server types sit below 0x10, server-to-client
 // types at or above it.
 const (
-	FrameHello     FrameType = 0x01
-	FrameQuery     FrameType = 0x02
-	FrameExplain   FrameType = 0x03
-	FrameCancel    FrameType = 0x04
-	FramePing      FrameType = 0x05
-	FrameSetOption FrameType = 0x06
+	FrameHello       FrameType = 0x01
+	FrameQuery       FrameType = 0x02
+	FrameExplain     FrameType = 0x03
+	FrameCancel      FrameType = 0x04
+	FramePing        FrameType = 0x05
+	FrameSetOption   FrameType = 0x06
+	FrameGetProfiles FrameType = 0x07
 
-	FrameHelloAck      FrameType = 0x10
-	FrameResultHeader  FrameType = 0x11
-	FrameRowBatch      FrameType = 0x12
-	FrameResultDone    FrameType = 0x13
-	FrameExplainResult FrameType = 0x14
-	FrameError         FrameType = 0x15
-	FramePong          FrameType = 0x16
-	FrameOptionAck     FrameType = 0x17
+	FrameHelloAck       FrameType = 0x10
+	FrameResultHeader   FrameType = 0x11
+	FrameRowBatch       FrameType = 0x12
+	FrameResultDone     FrameType = 0x13
+	FrameExplainResult  FrameType = 0x14
+	FrameError          FrameType = 0x15
+	FramePong           FrameType = 0x16
+	FrameOptionAck      FrameType = 0x17
+	FrameProfilesResult FrameType = 0x18
 )
 
 // String implements fmt.Stringer.
@@ -95,6 +107,8 @@ func (t FrameType) String() string {
 		return "ping"
 	case FrameSetOption:
 		return "set-option"
+	case FrameGetProfiles:
+		return "get-profiles"
 	case FrameHelloAck:
 		return "hello-ack"
 	case FrameResultHeader:
@@ -111,6 +125,8 @@ func (t FrameType) String() string {
 		return "pong"
 	case FrameOptionAck:
 		return "option-ack"
+	case FrameProfilesResult:
+		return "profiles-result"
 	default:
 		return fmt.Sprintf("frame(0x%02x)", uint8(t))
 	}

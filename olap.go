@@ -73,6 +73,11 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// Trace is the span tree recorded for one query execution.
 	Trace = obs.Trace
+	// QueryProfile is one completed query's flight-recorder record.
+	QueryProfile = obs.QueryProfile
+	// FlightRecorder is the ring of recent query profiles plus the
+	// retained slowest set.
+	FlightRecorder = obs.FlightRecorder
 	// CacheStats are one cache layer's cumulative counters.
 	CacheStats = cache.Stats
 )
@@ -282,6 +287,13 @@ type EngineStats struct {
 	// SingleflightDedup counts queries that piggybacked on an identical
 	// concurrent execution instead of running the engine themselves.
 	SingleflightDedup int64 `json:"singleflight_dedup"`
+	// Queries counts queries executed since open; the latency estimates
+	// below are bucket-interpolated from the shared wall-time histogram
+	// and are zero until the first query completes.
+	Queries    int64   `json:"queries"`
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP95 float64 `json:"latency_p95_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
 }
 
 // Stats returns a cross-layer engine snapshot: buffer pool counters,
@@ -297,8 +309,26 @@ func (db *DB) Stats() EngineStats {
 		es.StatsAge = time.Since(time.Unix(st.CollectedUnix, 0))
 	}
 	es.ResultCache, es.ChunkCache, es.SingleflightDedup, es.HasCache = db.ex.Context().CacheStats()
+	es.Queries, es.LatencyP50, es.LatencyP95, es.LatencyP99 = db.ex.Context().QueryLatency()
 	return es
 }
+
+// FlightRecorder returns the database's flight recorder: the ring of
+// the last completed queries' profiles plus the retained slowest set.
+// Mount its Handler where convenient:
+//
+//	http.Handle("/debug/queries", db.FlightRecorder().Handler())
+func (db *DB) FlightRecorder() *FlightRecorder { return db.ex.Context().FlightRecorder() }
+
+// SetTraceSampling sets how often queries collect fine-grained spans
+// when tracing is not forced on: 1 in every queries. 1 traces every
+// query, 0 disables sampling entirely. Coarse spans and flight-recorder
+// profiles are always collected.
+func (db *DB) SetTraceSampling(every int) { db.ex.Context().TraceSampler().SetEvery(every) }
+
+// SetTrace turns always-on tracing on or off for queries run on the DB
+// handle itself (sessions carry their own switch, Session.SetTrace).
+func (db *DB) SetTrace(on bool) { db.ex.SetTrace(on) }
 
 // EnableQueryCache turns on the mid-tier query cache, splitting
 // totalBytes between the semantic result cache (materialized row sets

@@ -87,6 +87,17 @@ func (s *Session) SetParallel(workers int) { s.ex.SetParallel(workers) }
 // default to GOMAXPROCS at plan time).
 func (s *Session) Parallel() int { return s.ex.Parallel() }
 
+// SetTrace turns always-on tracing for this session on or off (the
+// wire protocol's TRACE on|off option). On, every query collects the
+// full fine-grained span tree — per-worker execution, cache probes,
+// buffer I/O attributes — regardless of the database's sampling rate,
+// and Result.Trace carries it. Off (the default), queries still record
+// coarse spans and a flight-recorder profile; fine spans are sampled.
+func (s *Session) SetTrace(on bool) { s.ex.SetTrace(on) }
+
+// TraceEnabled reports whether always-on tracing is set.
+func (s *Session) TraceEnabled() bool { return s.ex.TraceEnabled() }
+
 // SetSlowQueryLog enables structured slow-query logging for this
 // session's queries: those at or above min are reported to l with their
 // SQL, plan, counters, and I/O. A nil logger disables it. Metrics
