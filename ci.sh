@@ -28,8 +28,8 @@ go test -run TestExplainAnalyzeGolden -count=1 ./internal/exec/
 echo "== metrics endpoint smoke =="
 go test -run TestMetricsEndpoint -count=1 .
 
-echo "== go test -race (concurrent sessions + storage + server + cache + obs) =="
-go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... ./internal/cache/... ./internal/obs/... ./client/... .
+echo "== go test -race (concurrent sessions + storage + server + cluster + cache + obs) =="
+go test -race ./internal/exec/... ./internal/storage/... ./internal/server/... ./internal/cluster/... ./internal/cache/... ./internal/obs/... ./client/... .
 
 echo "== parallel differential suite under -race (GOMAXPROCS=4) =="
 GOMAXPROCS=4 go test -race -count=1 -run 'Parallel|ClampWorkers' \
@@ -37,6 +37,13 @@ GOMAXPROCS=4 go test -race -count=1 -run 'Parallel|ClampWorkers' \
 
 echo "== warm arena decode allocates nothing =="
 go test -run TestWarmDecodeZeroAlloc -count=1 ./internal/chunk/
+
+echo "== warm StarJoin/bitmap allocations bounded and flat =="
+go test -run TestWarmStarJoinBoundedAllocs -count=1 ./internal/core/
+
+echo "== cluster shard differential (merge == single-node) =="
+go test -count=1 -run 'ShardUnionEqualsFull|ClusterBitIdentical' \
+    ./internal/core/ ./internal/cluster/
 
 echo "== replacer differential + stress under -race =="
 go test -race -count=1 -run 'Replacer' ./internal/storage/
@@ -47,7 +54,9 @@ GODEBUG=gccheckmark=1 go test -count=1 ./internal/arena/
 echo "== olapd server smoke =="
 smokedir=$(mktemp -d)
 cleanup_smoke() {
-    [ -n "${olapd_pid:-}" ] && kill "$olapd_pid" 2>/dev/null
+    for pid in ${olapd_pid:-} ${coord_pid:-} ${shard_pids:-}; do
+        kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$smokedir"
 }
 trap cleanup_smoke EXIT
@@ -112,5 +121,79 @@ if [ "$rc" -ne 0 ]; then
     cat "$smokedir/olapd.log" >&2
     exit 1
 fi
+
+echo "== olapd cluster smoke (3 shards + coordinator) =="
+# Three plain data servers share the smoke database; the coordinator
+# scatters each query with a per-shard restriction, so the data servers
+# need no shard flags. The merged rows must equal a single shard server
+# answering the same query unrestricted.
+wait_addr() { # logfile -> addr, or empty after ~10s
+    _a=""
+    for _ in $(seq 1 100); do
+        _a=$(sed -n 's/.*msg="olapd serving" addr=\([^ ]*\).*/\1/p' "$1")
+        [ -n "$_a" ] && break
+        sleep 0.1
+    done
+    echo "$_a"
+}
+shard_pids=""
+for i in 0 1 2; do
+    "$smokedir/olapd" -db "$smokedir/smoke.db" -listen 127.0.0.1:0 \
+        2>"$smokedir/shard$i.log" &
+    shard_pids="$shard_pids $!"
+done
+shard_addrs=""
+for i in 0 1 2; do
+    a=$(wait_addr "$smokedir/shard$i.log")
+    if [ -z "$a" ]; then
+        echo "shard $i did not start:" >&2
+        cat "$smokedir/shard$i.log" >&2
+        exit 1
+    fi
+    shard_addrs="${shard_addrs:+$shard_addrs,}$a"
+done
+"$smokedir/olapd" -coordinator -shards "$shard_addrs" -listen 127.0.0.1:0 \
+    2>"$smokedir/coord.log" &
+coord_pid=$!
+coord=$(wait_addr "$smokedir/coord.log")
+if [ -z "$coord" ]; then
+    echo "coordinator did not start:" >&2
+    cat "$smokedir/coord.log" >&2
+    exit 1
+fi
+
+cluster_q="select sum(volume), count(volume), h01 from fact, dim0 group by h01"
+"$smokedir/olapcli" -connect "$coord" "$cluster_q" >"$smokedir/cluster.out"
+grep -q "plan=scatter-gather\[3\]" "$smokedir/cluster.out"
+one_shard=$(echo "$shard_addrs" | cut -d, -f1)
+"$smokedir/olapcli" -connect "$one_shard" "$cluster_q" >"$smokedir/single.out"
+# Everything but the plan/elapsed header must be byte-identical.
+grep -v '^plan=' "$smokedir/cluster.out" >"$smokedir/cluster.rows"
+grep -v '^plan=' "$smokedir/single.out" >"$smokedir/single.rows"
+if ! diff "$smokedir/cluster.rows" "$smokedir/single.rows"; then
+    echo "cluster rows differ from single-node" >&2
+    exit 1
+fi
+
+kill -TERM "$coord_pid"
+rc=0
+wait "$coord_pid" || rc=$?
+coord_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "coordinator shutdown exit code $rc" >&2
+    cat "$smokedir/coord.log" >&2
+    exit 1
+fi
+for pid in $shard_pids; do
+    kill -TERM "$pid"
+    rc=0
+    wait "$pid" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "shard server (pid $pid) shutdown exit code $rc" >&2
+        cat "$smokedir"/shard*.log >&2
+        exit 1
+    fi
+done
+shard_pids=""
 
 echo "ci.sh: all checks passed"

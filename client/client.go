@@ -105,6 +105,11 @@ type Result struct {
 	// Trace is the rendered span tree, filled only when the session has
 	// TRACE on (SetTrace).
 	Trace string
+	// Partial is empty for a complete answer. When a cluster coordinator
+	// runs with the PARTIAL session option and one or more shards were
+	// unreachable, it carries the coordinator's JSON per-shard
+	// completeness report and Rows holds the surviving shards' merge.
+	Partial string
 }
 
 // Explanation is the server's rendered planning decision for a query;
@@ -126,6 +131,13 @@ type Config struct {
 	// server's acknowledgement before the connection is declared
 	// broken. 0 selects 5s.
 	CancelGrace time.Duration
+	// HealthCheckEvery is how long a pooled connection may sit idle
+	// before the next checkout re-validates it with a ping. Each
+	// connection's actual deadline is jittered to 0.5–1.5x this value,
+	// so a fleet of pools pointed at a restarted server does not redial
+	// and re-ping in one synchronized wave. 0 selects 1s; negative pings
+	// on every checkout (the pre-jitter behavior).
+	HealthCheckEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +149,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CancelGrace <= 0 {
 		c.CancelGrace = 5 * time.Second
+	}
+	if c.HealthCheckEvery == 0 {
+		c.HealthCheckEvery = time.Second
 	}
 	return c
 }
@@ -151,6 +166,12 @@ type Conn struct {
 	nextID uint32
 	broken atomic.Bool
 	server string
+
+	// pingDue is when the pool must next health-check this idle
+	// connection; set (jittered) by Pool.Put, read by Pool.Get. Ownership
+	// of an idle connection transfers through the pool mutex, so no
+	// extra synchronization is needed.
+	pingDue time.Time
 }
 
 // Dial connects and performs the protocol handshake.
@@ -326,6 +347,19 @@ func (c *Conn) SetTrace(ctx context.Context, on bool) error {
 	return c.SetOption(ctx, "TRACE", v)
 }
 
+// SetPartial turns this connection's PARTIAL session option on or off.
+// The option only has effect against a cluster coordinator: on, a query
+// that loses shards mid-flight still answers with the surviving shards'
+// merge, and Result.Partial carries the per-shard completeness report.
+// Plain olapd servers reject the option with a protocol error.
+func (c *Conn) SetPartial(ctx context.Context, on bool) error {
+	v := "on"
+	if !on {
+		v = "off"
+	}
+	return c.SetOption(ctx, "PARTIAL", v)
+}
+
 // Profiles reads the server's flight recorder and returns the raw JSON.
 // With queryID set it is that one query's profile (an exec error when
 // the record has aged out); otherwise it is {"recent": [...],
@@ -438,7 +472,57 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 	// slow-query log even if the connection dies before the response.
 	qid := obs.NewQueryID()
 	q := &wire.Query{ID: id, Engine: wire.Engine(engine), SQL: sql, TraceID: qid}
-	if err := c.writeFrame(wire.FrameQuery, q.Encode()); err != nil {
+	return c.streamQuery(ctx, id, qid, wire.FrameQuery, q.Encode(), hdr, onBatch)
+}
+
+// SubQuery runs sql restricted to shard `shard` of `shards` — the
+// coordinator's scatter call — and returns the shard's partial rows.
+// traceID is the originating distributed query's identity stamped into
+// the shard server's trace and flight recorder (empty mints a fresh
+// one); workers > 0 overrides the shard session's parallel degree.
+func (c *Conn) SubQuery(ctx context.Context, sql string, engine Engine,
+	traceID string, shard, shards, workers int) (*Result, error) {
+	res := &Result{}
+	err := c.SubQueryFunc(ctx, sql, engine, traceID, shard, shards, workers, res,
+		func(rows []Row) error {
+			res.Rows = append(res.Rows, rows...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SubQueryFunc is the streaming variant of SubQuery; see QueryFunc for
+// the onBatch contract.
+func (c *Conn) SubQueryFunc(ctx context.Context, sql string, engine Engine,
+	traceID string, shard, shards, workers int,
+	hdr *Result, onBatch func(rows []Row) error) error {
+	if c.broken.Load() {
+		return errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	qid := traceID
+	if qid == "" {
+		qid = obs.NewQueryID()
+	}
+	sq := &wire.SubQuery{
+		ID: id, Engine: wire.Engine(engine), SQL: sql, TraceID: qid,
+		Shard: uint32(shard), Shards: uint32(shards), Workers: uint32(workers),
+	}
+	return c.streamQuery(ctx, id, qid, wire.FrameSubQuery, sq.Encode(), hdr, onBatch)
+}
+
+// streamQuery sends one query-shaped request frame and consumes its
+// result stream — the shared tail of QueryFunc and SubQueryFunc.
+func (c *Conn) streamQuery(ctx context.Context, id uint32, qid string,
+	ft wire.FrameType, payload []byte, hdr *Result, onBatch func(rows []Row) error) error {
+	if err := c.writeFrame(ft, payload); err != nil {
 		return err
 	}
 	if hdr == nil {
@@ -514,6 +598,7 @@ func (c *Conn) QueryFunc(ctx context.Context, sql string, engine Engine,
 				hdr.QueryID = d.QueryID // server-authoritative echo
 			}
 			hdr.Trace = d.Trace
+			hdr.Partial = d.Partial
 			return nil
 		case wire.FrameError:
 			ef, err := wire.DecodeError(fb.Bytes())

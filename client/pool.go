@@ -2,12 +2,15 @@ package client
 
 import (
 	"context"
+	"math/rand"
 	"sync"
+	"time"
 )
 
 // Pool is a connection pool over one olapd address, safe for concurrent
 // use. Each request checks out an idle connection (health-checked with
-// a ping after it has sat idle) or dials a fresh one; clean connections
+// a ping once its jittered idle deadline has passed — see
+// Config.HealthCheckEvery) or dials a fresh one; clean connections
 // return to the pool, broken ones are dropped. A query canceled
 // mid-stream leaves its connection clean — the Cancel handshake drains
 // the stream — so cancellation does not leak connections.
@@ -50,6 +53,13 @@ func (p *Pool) Get(ctx context.Context) (*Conn, error) {
 		if c == nil {
 			return Dial(p.addr, p.cfg)
 		}
+		// Skip the ping while the connection is inside its jittered
+		// health-check window: a recently used connection is almost
+		// certainly fine, and staggered deadlines keep a fleet of pools
+		// from re-pinging a restarted server in one synchronized wave.
+		if p.cfg.HealthCheckEvery > 0 && time.Now().Before(c.pingDue) {
+			return c, nil
+		}
 		if err := c.Ping(); err != nil {
 			c.Close() // stale idle connection; try the next one
 			continue
@@ -68,6 +78,9 @@ func (p *Pool) Put(c *Conn) {
 		c.Close()
 		return
 	}
+	if p.cfg.HealthCheckEvery > 0 {
+		c.pingDue = time.Now().Add(Jitter(p.cfg.HealthCheckEvery))
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed || len(p.idle) >= p.maxIdle {
@@ -75,6 +88,16 @@ func (p *Pool) Put(c *Conn) {
 		return
 	}
 	p.idle = append(p.idle, c)
+}
+
+// Jitter spreads d uniformly over [0.5d, 1.5d) — the pool's health-
+// check staggering, shared by the cluster coordinator's retry backoff
+// so restarted shards are not hammered in lockstep.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // finish returns a connection after one request. A connection whose
@@ -113,6 +136,32 @@ func (p *Pool) QueryFunc(ctx context.Context, sql string, engine Engine,
 		return err
 	}
 	qerr := c.QueryFunc(ctx, sql, engine, hdr, onBatch)
+	p.finish(c, qerr)
+	return qerr
+}
+
+// SubQuery checks out a connection, runs the shard-restricted query
+// (see Conn.SubQuery), and returns the connection to the pool.
+func (p *Pool) SubQuery(ctx context.Context, sql string, engine Engine,
+	traceID string, shard, shards, workers int) (*Result, error) {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.SubQuery(ctx, sql, engine, traceID, shard, shards, workers)
+	p.finish(c, err)
+	return res, err
+}
+
+// SubQueryFunc is SubQuery's streaming variant over a pooled connection.
+func (p *Pool) SubQueryFunc(ctx context.Context, sql string, engine Engine,
+	traceID string, shard, shards, workers int,
+	hdr *Result, onBatch func(rows []Row) error) error {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return err
+	}
+	qerr := c.SubQueryFunc(ctx, sql, engine, traceID, shard, shards, workers, hdr, onBatch)
 	p.finish(c, qerr)
 	return qerr
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -127,5 +128,97 @@ func TestPoolDropsConnFailingHealthCheck(t *testing.T) {
 	p.mu.Unlock()
 	if retained != 0 {
 		t.Fatalf("dead connection re-pooled: idle = %d", retained)
+	}
+}
+
+// TestJitterRange: the jitter spreads an interval uniformly over
+// [0.5d, 1.5d) and passes non-positive durations through, so staggered
+// health checks never collapse to zero or synchronize on a constant.
+func TestJitterRange(t *testing.T) {
+	d := time.Second
+	var sawLow, sawHigh bool
+	for i := 0; i < 2000; i++ {
+		j := Jitter(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("Jitter(%v) = %v outside [0.5d, 1.5d)", d, j)
+		}
+		if j < d*3/4 {
+			sawLow = true
+		}
+		if j > d*5/4 {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatalf("jitter not spread: sawLow=%v sawHigh=%v", sawLow, sawHigh)
+	}
+	if Jitter(0) != 0 || Jitter(-time.Second) != -time.Second {
+		t.Fatal("non-positive durations must pass through unchanged")
+	}
+}
+
+// TestPoolSkipsPingInsideHealthWindow: a connection returned to the pool
+// gets a jittered ping deadline; checking it out again before the
+// deadline must not ping (a recently used connection is presumed
+// healthy), and a pool configured with a negative interval must ping on
+// every checkout.
+func TestPoolSkipsPingInsideHealthWindow(t *testing.T) {
+	fs := startFakeServer(t, false)
+
+	p := NewPool(fs.ln.Addr().String(), Config{HealthCheckEvery: time.Hour}, 4)
+	defer p.Close()
+	c, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c)
+	due := c.pingDue
+	if min, max := time.Now().Add(30*time.Minute), time.Now().Add(90*time.Minute); due.Before(min) || due.After(max) {
+		t.Fatalf("pingDue %v not jittered within [0.5h, 1.5h]", time.Until(due))
+	}
+	base := fs.pings.Load()
+	for i := 0; i < 3; i++ {
+		c, err := p.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put(c)
+	}
+	if got := fs.pings.Load(); got != base {
+		t.Fatalf("pinged %d times inside the health window, want 0", got-base)
+	}
+
+	// Expired deadline: the next checkout must health-check again.
+	c, err = p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c)
+	c.pingDue = time.Now().Add(-time.Second)
+	if _, err := p.Get(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.pings.Load(); got != base+1 {
+		t.Fatalf("pings after expiry = %d, want %d", got, base+1)
+	}
+
+	// Negative interval: ping every checkout (the pre-jitter behavior).
+	pn := NewPool(fs.ln.Addr().String(), Config{HealthCheckEvery: -1}, 4)
+	defer pn.Close()
+	c2, err := pn.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Put(c2)
+	base = fs.pings.Load()
+	for i := 0; i < 2; i++ {
+		c2, err := pn.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pn.Put(c2)
+	}
+	if got := fs.pings.Load(); got != base+2 {
+		t.Fatalf("always-ping pool pinged %d times, want 2", got-base)
 	}
 }

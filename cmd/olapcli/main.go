@@ -45,11 +45,16 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 0, "enable the query cache with this budget in MiB (0 = off)")
 	workers := flag.Int("workers", 0, "intra-query parallel degree (0 = GOMAXPROCS, 1 = sequential)")
 	trace := flag.Bool("trace", false, "trace every query and print its span tree")
+	partial := flag.Bool("partial", false, "coordinator only: accept partial answers when shards fail (PARTIAL session option)")
 	flag.Parse()
 	traceMode = *trace
 
 	if *connect != "" {
-		os.Exit(remoteMain(*connect, *engineName, *maxRows, *workers))
+		os.Exit(remoteMain(*connect, *engineName, *maxRows, *workers, *partial))
+	}
+	if *partial {
+		fmt.Fprintln(os.Stderr, "olapcli: -partial only applies with -connect (it is a wire session option)")
+		os.Exit(2)
 	}
 
 	engine, err := parseEngine(*engineName)
@@ -163,7 +168,7 @@ func main() {
 // remoteMain is the -connect mode: the same one-shot/REPL loop, but
 // every query travels the wire protocol to an olapd. Returns the
 // process exit code.
-func remoteMain(addr, engineName string, maxRows, workers int) int {
+func remoteMain(addr, engineName string, maxRows, workers int, partial bool) int {
 	engine, err := client.ParseEngine(engineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
@@ -183,6 +188,12 @@ func remoteMain(addr, engineName string, maxRows, workers int) int {
 	}
 	if traceMode {
 		if err := conn.SetTrace(context.Background(), true); err != nil {
+			fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
+			return 1
+		}
+	}
+	if partial {
+		if err := conn.SetPartial(context.Background(), true); err != nil {
 			fmt.Fprintf(os.Stderr, "olapcli: %v\n", err)
 			return 1
 		}
@@ -234,6 +245,20 @@ func remoteMain(addr, engineName string, maxRows, workers int) int {
 				} else {
 					traceMode = v == "on"
 					fmt.Printf("trace %s\n", v)
+				}
+				continue
+			}
+		}
+		// "partial on|off" flips the coordinator's PARTIAL session
+		// option: answer with the surviving shards' merge when a shard
+		// fails, and report per-shard completeness with the result.
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "partial "); ok {
+			v = strings.TrimSpace(v)
+			if v == "on" || v == "off" {
+				if err := conn.SetPartial(context.Background(), v == "on"); err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				} else {
+					fmt.Printf("partial %s\n", v)
 				}
 				continue
 			}
@@ -309,10 +334,48 @@ func runRemoteQuery(conn *client.Conn, sql string, engine client.Engine, maxRows
 		}
 		fmt.Printf("%s | %s\n", strings.Join(r.Groups, ", "), strings.Join(vals, ", "))
 	}
+	if res.Partial != "" {
+		printPartialReport(res.Partial)
+	}
 	if res.Trace != "" {
 		fmt.Printf("trace %s:\n%s", res.QueryID, res.Trace)
 	}
 	return nil
+}
+
+// printPartialReport renders a coordinator's per-shard completeness
+// report (the ResultDone Partial field, JSON) one shard per line.
+func printPartialReport(raw string) {
+	var reports []struct {
+		Shard    int    `json:"shard"`
+		Addr     string `json:"addr"`
+		OK       bool   `json:"ok"`
+		Rows     int    `json:"rows"`
+		Attempts int    `json:"attempts"`
+		Err      string `json:"err"`
+	}
+	if err := json.Unmarshal([]byte(raw), &reports); err != nil {
+		fmt.Printf("PARTIAL result; completeness report: %s\n", raw)
+		return
+	}
+	ok := 0
+	for _, r := range reports {
+		if r.OK {
+			ok++
+		}
+	}
+	fmt.Printf("PARTIAL result: %d/%d shards answered\n", ok, len(reports))
+	for _, r := range reports {
+		status := "ok"
+		if !r.OK {
+			status = "FAILED"
+		}
+		line := fmt.Sprintf("  shard %d %s: %s rows=%d attempts=%d", r.Shard, r.Addr, status, r.Rows, r.Attempts)
+		if r.Err != "" {
+			line += " err=" + r.Err
+		}
+		fmt.Println(line)
+	}
 }
 
 // printRecent renders flight-recorder profiles one per line, most

@@ -7,7 +7,16 @@
 //
 //	olapd -db sales.db [-listen 127.0.0.1:7432] [-obs 127.0.0.1:9090]
 //	      [-max-concurrent N] [-queue-depth N] [-slow-ms 100] [-cache-mb 64]
-//	      [-replacer lru|clock|2q]
+//	      [-replacer lru|clock|2q] [-shard-range i/n]
+//
+// Cluster roles: with -shard-range i/n the process is a data server
+// answering every query with shard i of n's slice of the rows; with
+// -coordinator -shards a,b,c it serves the same wire protocol but owns
+// no database — queries scatter to the shard servers as sub-queries and
+// the partials are merged before streaming back.
+//
+//	olapd -shard-range 0/3 -db sales.db -listen 127.0.0.1:7433
+//	olapd -coordinator -shards 127.0.0.1:7433,127.0.0.1:7434,127.0.0.1:7435
 //
 // SIGINT/SIGTERM drain gracefully: in-flight queries finish (up to
 // -drain-timeout), new ones are refused with a typed shutdown error,
@@ -24,10 +33,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	repro "repro"
+	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -43,9 +55,24 @@ func main() {
 	workers := flag.Int("workers", 0, "default intra-query parallel degree per session (0 = GOMAXPROCS, 1 = sequential)")
 	replacer := flag.String("replacer", "", "buffer pool replacement policy: lru (default), clock, or 2q")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	shardRange := flag.String("shard-range", "", "serve as cluster data server: restrict every query to shard i of n, written i/n (e.g. 0/3)")
+	coordinator := flag.Bool("coordinator", false, "serve as cluster coordinator: scatter queries to -shards, no local database")
+	shards := flag.String("shards", "", "comma-separated shard server addresses (coordinator mode)")
+	retries := flag.Int("retries", 0, "coordinator: retries per shard sub-query after a retryable failure (0 = 2, -1 = none)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "coordinator: base backoff before a shard retry, doubled and jittered per attempt (0 = 100ms)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *coordinator {
+		coordinatorMain(log, *listen, *obsAddr, *shards, *retries, *retryBackoff, *workers, *batchRows, *drainTimeout)
+		return
+	}
+
+	shardIdx, shardCnt, err := parseShardRange(*shardRange)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
+		os.Exit(1)
+	}
 	db, err := repro.Open(repro.Options{Path: *path, Replacer: *replacer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
@@ -62,6 +89,8 @@ func main() {
 		QueueDepth:    *queueDepth,
 		BatchRows:     *batchRows,
 		Workers:       *workers,
+		ShardIndex:    shardIdx,
+		ShardCount:    shardCnt,
 	}
 	if *slowMS > 0 {
 		cfg.SlowQueryLog = log
@@ -73,8 +102,11 @@ func main() {
 		db.Close()
 		os.Exit(1)
 	}
-	log.Info("olapd serving", slog.String("addr", srv.Addr().String()),
-		slog.String("db", *path))
+	attrs := []any{slog.String("addr", srv.Addr().String()), slog.String("db", *path)}
+	if shardCnt > 1 {
+		attrs = append(attrs, slog.String("shard", fmt.Sprintf("%d/%d", shardIdx, shardCnt)))
+	}
+	log.Info("olapd serving", attrs...)
 
 	if *obsAddr != "" {
 		mux := http.NewServeMux()
@@ -122,6 +154,86 @@ func main() {
 	if err := db.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "olapd: close: %v\n", err)
 		os.Exit(1)
+	}
+	log.Info("olapd stopped")
+}
+
+// parseShardRange parses "i/n" (empty means unrestricted).
+func parseShardRange(s string) (idx, cnt int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &cnt); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard-range %q (want i/n, e.g. 0/3)", s)
+	}
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return 0, 0, fmt.Errorf("bad -shard-range %q: shard %d out of range 0..%d", s, idx, cnt-1)
+	}
+	return idx, cnt, nil
+}
+
+// coordinatorMain runs the cluster coordinator: no database, queries
+// scatter to the shard servers.
+func coordinatorMain(log *slog.Logger, listen, obsAddr, shardList string,
+	retries int, retryBackoff time.Duration, workers, batchRows int, drainTimeout time.Duration) {
+	var addrs []string
+	for _, a := range strings.Split(shardList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "olapd: -coordinator requires -shards host:port,host:port,...")
+		os.Exit(1)
+	}
+	reg := obs.NewRegistry()
+	co, err := cluster.New(cluster.Config{
+		Shards:       addrs,
+		Retries:      retries,
+		RetryBackoff: retryBackoff,
+		Workers:      workers,
+		Registry:     reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
+		os.Exit(1)
+	}
+	fe := cluster.NewFrontend(co, cluster.FrontendConfig{Addr: listen, BatchRows: batchRows})
+	if err := fe.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Info("olapd serving", slog.String("addr", fe.Addr().String()),
+		slog.String("role", "coordinator"), slog.Int("shards", len(addrs)))
+
+	if obsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		lis, err := net.Listen("tcp", obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olapd: obs listen: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(lis, mux); err != nil {
+				log.Error("obs server", slog.Any("err", err))
+			}
+		}()
+		log.Info("observability endpoint", slog.String("addr", lis.Addr().String()))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Info("draining", slog.String("signal", s.String()))
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := fe.Shutdown(ctx); err != nil {
+		log.Warn("drain timeout; canceling remaining queries", slog.Any("err", err))
 	}
 	log.Info("olapd stopped")
 }

@@ -43,6 +43,21 @@ func New(n uint64) *Bitmap {
 	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
 }
 
+// WordsFor reports the word-slice length an n-bit bitmap needs, for
+// callers that allocate the backing store themselves (see NewFrom).
+func WordsFor(n uint64) int { return int((n + 63) / 64) }
+
+// NewFrom wraps an externally allocated word slice as an n-bit bitmap.
+// The words must be zeroed and exactly WordsFor(n) long; the bitmap
+// takes ownership. This is how query-scoped bitmaps are carved from an
+// arena instead of the GC heap.
+func NewFrom(n uint64, words []uint64) *Bitmap {
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitmap: NewFrom(%d bits) wants %d words, got %d", n, WordsFor(n), len(words)))
+	}
+	return &Bitmap{n: n, words: words}
+}
+
 // Len reports the bitmap length in bits.
 func (b *Bitmap) Len() uint64 { return b.n }
 

@@ -1,0 +1,509 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/wire"
+)
+
+// FrontendName is the banner a coordinator sends in its HelloAck frame.
+const FrontendName = "repro-olapd-coordinator/1"
+
+// FrontendConfig tunes a Frontend.
+type FrontendConfig struct {
+	// Addr is the listen address; empty selects "127.0.0.1:0".
+	Addr string
+	// ReadTimeout bounds one frame read once its first byte arrived, and
+	// the handshake. 0 selects 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one frame write. 0 selects 30s.
+	WriteTimeout time.Duration
+	// BatchRows is the result rows per RowBatch frame; 0 selects
+	// wire.DefaultBatchRows.
+	BatchRows int
+}
+
+func (c FrontendConfig) withDefaults() FrontendConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = wire.DefaultBatchRows
+	}
+	return c
+}
+
+// Frontend serves the wire protocol for a Coordinator: an olapd-shaped
+// listener whose queries scatter to the shard servers instead of
+// running locally. Clients — olapcli, olapbench, the Go client — speak
+// to it exactly as to a single olapd, with three differences: the
+// PARTIAL session option opts into partial answers, the CACHE option is
+// rejected (the coordinator holds no result cache), and GetProfiles is
+// rejected (profiles live on the shards; query them directly).
+type Frontend struct {
+	co  *Coordinator
+	cfg FrontendConfig
+	lis net.Listener
+
+	mu       sync.Mutex
+	conns    map[*fconn]struct{}
+	draining chan struct{}
+	drained  bool
+	connWG   sync.WaitGroup
+
+	qmu     sync.Mutex
+	queryWG sync.WaitGroup
+}
+
+// NewFrontend creates a wire frontend over co. Call Start to listen.
+func NewFrontend(co *Coordinator, cfg FrontendConfig) *Frontend {
+	return &Frontend{
+		co:       co,
+		cfg:      cfg.withDefaults(),
+		conns:    make(map[*fconn]struct{}),
+		draining: make(chan struct{}),
+	}
+}
+
+// Start begins listening and accepting connections.
+func (f *Frontend) Start() error {
+	lis, err := net.Listen("tcp", f.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	f.lis = lis
+	f.connWG.Add(1)
+	go f.acceptLoop()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (f *Frontend) Addr() net.Addr { return f.lis.Addr() }
+
+func (f *Frontend) isDraining() bool {
+	select {
+	case <-f.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *Frontend) acceptLoop() {
+	defer f.connWG.Done()
+	for {
+		nc, err := f.lis.Accept()
+		if err != nil {
+			return // listener closed (Shutdown)
+		}
+		if f.isDraining() {
+			nc.Close()
+			continue
+		}
+		c := &fconn{fe: f, nc: nc}
+		c.ctx, c.cancel = context.WithCancel(context.Background())
+		f.mu.Lock()
+		f.conns[c] = struct{}{}
+		f.mu.Unlock()
+		f.connWG.Add(1)
+		go func() {
+			defer f.connWG.Done()
+			c.serve()
+			f.mu.Lock()
+			delete(f.conns, c)
+			f.mu.Unlock()
+		}()
+	}
+}
+
+// beginQuery registers one in-flight distributed query, refusing when
+// draining (same drain protocol as internal/server).
+func (f *Frontend) beginQuery() bool {
+	f.qmu.Lock()
+	defer f.qmu.Unlock()
+	if f.isDraining() {
+		return false
+	}
+	f.queryWG.Add(1)
+	return true
+}
+
+func (f *Frontend) endQuery() { f.queryWG.Done() }
+
+// Shutdown drains the frontend: the listener closes, new queries are
+// refused with wire.CodeShutdown, in-flight distributed queries finish
+// streaming, then every connection and shard pool is closed. When ctx
+// expires first, remaining queries are canceled hard.
+func (f *Frontend) Shutdown(ctx context.Context) error {
+	f.qmu.Lock()
+	if !f.drained {
+		f.drained = true
+		close(f.draining)
+	}
+	f.qmu.Unlock()
+	if f.lis != nil {
+		f.lis.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		f.queryWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	f.mu.Lock()
+	for c := range f.conns {
+		c.cancel()
+		c.nc.Close()
+	}
+	f.mu.Unlock()
+	f.connWG.Wait()
+	f.co.Close()
+	return err
+}
+
+// fconn is one client connection to the frontend.
+type fconn struct {
+	fe     *Frontend
+	nc     net.Conn
+	ctx    context.Context // canceled on disconnect or hard shutdown
+	cancel context.CancelFunc
+
+	r   *bufio.Reader
+	wmu sync.Mutex // serializes frames from concurrent query goroutines
+
+	// Session options; atomics because option frames race in-flight
+	// query goroutines, same as internal/server.
+	traceOn atomic.Bool
+	partial atomic.Bool
+	workers atomic.Int32
+
+	imu      sync.Mutex
+	inflight map[uint32]context.CancelFunc
+	qwg      sync.WaitGroup
+}
+
+func (c *fconn) writeFrame(t wire.FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.fe.cfg.WriteTimeout))
+	return wire.WriteFrame(c.nc, t, payload)
+}
+
+func (c *fconn) writeError(id uint32, code wire.ErrorCode, msg string) {
+	c.writeFrame(wire.FrameError, (&wire.ErrorFrame{ID: id, Code: code, Message: msg}).Encode())
+}
+
+func (c *fconn) readFrame() (wire.FrameType, *wire.Buffer, error) {
+	c.nc.SetReadDeadline(time.Time{})
+	if _, err := c.r.Peek(1); err != nil {
+		return 0, nil, err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.fe.cfg.ReadTimeout))
+	return wire.ReadFrameBuffer(c.r)
+}
+
+func (c *fconn) serve() {
+	defer c.nc.Close()
+	defer c.cancel()
+	c.r = bufio.NewReader(c.nc)
+	c.inflight = make(map[uint32]context.CancelFunc)
+
+	// Handshake, same protocol as internal/server.
+	c.nc.SetReadDeadline(time.Now().Add(c.fe.cfg.ReadTimeout))
+	t, fb, err := wire.ReadFrameBuffer(c.r)
+	if err != nil {
+		return
+	}
+	if t != wire.FrameHello {
+		fb.Release()
+		c.writeError(0, wire.CodeProtocol, fmt.Sprintf("expected hello, got %s", t))
+		return
+	}
+	hello, err := wire.DecodeHello(fb.Bytes())
+	fb.Release()
+	if err != nil {
+		c.writeError(0, wire.CodeProtocol, err.Error())
+		return
+	}
+	if hello.Version != wire.Version {
+		c.writeError(0, wire.CodeProtocol,
+			fmt.Sprintf("protocol version %d not supported (server speaks %d)", hello.Version, wire.Version))
+		return
+	}
+	ack := &wire.HelloAck{Version: wire.Version, Server: FrontendName}
+	if err := c.writeFrame(wire.FrameHelloAck, ack.Encode()); err != nil {
+		return
+	}
+
+	for {
+		t, fb, err := c.readFrame()
+		if err != nil {
+			break
+		}
+		switch t {
+		case wire.FrameQuery:
+			q, err := wire.DecodeQuery(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			c.qwg.Add(1)
+			go func() {
+				defer c.qwg.Done()
+				c.handleQuery(q)
+			}()
+		case wire.FrameExplain:
+			ex, err := wire.DecodeExplain(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			c.qwg.Add(1)
+			go func() {
+				defer c.qwg.Done()
+				c.handleExplain(ex)
+			}()
+		case wire.FrameCancel:
+			cf, err := wire.DecodeCancel(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			// Canceling the distributed query's context aborts every
+			// in-flight shard sub-query: each pooled connection's cancel
+			// watcher fires and sends a wire Cancel frame to its shard.
+			c.imu.Lock()
+			if cancel, ok := c.inflight[cf.ID]; ok {
+				cancel()
+			}
+			c.imu.Unlock()
+		case wire.FramePing:
+			fb.Release()
+			c.writeFrame(wire.FramePong, nil)
+		case wire.FrameSetOption:
+			so, err := wire.DecodeSetOption(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			c.handleSetOption(so)
+		case wire.FrameGetProfiles:
+			fb.Release()
+			c.writeError(0, wire.CodeProtocol,
+				"coordinator holds no flight recorder; ask the shard servers for profiles")
+		default:
+			fb.Release()
+			c.writeError(0, wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", t))
+			goto out
+		}
+	}
+out:
+	c.cancel()
+	c.qwg.Wait()
+}
+
+// handleSetOption applies one session option. TRACE, PARTIAL, and
+// PARALLEL work as on a single olapd (PARTIAL being coordinator-only);
+// CACHE is rejected because the coordinator holds no result cache —
+// the shards' caches still apply to the sub-queries.
+func (c *fconn) handleSetOption(so *wire.SetOption) {
+	onOff := func(set func(bool)) bool {
+		switch strings.ToLower(so.Value) {
+		case "on":
+			set(true)
+		case "off":
+			set(false)
+		default:
+			c.writeError(so.ID, wire.CodeProtocol,
+				fmt.Sprintf("bad value %q for option %s (want on|off)", so.Value, strings.ToUpper(so.Name)))
+			return false
+		}
+		return true
+	}
+	switch strings.ToUpper(so.Name) {
+	case "TRACE":
+		if !onOff(c.traceOn.Store) {
+			return
+		}
+	case "PARTIAL":
+		if !onOff(c.partial.Store) {
+			return
+		}
+	case "PARALLEL":
+		n, err := strconv.Atoi(strings.TrimSpace(so.Value))
+		if err != nil || n < 0 {
+			c.writeError(so.ID, wire.CodeProtocol,
+				fmt.Sprintf("bad value %q for option PARALLEL (want a non-negative integer)", so.Value))
+			return
+		}
+		c.workers.Store(int32(n))
+	case "CACHE":
+		c.writeError(so.ID, wire.CodeProtocol,
+			"coordinator holds no result cache (shard caches still serve sub-queries)")
+		return
+	default:
+		c.writeError(so.ID, wire.CodeProtocol, fmt.Sprintf("unknown session option %q", so.Name))
+		return
+	}
+	c.writeFrame(wire.FrameOptionAck, (&wire.OptionAck{ID: so.ID}).Encode())
+}
+
+func (c *fconn) registerQuery(id uint32, cancel context.CancelFunc) {
+	c.imu.Lock()
+	c.inflight[id] = cancel
+	c.imu.Unlock()
+}
+
+func (c *fconn) unregisterQuery(id uint32) {
+	c.imu.Lock()
+	delete(c.inflight, id)
+	c.imu.Unlock()
+}
+
+// errCode maps a distributed query failure onto a wire error code:
+// shard-side typed errors keep their code, everything else is an exec
+// failure.
+func errCode(err error) wire.ErrorCode {
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		return wire.ErrorCode(ce.Code)
+	}
+	return wire.CodeExec
+}
+
+// handleQuery runs one distributed query end to end and streams the
+// merged result back.
+func (c *fconn) handleQuery(q *wire.Query) {
+	if q.Engine > wire.Bitmap {
+		c.writeError(q.ID, wire.CodeProtocol, fmt.Sprintf("unknown engine %d", uint8(q.Engine)))
+		return
+	}
+	if !c.fe.beginQuery() {
+		c.writeError(q.ID, wire.CodeShutdown, "coordinator is draining")
+		return
+	}
+	defer c.fe.endQuery()
+
+	ctx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	c.registerQuery(q.ID, cancel)
+	defer c.unregisterQuery(q.ID)
+
+	res, err := c.fe.co.Query(ctx, q.SQL, client.Engine(q.Engine), QueryOpts{
+		Partial: c.partial.Load(),
+		Trace:   c.traceOn.Load(),
+		Workers: int(c.workers.Load()),
+		TraceID: q.TraceID,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			c.writeError(q.ID, wire.CodeCanceled, "query canceled")
+			return
+		}
+		c.writeError(q.ID, errCode(err), err.Error())
+		return
+	}
+
+	hdr := &wire.ResultHeader{
+		ID:         q.ID,
+		Plan:       res.Plan,
+		Engine:     wire.Engine(res.Engine),
+		GroupAttrs: res.GroupAttrs,
+		Aggs:       res.Aggs,
+	}
+	if err := c.writeFrame(wire.FrameResultHeader, hdr.Encode()); err != nil {
+		return
+	}
+	batch := c.fe.cfg.BatchRows
+	for off := 0; off < len(res.Rows); off += batch {
+		if ctx.Err() != nil {
+			c.writeError(q.ID, wire.CodeCanceled, "query canceled mid-stream")
+			return
+		}
+		end := off + batch
+		if end > len(res.Rows) {
+			end = len(res.Rows)
+		}
+		rb := &wire.RowBatch{ID: q.ID, Rows: make([]wire.Row, 0, end-off)}
+		for _, r := range res.Rows[off:end] {
+			rb.Rows = append(rb.Rows, wire.Row{
+				Groups: r.Groups, Sum: r.Sum, Count: r.Count, Min: r.Min, Max: r.Max,
+			})
+		}
+		if err := c.writeFrame(wire.FrameRowBatch, rb.Encode()); err != nil {
+			return
+		}
+	}
+	done := &wire.ResultDone{
+		ID:        q.ID,
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+		Rows:      int64(len(res.Rows)),
+		QueryID:   res.QueryID,
+		Partial:   res.PartialJSON(),
+	}
+	if c.traceOn.Load() {
+		done.Trace = res.Trace
+	}
+	c.writeFrame(wire.FrameResultDone, done.Encode())
+}
+
+// handleExplain forwards the explanation request to a shard.
+func (c *fconn) handleExplain(ex *wire.Explain) {
+	if !c.fe.beginQuery() {
+		c.writeError(ex.ID, wire.CodeShutdown, "coordinator is draining")
+		return
+	}
+	defer c.fe.endQuery()
+
+	ctx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	c.registerQuery(ex.ID, cancel)
+	defer c.unregisterQuery(ex.ID)
+
+	expl, err := c.fe.co.Explain(ctx, ex.SQL, client.Engine(ex.Engine))
+	if err != nil {
+		if ctx.Err() != nil {
+			c.writeError(ex.ID, wire.CodeCanceled, "query canceled")
+			return
+		}
+		c.writeError(ex.ID, errCode(err), err.Error())
+		return
+	}
+	out := &wire.ExplainResult{
+		ID:     ex.ID,
+		Chosen: expl.Chosen,
+		Engine: wire.Engine(expl.Engine),
+		Text:   expl.Text,
+	}
+	if !strings.HasSuffix(out.Text, "\n") {
+		out.Text += "\n"
+	}
+	c.writeFrame(wire.FrameExplainResult, out.Encode())
+}

@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+// TestWarmStarJoinBoundedAllocs is the relational twin of the chunk
+// package's warm zero-alloc gate. The StarJoin and bitmap paths cannot
+// be literally zero-alloc — the Result, its group labels, and per-query
+// bookkeeping live on the GC heap — but with the dimension hash tables,
+// aggregation set, cube, and bitmap word buffers carved from the pooled
+// query arena, the warm per-query allocation count must be small and,
+// critically, independent of the fact count: scanning 8x the tuples may
+// not allocate more, or the arena plumbing has regressed.
+func TestWarmStarJoinBoundedAllocs(t *testing.T) {
+	spec := GroupByAttrs(3, 0)
+	sels := []Selection{{Dim: 0, Level: 0, Values: []string{"V0_0_0"}}}
+	attrs := [][]int{{3}, {4}, {2}}
+
+	// Same schema and attribute cardinalities, ~8x the cells: the group
+	// count is fixed, only the scanned volume grows.
+	small := buildFixture(t, 9, []int{5, 6, 4}, attrs, 0.4, []int{2, 3, 2})
+	big := buildFixture(t, 9, []int{10, 12, 8}, attrs, 0.4, []int{4, 4, 4})
+
+	measure := func(fx *fixture, name string, run func(fx *fixture)) float64 {
+		run(fx) // warm the arena pool
+		avg := testing.AllocsPerRun(50, func() { run(fx) })
+		t.Logf("%s: %.1f allocs/op", name, avg)
+		return avg
+	}
+
+	paths := []struct {
+		name string
+		run  func(fx *fixture)
+	}{
+		{"starjoin-consolidate", func(fx *fixture) {
+			if _, _, err := StarJoinConsolidate(fx.ff, fx.dims, spec); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"starjoin-select", func(fx *fixture) {
+			if _, _, err := StarJoinSelectConsolidate(fx.ff, fx.dims, sels, spec); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bitmap-select", func(fx *fixture) {
+			if _, _, err := BitmapSelectConsolidate(fx.ff, fx.dims, fx.bmaps, sels, spec); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	// The hard cap has headroom over the ~115-145 measured today; it
+	// exists to catch a path regressing to per-tuple or per-cell heap
+	// allocation, which lands in the thousands even on these fixtures.
+	const cap = 400.0
+	for _, p := range paths {
+		smallAllocs := measure(small, p.name+"/small", p.run)
+		bigAllocs := measure(big, p.name+"/8x-cells", p.run)
+		if smallAllocs > cap || bigAllocs > cap {
+			t.Errorf("%s: warm allocs %.1f (small) / %.1f (big) exceed cap %.0f",
+				p.name, smallAllocs, bigAllocs, cap)
+		}
+		// Bounded means flat in data volume; allow slack for map growth
+		// in the group-label bookkeeping.
+		if bigAllocs > smallAllocs*1.5+32 {
+			t.Errorf("%s: allocs scale with cells: %.1f -> %.1f", p.name, smallAllocs, bigAllocs)
+		}
+	}
+}

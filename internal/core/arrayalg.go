@@ -101,6 +101,13 @@ func ArrayConsolidate(a *array.Array, spec GroupSpec) (*Result, Metrics, error) 
 // chunk scan checks ctx between chunks, so a canceled query stops after
 // the batch in flight instead of finishing the whole array.
 func ArrayConsolidateContext(ctx context.Context, a *array.Array, spec GroupSpec) (*Result, Metrics, error) {
+	return arrayConsolidateRange(ctx, a, spec, 0, a.Geometry().NumChunks())
+}
+
+// arrayConsolidateRange scans the half-open chunk range [lo, hi) — the
+// whole directory for a plain query, one shard's contiguous slice under
+// a cluster Restriction.
+func arrayConsolidateRange(ctx context.Context, a *array.Array, spec GroupSpec, lo, hi int) (*Result, Metrics, error) {
 	var m Metrics
 	// One pooled arena per query: decode scratch and the result cube live
 	// in it, and the result carries it until Release.
@@ -115,10 +122,7 @@ func ArrayConsolidateContext(ctx context.Context, a *array.Array, spec GroupSpec
 	shape := g.ChunkShape()
 	n := g.NumDims()
 	coords := make([]int, n)
-	err = a.Store().ScanChunks(func(cn int, cells []chunk.Cell) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	err = a.Store().ScanChunkRange(ctx, lo, hi, func(cn int, cells []chunk.Cell) error {
 		m.ChunksRead++
 		// The chunk's start coordinates are fixed for every cell in it,
 		// so per cell only the in-chunk digits of offsetInChunk need
@@ -264,6 +268,14 @@ func ArraySelectConsolidate(a *array.Array, sels []Selection, spec GroupSpec) (*
 // ArraySelectConsolidateContext is ArraySelectConsolidate with
 // cancellation, checked once per candidate chunk before it is read.
 func ArraySelectConsolidateContext(ctx context.Context, a *array.Array, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+	return arraySelectConsolidateRange(ctx, a, sels, spec, 0, a.Geometry().NumChunks())
+}
+
+// arraySelectConsolidateRange is the §4.2 probe limited to candidate
+// chunks with lo <= chunkNum < hi: the cross-product enumeration is
+// unchanged, but chunks outside the window are skipped unread, so a
+// shard probes only its own slice of the directory.
+func arraySelectConsolidateRange(ctx context.Context, a *array.Array, sels []Selection, spec GroupSpec, lo, hi int) (*Result, Metrics, error) {
 	var m Metrics
 	ar := queryArenas.Get()
 	gm, err := newArrayGroupMapperIn(a, spec, ar)
@@ -309,6 +321,9 @@ func ArraySelectConsolidateContext(ctx context.Context, a *array.Array, sels []S
 			chunkCoords[i] = buckets[i].chunkCoords[chunkSel[i]]
 		}
 		cn := g.ChunkNumber(chunkCoords)
+		if cn < lo || cn >= hi {
+			return nil // another shard's chunk: skip without reading
+		}
 		if store.ChunkCells(cn) == 0 {
 			return nil // chunk holds no valid cells: skip without reading
 		}

@@ -163,11 +163,20 @@ func ArrayConsolidateParallel(a *array.Array, spec GroupSpec, workers int) (*Res
 // scan checks the derived context before every chunk, and the first
 // failure cancels the siblings.
 func ArrayConsolidateParallelContext(ctx context.Context, a *array.Array, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	return arrayConsolidateParallelRange(ctx, a, spec, workers, 0, a.Geometry().NumChunks())
+}
+
+// arrayConsolidateParallelRange fans the half-open chunk range
+// [rlo, rhi) out across workers — the whole directory for a plain
+// query, one shard's slice under a cluster Restriction. Workers split
+// the window with the same proportional formula shards use, so a
+// sharded run nests cleanly inside it.
+func arrayConsolidateParallelRange(ctx context.Context, a *array.Array, spec GroupSpec, workers, rlo, rhi int) (*Result, Metrics, error) {
 	g := a.Geometry()
-	numChunks := g.NumChunks()
-	workers = ClampWorkers(workers, numChunks)
+	span := rhi - rlo
+	workers = ClampWorkers(workers, span)
 	if workers <= 1 {
-		return ArrayConsolidateContext(ctx, a, spec)
+		return arrayConsolidateRange(ctx, a, spec, rlo, rhi)
 	}
 	shape := g.ChunkShape()
 	n := g.NumDims()
@@ -184,8 +193,8 @@ func ArrayConsolidateParallelContext(ctx context.Context, a *array.Array, spec G
 		p.res = gm.result
 		store := a.Store().Clone()
 		store.SetArena(ar)
-		lo := numChunks * w / workers
-		hi := numChunks * (w + 1) / workers
+		lo := rlo + span*w/workers
+		hi := rlo + span*(w+1)/workers
 		coords := make([]int, n)
 		p.err = store.ScanChunkRange(ctx, lo, hi, func(cn int, cells []chunk.Cell) error {
 			p.m.ChunksRead++
@@ -226,6 +235,13 @@ type selChunkTask struct {
 // chunk density, so static ranges would load-balance poorly), each
 // probing into a thread-local result cube merged at the end.
 func ArraySelectConsolidateParallelContext(ctx context.Context, a *array.Array, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	return arraySelectConsolidateParallelRange(ctx, a, sels, spec, workers, 0, a.Geometry().NumChunks())
+}
+
+// arraySelectConsolidateParallelRange is the parallel §4.2 probe with
+// candidate chunks limited to [rlo, rhi) — a shard's slice of the
+// chunk directory under a cluster Restriction.
+func arraySelectConsolidateParallelRange(ctx context.Context, a *array.Array, sels []Selection, spec GroupSpec, workers, rlo, rhi int) (*Result, Metrics, error) {
 	var m Metrics
 	lists, err := selectionIndexLists(a, sels)
 	if err != nil {
@@ -261,7 +277,7 @@ func ArraySelectConsolidateParallelContext(ctx context.Context, a *array.Array, 
 		for i := range chunkCoords {
 			chunkCoords[i] = buckets[i].chunkCoords[chunkSel[i]]
 		}
-		if cn := g.ChunkNumber(chunkCoords); store.ChunkCells(cn) > 0 {
+		if cn := g.ChunkNumber(chunkCoords); cn >= rlo && cn < rhi && store.ChunkCells(cn) > 0 {
 			tasks = append(tasks, selChunkTask{cn: cn, sel: append([]int(nil), chunkSel...)})
 		}
 		i := n - 1
@@ -279,7 +295,7 @@ func ArraySelectConsolidateParallelContext(ctx context.Context, a *array.Array, 
 
 	workers = ClampWorkers(workers, len(tasks))
 	if workers <= 1 {
-		return ArraySelectConsolidateContext(ctx, a, sels, spec)
+		return arraySelectConsolidateRange(ctx, a, sels, spec, rlo, rhi)
 	}
 
 	var next atomic.Int64
@@ -357,13 +373,13 @@ func ArraySelectConsolidateParallelContext(ctx context.Context, a *array.Array, 
 // StarJoinConsolidateParallelContext is StarJoinConsolidateContext with
 // the fact scan partitioned by extent ranges across workers.
 func StarJoinConsolidateParallelContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec, workers int) (*Result, Metrics, error) {
-	return starJoinParallel(ctx, ff, dims, nil, spec, workers)
+	return starJoinParallel(ctx, ff, dims, nil, spec, workers, Restriction{})
 }
 
 // StarJoinSelectConsolidateParallelContext is the filtering variant of
 // StarJoinConsolidateParallelContext.
 func StarJoinSelectConsolidateParallelContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
-	return starJoinParallel(ctx, ff, dims, sels, spec, workers)
+	return starJoinParallel(ctx, ff, dims, sels, spec, workers, Restriction{})
 }
 
 // starJoinParallel partitions the fact file into extent-aligned tuple
@@ -371,24 +387,34 @@ func StarJoinSelectConsolidateParallelContext(ctx context.Context, ff *factfile.
 // and extent alignment means workers never share a page. The dimension
 // hash tables and selection key sets are built once and shared read-only
 // (they are write-free after construction); each worker aggregates into
-// a private clone of the result cube.
-func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
-	exts := ff.NumExtents()
-	workers = ClampWorkers(workers, exts)
+// a private clone of the result cube. A cluster Restriction narrows the
+// extent window before the workers split it, so a sharded run is the
+// worker split applied to the shard's slice.
+func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int, r Restriction) (*Result, Metrics, error) {
+	extLo, extHi := r.ExtentRange(ff.NumExtents())
+	workers = ClampWorkers(workers, extHi-extLo)
 	if workers <= 1 {
-		return starJoin(ctx, ff, dims, sels, spec)
+		lo, hi := r.TupleRange(ff)
+		return starJoin(ctx, ff, dims, sels, spec, lo, hi)
 	}
-	st, err := buildRelGroupState(dims, spec)
+	// The shared state (dimension hashes + template cube) lives in its
+	// own arena, read-only to the workers and released once the partials
+	// have merged into worker 0's cube.
+	sar := queryArenas.Get()
+	st, err := buildRelGroupState(dims, spec, sar)
 	if err != nil {
+		queryArenas.Put(sar)
 		return nil, Metrics{}, err
 	}
 	filters, err := selectionKeySets(dims, sels)
 	if err != nil {
+		st.result.Release()
 		return nil, Metrics{}, err
 	}
 	perExt := uint64(ff.ExtentTuples())
 	perPage := uint64(ff.TuplesPerPage())
 	n := len(dims)
+	span := extHi - extLo
 	parts, err := runWorkers(ctx, workers, func(ctx context.Context, w int, p *workerPartial) {
 		ar := queryArenas.Get()
 		res, err := st.result.emptyCloneIn(ar)
@@ -399,10 +425,10 @@ func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.Di
 		}
 		p.res = res
 		local := &relGroupState{hashes: st.hashes, result: res}
-		lo := uint64(exts*w/workers) * perExt
-		hi := uint64(exts*(w+1)/workers) * perExt
+		lo := uint64(extLo+span*w/workers) * perExt
+		hi := uint64(extLo+span*(w+1)/workers) * perExt
 		keys := make([]int64, n)
-		agg := make(aggTable)
+		agg := newAggSetIn(ar)
 		p.err = ff.ScanRange(lo, hi, func(_ uint64, rec []byte) error {
 			if p.m.TuplesScanned%cancelCheckInterval == 0 {
 				if err := ctx.Err(); err != nil {
@@ -424,7 +450,7 @@ func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.Di
 			if !ok {
 				return nil
 			}
-			agg[idx] = struct{}{}
+			agg.add(idx)
 			res.add(idx, catalog.FactMeasure(rec, n))
 			return nil
 		})
@@ -432,9 +458,14 @@ func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.Di
 		p.io = int64((p.m.TuplesScanned + int64(perPage) - 1) / int64(perPage))
 	})
 	if err != nil {
+		st.result.Release()
 		return nil, Metrics{}, err
 	}
-	return mergeParts(parts)
+	res, m, err := mergeParts(parts)
+	// The shared hashes and template cube are no longer referenced: the
+	// merged result lives in worker 0's arena.
+	st.result.Release()
+	return res, m, err
 }
 
 // BitmapSelectConsolidateParallelContext is BitmapSelectConsolidate-
@@ -449,5 +480,5 @@ func BitmapSelectConsolidateParallelContext(ctx context.Context, ff *factfile.Fi
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return bitmapSelect(ctx, ff, dims, src, sels, spec, workers)
+	return bitmapSelect(ctx, ff, dims, src, sels, spec, workers, 0, ff.NumTuples())
 }

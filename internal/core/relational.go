@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/bitmap"
 	"repro/internal/catalog"
 	"repro/internal/factfile"
@@ -19,24 +20,91 @@ const cancelCheckInterval = 4096
 // dimHash is the relational algorithms' per-dimension in-memory hash
 // table (§4.3): dimension key -> group index, built by scanning the
 // dimension table. Value-based, in deliberate contrast with the array
-// algorithms' position-based IndexToIndex lookups.
-type dimHash map[int64]int32
+// algorithms' position-based IndexToIndex lookups. It is an open-
+// addressing (linear probe) table over two pointer-free slices so the
+// whole structure can be carved from the query arena instead of the GC
+// heap; a vals slot of -1 marks an empty bucket (group codes are >= 0).
+type dimHash struct {
+	keys []int64
+	vals []int32
+	mask uint64
+}
+
+// newDimHashIn sizes a table for exactly `rows` keys (dimension keys
+// are unique, so the row count is the insert count) at a load factor
+// of at most 2/3, allocating from ar (nil = GC heap).
+func newDimHashIn(ar *arena.Arena, rows uint64) *dimHash {
+	capacity := uint64(16)
+	for capacity < rows+rows/2+1 {
+		capacity <<= 1
+	}
+	h := &dimHash{
+		keys: arena.Make[int64](ar, int(capacity)),
+		vals: arena.Make[int32](ar, int(capacity)),
+		mask: capacity - 1,
+	}
+	for i := range h.vals {
+		h.vals[i] = -1
+	}
+	return h
+}
+
+// hash64 is a 64-bit finalizer-style mix (splitmix64's) — cheap and
+// well distributed for the small integer keys dimension tables use.
+func hash64(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (h *dimHash) insert(key int64, code int32) {
+	i := hash64(key) & h.mask
+	for h.vals[i] >= 0 {
+		if h.keys[i] == key {
+			h.vals[i] = code
+			return
+		}
+		i = (i + 1) & h.mask
+	}
+	h.keys[i] = key
+	h.vals[i] = code
+}
+
+func (h *dimHash) lookup(key int64) (int32, bool) {
+	i := hash64(key) & h.mask
+	for {
+		v := h.vals[i]
+		if v < 0 {
+			return 0, false
+		}
+		if h.keys[i] == key {
+			return v, true
+		}
+		i = (i + 1) & h.mask
+	}
+}
 
 // relGroupState holds the phase-1 output of the relational algorithms:
 // one hash table per grouped dimension, plus the result cube.
 type relGroupState struct {
-	hashes []dimHash // per dim; nil for collapsed dims
+	hashes []*dimHash // per dim; nil for collapsed dims
 	result *Result
 }
 
 // buildRelGroupState scans the dimension tables and builds the per-
 // dimension hash tables mapping keys to group indices, with group labels
-// assigned in first-seen order.
-func buildRelGroupState(dims []*catalog.DimensionTable, spec GroupSpec) (*relGroupState, error) {
+// assigned in first-seen order. The hash tables and the result cube's
+// aggregate planes are carved from ar (nil = GC heap); labels and the
+// state struct itself stay on the heap (they hold pointers).
+func buildRelGroupState(dims []*catalog.DimensionTable, spec GroupSpec, ar *arena.Arena) (*relGroupState, error) {
 	if len(spec) != len(dims) {
 		return nil, fmt.Errorf("core: group spec has %d entries for %d dimensions", len(spec), len(dims))
 	}
-	st := &relGroupState{hashes: make([]dimHash, len(dims))}
+	st := &relGroupState{hashes: make([]*dimHash, len(dims))}
 	var groupDims []int
 	var labels [][]string
 	for i, dg := range spec {
@@ -48,10 +116,14 @@ func buildRelGroupState(dims []*catalog.DimensionTable, spec GroupSpec) (*relGro
 			if dg.Target == GroupByLevel && (dg.Level < 0 || dg.Level >= len(dt.Schema.Attrs)) {
 				return nil, fmt.Errorf("core: dimension %s has no attribute level %d", dt.Schema.Name, dg.Level)
 			}
-			h := make(dimHash)
+			rows, err := dt.NumRows()
+			if err != nil {
+				return nil, err
+			}
+			h := newDimHashIn(ar, rows)
 			var lab []string
 			codes := map[string]int32{}
-			err := dt.Scan(func(key int64, attrs []string) error {
+			err = dt.Scan(func(key int64, attrs []string) error {
 				var group string
 				if dg.Target == GroupByKey {
 					group = keyLabel(key)
@@ -64,7 +136,7 @@ func buildRelGroupState(dims []*catalog.DimensionTable, spec GroupSpec) (*relGro
 					codes[group] = code
 					lab = append(lab, group)
 				}
-				h[key] = code
+				h.insert(key, code)
 				return nil
 			})
 			if err != nil {
@@ -77,7 +149,7 @@ func buildRelGroupState(dims []*catalog.DimensionTable, spec GroupSpec) (*relGro
 			return nil, fmt.Errorf("core: unknown group target %d", dg.Target)
 		}
 	}
-	res, err := newResult(groupDims, labels)
+	res, err := newResultIn(ar, groupDims, labels)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +168,7 @@ func (st *relGroupState) groupIndex(keys []int64) (int, bool) {
 		if h == nil {
 			continue
 		}
-		code, ok := h[keys[i]]
+		code, ok := h.lookup(keys[i])
 		if !ok {
 			return 0, false
 		}
@@ -106,11 +178,64 @@ func (st *relGroupState) groupIndex(keys []int64) (int, bool) {
 	return idx, true
 }
 
-// aggTable is the relational aggregation hash table (§4.3): the paper
+// aggSet is the relational aggregation hash table (§4.3): the paper
 // probes a hash of the group-by values for each joined tuple. The key is
 // the packed group index; the hash probe per fact tuple is the
-// value-based cost the paper contrasts with array positions.
-type aggTable map[int]struct{}
+// value-based cost the paper contrasts with array positions. Like
+// dimHash it is an arena-backed open-addressing set (-1 = empty slot;
+// group indices are >= 0), doubling through the arena as it fills.
+type aggSet struct {
+	slots []int64
+	mask  uint64
+	used  uint64
+	ar    *arena.Arena
+}
+
+func newAggSetIn(ar *arena.Arena) *aggSet {
+	const initial = 1024
+	s := &aggSet{slots: arena.Make[int64](ar, initial), mask: initial - 1, ar: ar}
+	for i := range s.slots {
+		s.slots[i] = -1
+	}
+	return s
+}
+
+func (s *aggSet) add(idx int) {
+	i := hash64(int64(idx)) & s.mask
+	for s.slots[i] >= 0 {
+		if s.slots[i] == int64(idx) {
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+	s.slots[i] = int64(idx)
+	s.used++
+	if s.used*3 > (s.mask+1)*2 {
+		s.grow()
+	}
+}
+
+func (s *aggSet) grow() {
+	old := s.slots
+	capacity := (s.mask + 1) * 2
+	// The old slots become dead arena space until the query's arena
+	// resets — bounded by 2x the final table size.
+	s.slots = arena.Make[int64](s.ar, int(capacity))
+	s.mask = capacity - 1
+	for i := range s.slots {
+		s.slots[i] = -1
+	}
+	for _, v := range old {
+		if v < 0 {
+			continue
+		}
+		i := hash64(v) & s.mask
+		for s.slots[i] >= 0 {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = v
+	}
+}
 
 // StarJoinConsolidate evaluates a consolidation with the relational
 // StarJoin operator of §4.3: build an in-memory hash table per dimension
@@ -118,13 +243,13 @@ type aggTable map[int]struct{}
 // probe every dimension hash, locate the group in the aggregation hash
 // table, and fold the measure in.
 func StarJoinConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(context.Background(), ff, dims, nil, spec)
+	return starJoin(context.Background(), ff, dims, nil, spec, 0, ff.NumTuples())
 }
 
 // StarJoinConsolidateContext is StarJoinConsolidate with cancellation,
 // checked every cancelCheckInterval fact tuples of the scan.
 func StarJoinConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(ctx, ff, dims, nil, spec)
+	return starJoin(ctx, ff, dims, nil, spec, 0, ff.NumTuples())
 }
 
 // StarJoinSelectConsolidate is StarJoinConsolidate with selection
@@ -133,30 +258,39 @@ func StarJoinConsolidateContext(ctx context.Context, ff *factfile.File, dims []*
 // non-members are dropped tuple by tuple. This is the "no index"
 // relational baseline the bitmap algorithm of §4.5 is built to beat.
 func StarJoinSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(context.Background(), ff, dims, sels, spec)
+	return starJoin(context.Background(), ff, dims, sels, spec, 0, ff.NumTuples())
 }
 
 // StarJoinSelectConsolidateContext is StarJoinSelectConsolidate with
 // cancellation, checked every cancelCheckInterval fact tuples.
 func StarJoinSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(ctx, ff, dims, sels, spec)
+	return starJoin(ctx, ff, dims, sels, spec, 0, ff.NumTuples())
 }
 
-func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
+// starJoin scans the half-open tuple range [tLo, tHi) of the fact file
+// — the full file for a plain query, one shard's extent-aligned slice
+// under a cluster Restriction.
+func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, tLo, tHi uint64) (*Result, Metrics, error) {
 	var m Metrics
-	st, err := buildRelGroupState(dims, spec)
+	// One pooled arena per query: the dimension hash tables, the
+	// aggregation set, and the result cube live in it; the result
+	// carries it until Release.
+	ar := queryArenas.Get()
+	st, err := buildRelGroupState(dims, spec, ar)
 	if err != nil {
+		queryArenas.Put(ar)
 		return nil, m, err
 	}
 	filters, err := selectionKeySets(dims, sels)
 	if err != nil {
+		st.result.Release()
 		return nil, m, err
 	}
 
 	n := len(dims)
 	keys := make([]int64, n)
-	agg := make(aggTable)
-	err = ff.Scan(func(_ uint64, rec []byte) error {
+	agg := newAggSetIn(ar)
+	err = ff.ScanRange(tLo, tHi, func(_ uint64, rec []byte) error {
 		if m.TuplesScanned%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -180,11 +314,12 @@ func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionT
 		// The aggregation-hash probe: membership is tracked in a real
 		// hash table so the per-tuple hashing cost is paid as in the
 		// paper's operator; the accumulator array is its entry payload.
-		agg[idx] = struct{}{}
+		agg.add(idx)
 		st.result.add(idx, catalog.FactMeasure(rec, n))
 		return nil
 	})
 	if err != nil {
+		st.result.Release()
 		return nil, m, err
 	}
 	return st.result, m, nil
@@ -303,42 +438,56 @@ func BitmapSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
 // cancelCheckInterval fetched tuples.
 func BitmapSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
 	src BitmapIndexSource, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
-	return bitmapSelect(ctx, ff, dims, src, sels, spec, 1)
+	return bitmapSelect(ctx, ff, dims, src, sels, spec, 1, 0, ff.NumTuples())
 }
 
 // bitmapSelect is the §4.5 algorithm with a parallel degree for the
 // bitmap word loops: workers > 1 splits each AND/OR across word ranges
 // (bitmap.ParallelAnd/Or fall back to the sequential loop on small
 // bitmaps, so operation counts never depend on the degree). Retrieval
-// and fetch are inherently sequential here.
+// and fetch are inherently sequential here. The fact fetch visits only
+// set bits inside [tLo, tHi) — the full file for a plain query, one
+// shard's extent-aligned slice under a cluster Restriction (the bitmap
+// phase itself is whole-file: bitmaps index global tuple numbers).
 func bitmapSelect(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
-	src BitmapIndexSource, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
+	src BitmapIndexSource, sels []Selection, spec GroupSpec, workers int, tLo, tHi uint64) (*Result, Metrics, error) {
 	var m Metrics
-	st, err := buildRelGroupState(dims, spec)
+	// The working bitmaps (ResultBitmap + per-predicate merge buffer),
+	// the dimension hash tables, and the result cube all live in one
+	// pooled query arena, released with the result.
+	ar := queryArenas.Get()
+	st, err := buildRelGroupState(dims, spec, ar)
 	if err != nil {
+		queryArenas.Put(ar)
 		return nil, m, err
 	}
 
-	result := bitmap.New(ff.NumTuples())
+	nt := ff.NumTuples()
+	result := bitmap.NewFrom(nt, arena.Make[uint64](ar, bitmap.WordsFor(nt)))
 	result.SetAll()
+	merged := bitmap.NewFrom(nt, arena.Make[uint64](ar, bitmap.WordsFor(nt)))
 	for _, s := range sels {
 		if err := ctx.Err(); err != nil {
+			st.result.Release()
 			return nil, m, err
 		}
 		if s.Dim < 0 || s.Dim >= len(dims) {
+			st.result.Release()
 			return nil, m, fmt.Errorf("core: selection on dimension %d of %d", s.Dim, len(dims))
 		}
 		dt := dims[s.Dim]
 		if s.Level < 0 || s.Level >= len(dt.Schema.Attrs) {
+			st.result.Release()
 			return nil, m, fmt.Errorf("core: dimension %s has no attribute level %d", dt.Schema.Name, s.Level)
 		}
 		// Values within one predicate union (OR), then AND into the
 		// running ResultBitmap. Only the selected values' bitmaps are
 		// retrieved from the index.
-		merged := bitmap.New(ff.NumTuples())
+		merged.ClearAll()
 		for _, v := range s.Values {
 			bm, ok, err := src.BitmapFor(dt.Schema.Name, dt.Schema.Attrs[s.Level], v)
 			if err != nil {
+				st.result.Release()
 				return nil, m, err
 			}
 			if ok {
@@ -353,8 +502,8 @@ func bitmapSelect(ctx context.Context, ff *factfile.File, dims []*catalog.Dimens
 
 	n := len(dims)
 	keys := make([]int64, n)
-	agg := make(aggTable)
-	err = ff.FetchBits(result, func(_ uint64, rec []byte) error {
+	agg := newAggSetIn(ar)
+	err = ff.FetchBits(rangeBits{bits: result, lo: tLo, hi: tHi}, func(_ uint64, rec []byte) error {
 		if m.TuplesFetched%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -368,11 +517,12 @@ func bitmapSelect(ctx context.Context, ff *factfile.File, dims []*catalog.Dimens
 		if !ok {
 			return nil
 		}
-		agg[idx] = struct{}{}
+		agg.add(idx)
 		st.result.add(idx, catalog.FactMeasure(rec, n))
 		return nil
 	})
 	if err != nil {
+		st.result.Release()
 		return nil, m, err
 	}
 	return st.result, m, nil

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRestrictionValidate rejects out-of-range shard indexes and accepts
+// the zero value (unrestricted).
+func TestRestrictionValidate(t *testing.T) {
+	// Shards <= 1 disables the restriction, so any Shard is acceptable
+	// there; only an active restriction can be out of range.
+	good := []Restriction{{}, {Shard: 0, Shards: 1}, {Shard: 7, Shards: 1}, {Shard: 0, Shards: -1},
+		{Shard: 0, Shards: 3}, {Shard: 2, Shards: 3}}
+	for _, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", r, err)
+		}
+	}
+	bad := []Restriction{{Shard: 3, Shards: 3}, {Shard: -1, Shards: 3}, {Shard: 2, Shards: 2}}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", r)
+		}
+	}
+}
+
+// TestRestrictionRangesPartition checks that the shard ranges tile the
+// unit range exactly — contiguous, disjoint, and covering — for every
+// (units, shards) combination, including more shards than units.
+func TestRestrictionRangesPartition(t *testing.T) {
+	for _, units := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, shards := range []int{1, 2, 3, 5, 9} {
+			prevHi := 0
+			for i := 0; i < shards; i++ {
+				r := Restriction{Shard: i, Shards: shards}
+				lo, hi := r.ChunkRange(units)
+				if lo != prevHi {
+					t.Fatalf("units=%d shards=%d: shard %d starts at %d, want %d", units, shards, i, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("units=%d shards=%d: shard %d has hi %d < lo %d", units, shards, i, hi, lo)
+				}
+				prevHi = hi
+			}
+			if prevHi != units {
+				t.Fatalf("units=%d shards=%d: union ends at %d", units, shards, prevHi)
+			}
+		}
+	}
+}
+
+// TestShardUnionEqualsFull is the cluster's correctness core: for every
+// engine, running each shard's restricted consolidation and merging the
+// partials with Result.Merge must reproduce the unrestricted run
+// bit-for-bit, at every shard count and worker degree.
+func TestShardUnionEqualsFull(t *testing.T) {
+	fx := defaultFixture(t, 77)
+	ctx := context.Background()
+
+	for _, tc := range parallelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := ReferenceConsolidate(fx.ff, fx.dims, tc.sels, tc.spec)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+
+			type engineRun struct {
+				name string
+				run  func(workers int, r Restriction) (*Result, Metrics, error)
+			}
+			var engines []engineRun
+			if len(tc.sels) == 0 {
+				engines = append(engines,
+					engineRun{"array-scan", func(w int, r Restriction) (*Result, Metrics, error) {
+						return ArrayConsolidateRestricted(ctx, fx.arr, tc.spec, w, r)
+					}},
+				)
+			} else {
+				engines = append(engines,
+					engineRun{"array-select", func(w int, r Restriction) (*Result, Metrics, error) {
+						return ArraySelectConsolidateRestricted(ctx, fx.arr, tc.sels, tc.spec, w, r)
+					}},
+					engineRun{"bitmap-select", func(w int, r Restriction) (*Result, Metrics, error) {
+						return BitmapSelectConsolidateRestricted(ctx, fx.ff, fx.dims, fx.bmaps, tc.sels, tc.spec, w, r)
+					}},
+				)
+			}
+			engines = append(engines,
+				engineRun{"starjoin", func(w int, r Restriction) (*Result, Metrics, error) {
+					return StarJoinConsolidateRestricted(ctx, fx.ff, fx.dims, tc.sels, tc.spec, w, r)
+				}},
+			)
+
+			for _, eng := range engines {
+				for _, shards := range []int{1, 2, 3, 5} {
+					for _, workers := range []int{1, 4} {
+						var merged *Result
+						var scanned int64
+						fullM := Metrics{}
+						for i := 0; i < shards; i++ {
+							res, m, err := eng.run(workers, Restriction{Shard: i, Shards: shards})
+							if err != nil {
+								t.Fatalf("%s shard %d/%d workers=%d: %v", eng.name, i, shards, workers, err)
+							}
+							scanned += m.TuplesScanned + m.CellsScanned
+							if merged == nil {
+								merged, fullM = res, m
+								continue
+							}
+							if err := merged.Merge(res); err != nil {
+								t.Fatalf("%s merge shard %d/%d: %v", eng.name, i, shards, err)
+							}
+						}
+						if got := merged.SortedRows(); !RowsEqual(got, want) {
+							t.Fatalf("%s shards=%d workers=%d != reference: %s",
+								eng.name, shards, workers, DiffRows(got, want))
+						}
+						// Counter conservation: the shards together scan
+						// exactly what one unrestricted pass scans.
+						full, fm, err := eng.run(workers, Restriction{})
+						if err != nil {
+							t.Fatalf("%s unrestricted: %v", eng.name, err)
+						}
+						_ = full
+						if wantScan := fm.TuplesScanned + fm.CellsScanned; scanned != wantScan {
+							t.Errorf("%s shards=%d workers=%d scanned %d tuples+cells, want %d",
+								eng.name, shards, workers, scanned, wantScan)
+						}
+						_ = fullM
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRestrictedRejectsBadShard checks every entry point validates the
+// restriction before touching data.
+func TestRestrictedRejectsBadShard(t *testing.T) {
+	fx := defaultFixture(t, 78)
+	ctx := context.Background()
+	bad := Restriction{Shard: 5, Shards: 3}
+	spec := GroupByAttrs(3, 0)
+	sels := []Selection{{Dim: 0, Level: 1, Values: []string{"V0_1_0"}}}
+	if _, _, err := ArrayConsolidateRestricted(ctx, fx.arr, spec, 1, bad); err == nil {
+		t.Error("ArrayConsolidateRestricted accepted bad shard")
+	}
+	if _, _, err := ArraySelectConsolidateRestricted(ctx, fx.arr, sels, spec, 1, bad); err == nil {
+		t.Error("ArraySelectConsolidateRestricted accepted bad shard")
+	}
+	if _, _, err := StarJoinConsolidateRestricted(ctx, fx.ff, fx.dims, nil, spec, 1, bad); err == nil {
+		t.Error("StarJoinConsolidateRestricted accepted bad shard")
+	}
+	if _, _, err := BitmapSelectConsolidateRestricted(ctx, fx.ff, fx.dims, fx.bmaps, sels, spec, 1, bad); err == nil {
+		t.Error("BitmapSelectConsolidateRestricted accepted bad shard")
+	}
+}

@@ -26,7 +26,7 @@ func TestFingerprintNormalization(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		plan, _, err := e.plan(spec, Auto)
+		plan, _, err := e.plan(spec, Auto, core.Restriction{}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +45,7 @@ func TestFingerprintNormalization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, _, err := e.plan(spec, Auto)
+	plan, _, err := e.plan(spec, Auto, core.Restriction{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -139,6 +139,11 @@ type Executor struct {
 	// traceOn is the session's TRACE switch: every query collects the
 	// fully sampled span tree regardless of the database sampler.
 	traceOn atomic.Bool
+
+	// shardRange is the executor's default shard restriction, packed
+	// shards<<32|shard (0 = unrestricted) — the cluster data server's
+	// standing sub-query window. See shard.go.
+	shardRange atomic.Uint64
 }
 
 // NewExecutor creates an executor with its own fresh ExecContext.
@@ -185,7 +190,7 @@ func (e *Executor) HasBitmapIndexes(spec *query.Spec) bool {
 
 // Explain plans the query without running it.
 func (e *Executor) Explain(spec *query.Spec, engine Engine) (*Explanation, error) {
-	_, expl, err := e.plan(spec, engine)
+	_, expl, err := e.plan(spec, engine, e.defaultRestriction(), 0)
 	return expl, err
 }
 
@@ -279,7 +284,8 @@ func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Eng
 		tr.Root.ChildAt("admission-wait", prof.Start.Add(-prof.AdmissionWait), prof.AdmissionWait)
 	}
 	planSp := tr.Root.Child("plan")
-	plan, expl, err := e.plan(spec, engine)
+	shard, shardWorkers := e.shardFor(ctx)
+	plan, expl, err := e.plan(spec, engine, shard, shardWorkers)
 	planSp.End()
 	prof.PlanTime = planSp.Duration
 	if err != nil {

@@ -51,6 +51,16 @@ func fingerprint(spec *query.Spec, plan Plan, statsGen int64) string {
 			b.WriteString(v)
 		}
 	}
+	// A restricted plan materializes only its shard's slice; its rows
+	// must never be served for the whole answer (or another shard's), so
+	// the restriction splits the cache key. Unrestricted plans keep the
+	// legacy key byte-identical.
+	if pr, ok := plan.(interface{ restriction() core.Restriction }); ok {
+		if r := pr.restriction(); r.Active() {
+			b.WriteString("|sh")
+			b.WriteString(r.String())
+		}
+	}
 	return b.String()
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/query"
 )
 
@@ -41,6 +42,10 @@ type Explanation struct {
 	// with: the session's setting clamped to the plan's work units
 	// (chunks / extents). 1 means sequential.
 	Degree int
+	// Shard is the sub-query restriction the plan runs under, rendered
+	// "shard/shards"; empty for an unrestricted (single-node) query, so
+	// existing EXPLAIN output is byte-identical.
+	Shard string
 	// Candidates lists every runnable plan, cheapest first when
 	// CostBased (the chosen one is marked).
 	Candidates []Candidate
@@ -74,6 +79,9 @@ func (x *Explanation) String() string {
 	fmt.Fprintf(&b, "plan: %s  engine=%s  S=%.6g", x.Chosen, x.Engine, x.Selectivity)
 	if x.Degree > 1 {
 		fmt.Fprintf(&b, "  parallel=%d", x.Degree)
+	}
+	if x.Shard != "" {
+		fmt.Fprintf(&b, "  shard=%s", x.Shard)
 	}
 	fmt.Fprintf(&b, "  [%s]\n", mode)
 	if x.CacheHit {
@@ -125,19 +133,30 @@ func statsUsable(st *catalog.Stats) bool {
 // plan builds the plan for (spec, engine): the forced plan when engine
 // pins one, otherwise the cheapest runnable plan under the cost model
 // (or the legacy heuristic when the catalog carries no statistics).
-// The returned Explanation always describes what happened.
-func (e *Executor) plan(spec *query.Spec, engine Engine) (Plan, *Explanation, error) {
+// The returned Explanation always describes what happened. r restricts
+// the plan to one shard's data slice (zero = whole database) and
+// workers, when > 0, overrides the session parallel degree — both ride
+// in on a coordinator's sub-query frame.
+func (e *Executor) plan(spec *query.Spec, engine Engine, r core.Restriction, workers int) (Plan, *Explanation, error) {
 	cat := e.ctx.Catalog()
 	if cat.Schema == nil {
 		return nil, nil, fmt.Errorf("exec: no schema defined")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, nil, err
 	}
 	schema := cat.Schema
 	st := cat.Stats
 
 	deg := e.parallelDegree()
-	newArray := func() Plan { return &arrayPlan{spec: spec, schema: schema, degree: deg} }
-	newStar := func() Plan { return &starJoinPlan{spec: spec, schema: schema, degree: deg} }
-	newBitmap := func() Plan { return &bitmapPlan{spec: spec, schema: schema, cat: cat, degree: deg} }
+	if workers > 0 {
+		deg = workers
+	}
+	newArray := func() Plan { return &arrayPlan{spec: spec, schema: schema, degree: deg, shard: r} }
+	newStar := func() Plan { return &starJoinPlan{spec: spec, schema: schema, degree: deg, shard: r} }
+	newBitmap := func() Plan {
+		return &bitmapPlan{spec: spec, schema: schema, cat: cat, degree: deg, shard: r}
+	}
 
 	var chosen Plan
 	forced := engine != Auto
@@ -222,6 +241,11 @@ func (e *Executor) explain(spec *query.Spec, chosen Plan, plans []Plan, forced b
 	x.Degree = 1
 	if pa, ok := chosen.(interface{ chosenDegree() int }); ok {
 		x.Degree = pa.chosenDegree()
+	}
+	if pr, ok := chosen.(interface{ restriction() core.Restriction }); ok {
+		if r := pr.restriction(); r.Active() {
+			x.Shard = r.String()
+		}
 	}
 	x.Tree = chosen.Explain()
 	return x

@@ -156,6 +156,11 @@ type arrayPlan struct {
 	// 0 (a plan built outside the executor) means sequential. estDeg is
 	// the degree clamped to this plan's work units by Estimate.
 	degree int
+	// shard restricts Run to one shard's chunk range (cluster data
+	// servers); the zero value means the whole array. Estimate ignores
+	// it: sub-query costing is the coordinator's concern, and keeping
+	// the estimates whole-array keeps EXPLAIN goldens stable.
+	shard core.Restriction
 
 	est        Cost
 	estSel     float64
@@ -261,15 +266,9 @@ func (p *arrayPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, cor
 		deg = 1 // plans built outside the executor run sequentially
 	}
 	if len(p.spec.Selections) > 0 {
-		if deg > 1 {
-			return core.ArraySelectConsolidateParallelContext(ctx, arr, p.spec.Selections, p.spec.Group, deg)
-		}
-		return core.ArraySelectConsolidateContext(ctx, arr, p.spec.Selections, p.spec.Group)
+		return core.ArraySelectConsolidateRestricted(ctx, arr, p.spec.Selections, p.spec.Group, deg, p.shard)
 	}
-	if deg > 1 {
-		return core.ArrayConsolidateParallelContext(ctx, arr, p.spec.Group, deg)
-	}
-	return core.ArrayConsolidateContext(ctx, arr, p.spec.Group)
+	return core.ArrayConsolidateRestricted(ctx, arr, p.spec.Group, deg, p.shard)
 }
 
 func (p *arrayPlan) Explain() PlanDesc {
@@ -343,6 +342,7 @@ type starJoinPlan struct {
 	spec   *query.Spec
 	schema *catalog.StarSchema
 	degree int
+	shard  core.Restriction
 
 	est    Cost
 	estSel float64
@@ -397,16 +397,7 @@ func (p *starJoinPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, 
 	if deg < 1 {
 		deg = 1
 	}
-	if len(p.spec.Selections) > 0 {
-		if deg > 1 {
-			return core.StarJoinSelectConsolidateParallelContext(ctx, ff, dims, p.spec.Selections, p.spec.Group, deg)
-		}
-		return core.StarJoinSelectConsolidateContext(ctx, ff, dims, p.spec.Selections, p.spec.Group)
-	}
-	if deg > 1 {
-		return core.StarJoinConsolidateParallelContext(ctx, ff, dims, p.spec.Group, deg)
-	}
-	return core.StarJoinConsolidateContext(ctx, ff, dims, p.spec.Group)
+	return core.StarJoinConsolidateRestricted(ctx, ff, dims, p.spec.Selections, p.spec.Group, deg, p.shard)
 }
 
 func (p *starJoinPlan) Explain() PlanDesc {
@@ -457,6 +448,7 @@ type bitmapPlan struct {
 	// are sequential, so the plan neither claims a CPU discount nor
 	// reports a parallel degree in EXPLAIN.
 	degree int
+	shard  core.Restriction
 
 	est     Cost
 	estSel  float64
@@ -519,10 +511,7 @@ func (p *bitmapPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, co
 		Lob:  storage.NewLOBStore(ec.BufferPool()),
 		Refs: ec.Catalog().BitmapIndexes,
 	}
-	if p.degree > 1 {
-		return core.BitmapSelectConsolidateParallelContext(ctx, ff, dims, src, p.spec.Selections, p.spec.Group, p.degree)
-	}
-	return core.BitmapSelectConsolidateContext(ctx, ff, dims, src, p.spec.Selections, p.spec.Group)
+	return core.BitmapSelectConsolidateRestricted(ctx, ff, dims, src, p.spec.Selections, p.spec.Group, p.degree, p.shard)
 }
 
 func (p *bitmapPlan) Explain() PlanDesc {

@@ -62,6 +62,14 @@ type Config struct {
 	// new session; 0 leaves the engine default (GOMAXPROCS), 1 forces
 	// sequential execution. Sessions override it with PARALLEL n.
 	Workers int
+	// ShardIndex/ShardCount give every session a default shard
+	// restriction (the olapd -shard-range flag): each query this server
+	// runs evaluates only shard ShardIndex of ShardCount, so a cluster
+	// data server answers with its slice of the rows even for plain
+	// Query frames. ShardCount <= 1 disables it. A coordinator's
+	// SubQuery frames override the default per query.
+	ShardIndex int
+	ShardCount int
 }
 
 func (c *Config) withDefaults() Config {
@@ -157,6 +165,9 @@ func New(db *repro.DB, cfg Config) *Server {
 
 // Start begins listening and accepting connections.
 func (s *Server) Start() error {
+	if n := s.cfg.ShardCount; n > 1 && (s.cfg.ShardIndex < 0 || s.cfg.ShardIndex >= n) {
+		return fmt.Errorf("server: shard index %d out of range 0..%d", s.cfg.ShardIndex, n-1)
+	}
 	lis, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
@@ -202,6 +213,9 @@ func (s *Server) acceptLoop() {
 		}
 		if s.cfg.Workers > 0 {
 			c.sess.SetParallel(s.cfg.Workers)
+		}
+		if s.cfg.ShardCount > 1 {
+			c.sess.SetShardRange(s.cfg.ShardIndex, s.cfg.ShardCount) // validated in Start
 		}
 		c.ctx, c.cancel = context.WithCancel(context.Background())
 		s.mu.Lock()
@@ -415,7 +429,27 @@ func (c *conn) serve() {
 			c.qwg.Add(1)
 			go func() {
 				defer c.qwg.Done()
-				c.handleQuery(q)
+				c.handleQuery(q, nil)
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+			}()
+		case wire.FrameSubQuery:
+			sq, err := wire.DecodeSubQuery(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+				goto out
+			}
+			if sq.Shards > 1 && sq.Shard >= sq.Shards {
+				c.writeError(sq.ID, wire.CodeProtocol,
+					fmt.Sprintf("shard %d out of range 0..%d", sq.Shard, sq.Shards-1))
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+				break
+			}
+			c.qwg.Add(1)
+			go func() {
+				defer c.qwg.Done()
+				c.handleQuery(&wire.Query{ID: sq.ID, Engine: sq.Engine, SQL: sq.SQL, TraceID: sq.TraceID}, sq)
 				c.srv.frameLatency.ObserveDuration(time.Since(start))
 			}()
 		case wire.FrameExplain:
@@ -604,8 +638,11 @@ func (c *conn) admit(ctx context.Context, id uint32) bool {
 
 // handleQuery executes one Query frame end to end: admission, parse
 // classification, execution under the per-query context, and the
-// result stream (header, row batches, done).
-func (c *conn) handleQuery(q *wire.Query) {
+// result stream (header, row batches, done). sub, when non-nil, is the
+// SubQuery frame the request arrived on: the query runs restricted to
+// that shard window (overriding any server-wide shard range) with the
+// coordinator's worker override.
+func (c *conn) handleQuery(q *wire.Query, sub *wire.SubQuery) {
 	engine, err := engineOf(q.Engine)
 	if err != nil {
 		c.writeError(q.ID, wire.CodeProtocol, err.Error())
@@ -646,7 +683,13 @@ func (c *conn) handleQuery(q *wire.Query) {
 		TraceOn:       c.traceOn.Load(),
 		AdmissionWait: admissionWait,
 	})
-	res, err := c.sess.QueryOnContext(ctx, q.SQL, engine)
+	var res *repro.Result
+	if sub != nil {
+		res, err = c.sess.QueryOnShardContext(ctx, q.SQL, engine,
+			int(sub.Shard), int(sub.Shards), int(sub.Workers))
+	} else {
+		res, err = c.sess.QueryOnContext(ctx, q.SQL, engine)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			c.srv.qCanceled.Inc()

@@ -25,6 +25,13 @@
 // PARALLEL n, or TRACE on|off — and is acknowledged with OptionAck (id)
 // or rejected with Error{CodeProtocol} without dropping the connection.
 //
+// Clustering: a SubQuery frame is a Query restricted to one shard's
+// slice of the data (shard i of n, with an optional worker override) —
+// what a cluster coordinator scatters to its data servers. It answers
+// with the same ResultHeader/RowBatch/ResultDone stream; the TraceID it
+// carries is the originating distributed query's, so traces and flight-
+// recorder profiles stitch across nodes.
+//
 // Tracing: a Query frame carries the client-minted query ID (TraceID)
 // that names the execution in the server's slow-query log, flight
 // recorder, and pprof labels; ResultDone and Error echo it back, and
@@ -49,8 +56,10 @@ import (
 // rejects any other version — there is exactly one until a release has
 // to interoperate with an older one. Version 2 added trace-context
 // fields (query IDs on Query/ResultDone/Error, the TRACE option's span
-// tree) and the GetProfiles/ProfilesResult pair.
-const Version uint16 = 2
+// tree) and the GetProfiles/ProfilesResult pair. Version 3 added the
+// SubQuery frame (a coordinator's shard-restricted query), the PARTIAL
+// session option, and the per-shard completeness report on ResultDone.
+const Version uint16 = 3
 
 // Magic opens every Hello frame; it lets the server reject a client
 // that is not speaking this protocol at all (an HTTP request, say)
@@ -80,6 +89,7 @@ const (
 	FramePing        FrameType = 0x05
 	FrameSetOption   FrameType = 0x06
 	FrameGetProfiles FrameType = 0x07
+	FrameSubQuery    FrameType = 0x08
 
 	FrameHelloAck       FrameType = 0x10
 	FrameResultHeader   FrameType = 0x11
@@ -109,6 +119,8 @@ func (t FrameType) String() string {
 		return "set-option"
 	case FrameGetProfiles:
 		return "get-profiles"
+	case FrameSubQuery:
+		return "sub-query"
 	case FrameHelloAck:
 		return "hello-ack"
 	case FrameResultHeader:
