@@ -196,4 +196,45 @@ for pid in $shard_pids; do
 done
 shard_pids=""
 
+echo "== HTAP smoke (concurrent ingest+query under -race, 5s) =="
+# Writers ingest through the delta store while readers query and the
+# background compactor folds underneath; afterwards every engine must
+# answer exactly like a sequential replay of the final cell states.
+HTAP_SMOKE_SECONDS=5 go test -race -count=1 -run TestHTAPSmoke .
+
+echo "== HTAP olapd smoke (delta flags + REPL meta-commands) =="
+"$smokedir/olapd" -db "$smokedir/smoke.db" -listen 127.0.0.1:0 -obs 127.0.0.1:0 \
+    -compact-interval 250ms -delta-max-mb 16 2>"$smokedir/htapd.log" &
+olapd_pid=$!
+addr=$(wait_addr "$smokedir/htapd.log")
+if [ -z "$addr" ]; then
+    echo "HTAP olapd did not start:" >&2
+    cat "$smokedir/htapd.log" >&2
+    exit 1
+fi
+obs=$(sed -n 's/.*msg="observability endpoint" addr=\([^ ]*\).*/\1/p' "$smokedir/htapd.log")
+
+# Drive the REPL: a query, then the delta and compact meta-commands,
+# both of which must answer over the wire.
+printf 'select sum(volume), h01 from fact, dim0 group by h01\ndelta\ncompact\ndelta\n\n' \
+    | "$smokedir/olapcli" -connect "$addr" >"$smokedir/htap.out"
+grep -q "plan=" "$smokedir/htap.out"
+grep -q "delta: cells=" "$smokedir/htap.out"
+grep -q "compacted in" "$smokedir/htap.out"
+
+# The delta metrics must be exported.
+curl -sf "http://$obs/metrics" | grep -q "^delta_cells "
+curl -sf "http://$obs/metrics" | grep -q "^delta_bytes "
+curl -sf "http://$obs/metrics" | grep -q "^compactions_total "
+
+kill -TERM "$olapd_pid"
+rc=0
+wait "$olapd_pid" || rc=$?
+olapd_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "HTAP olapd shutdown exit code $rc" >&2
+    cat "$smokedir/htapd.log" >&2
+    exit 1
+fi
+
 echo "ci.sh: all checks passed"

@@ -410,6 +410,175 @@ func (c *Conn) Profiles(ctx context.Context, queryID string, limit int) (string,
 	}
 }
 
+// IngestCell is one cell state for Ingest, addressed by dimension keys:
+// set the cell's measure to Value, or delete it. States are absolute,
+// so resending a batch after an ambiguous failure is idempotent.
+type IngestCell struct {
+	Keys   []int64
+	Value  int64
+	Delete bool
+}
+
+// DeltaStats is the server's delta-store snapshot: the cells and bytes
+// awaiting compaction, the dirty/touched chunk counts, the backpressure
+// budget, and the lifetime compaction count.
+type DeltaStats struct {
+	Cells         int64
+	Bytes         int64
+	DirtyChunks   int64
+	TouchedChunks int64
+	BudgetBytes   int64
+	Compactions   int64
+}
+
+// Ingest applies a batch of cell states through the server's HTAP delta
+// path: the batch is WAL-logged and visible to queries on arrival,
+// folded into the chunk store by a later compaction. The call may block
+// while the server's delta store is over budget; canceling ctx sends a
+// Cancel frame that releases the wait server-side.
+func (c *Conn) Ingest(ctx context.Context, cells []IngestCell) error {
+	if c.broken.Load() {
+		return errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	f := &wire.Ingest{ID: id, Cells: make([]wire.IngestCell, len(cells))}
+	for i, cell := range cells {
+		f.Cells[i] = wire.IngestCell{Keys: cell.Keys, Value: cell.Value, Delete: cell.Delete}
+	}
+	if err := c.writeFrame(wire.FrameIngest, f.Encode()); err != nil {
+		return err
+	}
+	stop := c.watchCancel(ctx, id)
+	defer stop()
+	t, fb, err := c.readFrame()
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer fb.Release()
+	switch t {
+	case wire.FrameIngestAck:
+		ack, err := wire.DecodeIngestAck(fb.Bytes())
+		if err != nil || ack.ID != id {
+			c.broken.Store(true)
+			return fmt.Errorf("client: bad ingest ack: %v", err)
+		}
+		return nil
+	case wire.FrameError:
+		ef, err := wire.DecodeError(fb.Bytes())
+		if err != nil {
+			c.broken.Store(true)
+			return err
+		}
+		if ef.Code == wire.CodeCanceled && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+	default:
+		c.broken.Store(true)
+		return fmt.Errorf("client: unexpected %s frame", t)
+	}
+}
+
+// DeltaStats reads the server's delta-store counters. The round-trip
+// runs under the dial timeout (or ctx, whichever fires first).
+func (c *Conn) DeltaStats(ctx context.Context) (*DeltaStats, error) {
+	if c.broken.Load() {
+		return nil, errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	if err := c.writeFrame(wire.FrameDeltaStats, (&wire.DeltaStatsReq{ID: id}).Encode()); err != nil {
+		return nil, err
+	}
+	t, fb, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	defer fb.Release()
+	switch t {
+	case wire.FrameDeltaStatsResult:
+		r, err := wire.DecodeDeltaStatsResult(fb.Bytes())
+		if err != nil || r.ID != id {
+			c.broken.Store(true)
+			return nil, fmt.Errorf("client: bad delta-stats result: %v", err)
+		}
+		return &DeltaStats{
+			Cells: r.Cells, Bytes: r.Bytes,
+			DirtyChunks: r.DirtyChunks, TouchedChunks: r.TouchedChunks,
+			BudgetBytes: r.BudgetBytes, Compactions: r.Compactions,
+		}, nil
+	case wire.FrameError:
+		ef, err := wire.DecodeError(fb.Bytes())
+		if err != nil {
+			c.broken.Store(true)
+			return nil, err
+		}
+		return nil, &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+	default:
+		c.broken.Store(true)
+		return nil, fmt.Errorf("client: unexpected %s frame", t)
+	}
+}
+
+// Compact asks the server to fold its accumulated deltas into the chunk
+// store now and reports the server-side elapsed time. Canceling ctx
+// abandons the wait client-side only — the compaction itself is not
+// interruptible.
+func (c *Conn) Compact(ctx context.Context) (time.Duration, error) {
+	if c.broken.Load() {
+		return 0, errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	c.nextID++
+	id := c.nextID
+	if err := c.writeFrame(wire.FrameCompact, (&wire.CompactReq{ID: id}).Encode()); err != nil {
+		return 0, err
+	}
+	stop := c.watchCancel(ctx, id)
+	defer stop()
+	t, fb, err := c.readFrame()
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return 0, err
+	}
+	defer fb.Release()
+	switch t {
+	case wire.FrameCompactAck:
+		ack, err := wire.DecodeCompactAck(fb.Bytes())
+		if err != nil || ack.ID != id {
+			c.broken.Store(true)
+			return 0, fmt.Errorf("client: bad compact ack: %v", err)
+		}
+		return time.Duration(ack.ElapsedNS), nil
+	case wire.FrameError:
+		ef, err := wire.DecodeError(fb.Bytes())
+		if err != nil {
+			c.broken.Store(true)
+			return 0, err
+		}
+		return 0, &Error{Code: ErrorCode(ef.Code), Message: ef.Message}
+	default:
+		c.broken.Store(true)
+		return 0, fmt.Errorf("client: unexpected %s frame", t)
+	}
+}
+
 // watchCancel arms ctx-cancellation for request id: when ctx fires, a
 // Cancel frame goes to the server and the read deadline drops to
 // CancelGrace, so the pending read either sees the server's

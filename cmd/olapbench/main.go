@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	olapbench [-fig all|4|5|6|7|8|9|10|storage|ablations|cluster] [-scale 1.0]
+//	olapbench [-fig all|4|5|6|7|8|9|10|storage|ablations|cluster|htap] [-scale 1.0]
 //	          [-trials 3] [-warm] [-seed N]
 //
 // Absolute times depend on the machine; the shapes (who wins, by what
@@ -16,6 +16,11 @@
 // counts 1..3 over self-hosted in-process shard servers (or the running
 // olapd data servers named by -connect a,b,c) and recording the
 // scatter/gather wait breakdown per engine.
+//
+// -fig htap benchmarks the ingest path's per-chunk cache invalidation
+// against the whole-DB epoch bump it replaced: the same mixed
+// ingest+query workload runs under both, and the table reports the
+// result-cache hit rate each sustains.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bench/clusterbench"
+	"repro/internal/bench/htapbench"
 )
 
 func main() {
@@ -132,6 +138,27 @@ func main() {
 		figure("ablation-enumeration", h.EnumerationAblation),
 		figure("ablation-factfile", h.FactFileAblation),
 		figure("ablation-bufferpool", h.BufferPoolAblation),
+	}
+	// The HTAP comparison only runs when asked for by name: it replays a
+	// mixed ingest+query workload twice, which "all" should not imply.
+	if strings.ToLower(*fig) == "htap" {
+		hopts := htapbench.HTAPOptions{Scale: *scale}
+		fmt.Fprintln(os.Stderr, "building and running HTAP mixed workload...")
+		hfig, err := htapbench.RunHTAP(hopts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olapbench: htap: %v\n", err)
+			os.Exit(1)
+		}
+		htapbench.WriteHTAPTable(os.Stdout, hfig)
+		if *snapshotDir != "" {
+			path, err := htapbench.WriteHTAPSnapshot(*snapshotDir, hfig, hopts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "olapbench: htap: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "snapshot: %s\n", path)
+		}
+		return
 	}
 	// The cluster sweep only runs when asked for by name: it spins up
 	// shard servers and a coordinator, which "all" should not imply.

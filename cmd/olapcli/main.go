@@ -127,6 +127,23 @@ func main() {
 			printStats(db)
 			continue
 		}
+		// "delta" shows the HTAP delta store's counters; "compact" folds
+		// the accumulated deltas into the chunk store now.
+		if strings.EqualFold(sql, "delta") {
+			st := db.DeltaStats()
+			printDeltaStats(st.Cells, st.Bytes, int64(st.DirtyChunks),
+				int64(st.TouchedChunks), st.BudgetBytes, db.CompactionsTotal())
+			continue
+		}
+		if strings.EqualFold(sql, "compact") {
+			start := time.Now()
+			if err := db.Compact(); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fmt.Printf("compacted in %v\n", time.Since(start).Round(time.Microsecond))
+			}
+			continue
+		}
 		// "recent" lists the flight recorder's latest query profiles;
 		// "profile <id>" dumps one as JSON.
 		if strings.EqualFold(sql, "recent") {
@@ -262,6 +279,27 @@ func remoteMain(addr, engineName string, maxRows, workers int, partial bool) int
 				}
 				continue
 			}
+		}
+		// "delta" reads the server's delta-store counters; "compact" asks
+		// it to fold the accumulated deltas now.
+		if strings.EqualFold(sql, "delta") {
+			st, err := conn.DeltaStats(context.Background())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				printDeltaStats(st.Cells, st.Bytes, st.DirtyChunks,
+					st.TouchedChunks, st.BudgetBytes, st.Compactions)
+			}
+			continue
+		}
+		if strings.EqualFold(sql, "compact") {
+			elapsed, err := conn.Compact(context.Background())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fmt.Printf("compacted in %v\n", elapsed.Round(time.Microsecond))
+			}
+			continue
 		}
 		// "recent" and "profile <id>" read the server's flight recorder.
 		if strings.EqualFold(sql, "recent") {
@@ -424,6 +462,17 @@ func printRemoteProfiles(conn *client.Conn, queryID string, limit int) {
 		return
 	}
 	fmt.Println(buf.String())
+}
+
+// printDeltaStats renders the delta store's counters (the "delta"
+// meta-command, local and remote).
+func printDeltaStats(cells, bytes, dirty, touched, budget, compactions int64) {
+	budgetStr := "unlimited"
+	if budget > 0 {
+		budgetStr = fmt.Sprintf("%d", budget)
+	}
+	fmt.Printf("delta: cells=%d bytes=%d dirty_chunks=%d touched_chunks=%d budget=%s compactions=%d\n",
+		cells, bytes, dirty, touched, budgetStr, compactions)
 }
 
 // printStats renders the cross-layer engine snapshot (the interactive

@@ -8,6 +8,13 @@
 //	olapd -db sales.db [-listen 127.0.0.1:7432] [-obs 127.0.0.1:9090]
 //	      [-max-concurrent N] [-queue-depth N] [-slow-ms 100] [-cache-mb 64]
 //	      [-replacer lru|clock|2q] [-shard-range i/n]
+//	      [-compact-interval 5s] [-delta-max-mb 64]
+//
+// HTAP ingest: clients push cell states with Ingest frames; they land
+// in the WAL-backed delta store and are visible to queries immediately.
+// -compact-interval runs the background compactor that folds them into
+// the chunk store; -delta-max-mb bounds the delta store, applying
+// backpressure to ingest until a compaction drains it.
 //
 // Cluster roles: with -shard-range i/n the process is a data server
 // answering every query with shard i of n's slice of the rows; with
@@ -60,6 +67,8 @@ func main() {
 	shards := flag.String("shards", "", "comma-separated shard server addresses (coordinator mode)")
 	retries := flag.Int("retries", 0, "coordinator: retries per shard sub-query after a retryable failure (0 = 2, -1 = none)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "coordinator: base backoff before a shard retry, doubled and jittered per attempt (0 = 100ms)")
+	compactInterval := flag.Duration("compact-interval", 0, "background delta compaction interval (0 = no background compactor; compact only on explicit request)")
+	deltaMaxMB := flag.Int("delta-max-mb", 0, "delta store byte budget in MiB; ingest blocks over it until a compaction drains (0 = unlimited)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -73,7 +82,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
 		os.Exit(1)
 	}
-	db, err := repro.Open(repro.Options{Path: *path, Replacer: *replacer})
+	db, err := repro.Open(repro.Options{
+		Path:             *path,
+		Replacer:         *replacer,
+		DeltaBudgetBytes: int64(*deltaMaxMB) << 20,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)
 		os.Exit(1)
@@ -81,6 +94,9 @@ func main() {
 
 	if *cacheMB > 0 {
 		db.EnableQueryCache(int64(*cacheMB) << 20)
+	}
+	if *compactInterval > 0 {
+		db.StartCompactor(*compactInterval)
 	}
 
 	cfg := server.Config{

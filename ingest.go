@@ -1,0 +1,225 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/delta"
+	"repro/internal/exec"
+)
+
+// DeltaStats is a point-in-time snapshot of the ingest delta store.
+type DeltaStats = delta.Stats
+
+// IngestCell is one cell state for InsertCells, addressed by dimension
+// keys: set the cell's measure to Value, or delete it. States are
+// absolute (not increments), so replaying a batch is idempotent.
+type IngestCell struct {
+	Keys   []int64
+	Value  int64
+	Delete bool
+}
+
+// InsertCells ingests a batch of cell states through the HTAP delta
+// path: the batch is logged to the delta WAL (fsynced) and becomes
+// visible to queries immediately, without touching the chunk files.
+// A later background (or explicit) Compact folds it into the array.
+// Within a batch, a later entry for the same cell wins.
+//
+// InsertCells is safe to call concurrently with queries, with other
+// InsertCells, and with the compactor. It blocks when the delta store
+// is over its byte budget (Options.DeltaBudgetBytes) until a
+// compaction drains it.
+func (db *DB) InsertCells(cells []IngestCell) error {
+	return db.InsertCellsContext(context.Background(), cells)
+}
+
+// InsertCellsContext is InsertCells with cancellation — the context
+// bounds both key resolution and the backpressure wait.
+func (db *DB) InsertCellsContext(ctx context.Context, cells []IngestCell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	if db.ds == nil {
+		return fmt.Errorf("repro: ingest: no delta store")
+	}
+	if db.ex.Context().ArrayState() == 0 {
+		return fmt.Errorf("repro: ingest requires a built array (BuildArray)")
+	}
+	// The clone is used only for its immutable dimension maps and
+	// geometry; no chunks are decoded here.
+	arr, err := db.ex.Context().ArrayClone()
+	if err != nil {
+		return err
+	}
+	dims := arr.Dims()
+	g := arr.Geometry()
+	coords := make([]int, len(dims))
+	out := make([]delta.Cell, len(cells))
+	for i, c := range cells {
+		if len(c.Keys) != len(dims) {
+			return fmt.Errorf("repro: ingest: cell %d has %d keys for %d dimensions", i, len(c.Keys), len(dims))
+		}
+		for d, k := range c.Keys {
+			idx, ok, err := dims[d].IndexOf(k)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("repro: ingest: cell %d references unknown %s key %d", i, dims[d].Name, k)
+			}
+			coords[d] = idx
+		}
+		cn, off := g.Locate(coords)
+		out[i] = delta.Cell{Chunk: cn, Offset: uint32(off), Value: c.Value, Delete: c.Delete}
+	}
+	return db.ds.Apply(ctx, out)
+}
+
+// UpdateCell sets one cell's measure through the ingest path.
+func (db *DB) UpdateCell(keys []int64, value int64) error {
+	return db.InsertCells([]IngestCell{{Keys: keys, Value: value}})
+}
+
+// DeleteCell deletes one cell through the ingest path.
+func (db *DB) DeleteCell(keys []int64) error {
+	return db.InsertCells([]IngestCell{{Keys: keys, Delete: true}})
+}
+
+// DeltaStats snapshots the ingest delta store's counters.
+func (db *DB) DeltaStats() DeltaStats {
+	if db.ds == nil {
+		return DeltaStats{}
+	}
+	return db.ds.Stats()
+}
+
+// CompactionsTotal reports how many compactions have completed since
+// the database opened (the compactions_total counter).
+func (db *DB) CompactionsTotal() int64 {
+	if db.compactions == nil {
+		return 0
+	}
+	return db.compactions.Value()
+}
+
+// Compact folds the current delta overlay into the chunk-offset-
+// compressed chunk store and drains what it folded: snapshot the
+// overlay, apply it copy-on-write to an overlay-free master (only the
+// touched chunks are re-encoded), swap the new array version in, and
+// commit durably — then remove the folded deltas from the store and
+// its WAL. Queries run concurrently throughout: in-flight clones keep
+// reading the old version's pages, new queries see the new base with
+// whatever deltas arrived after the snapshot merged on top.
+//
+// The step order is what makes a crash at any point recoverable: the
+// delta WAL is only rewritten after the fold is durably committed, and
+// replaying absolute cell states over an already-folded base is a
+// no-op. Compaction changes no observable content, so it does not bump
+// the cache epoch; result- and chunk-cache entries survive it.
+func (db *DB) Compact() error {
+	if db.ds == nil {
+		return nil
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.ex.Context().ArrayState() == 0 {
+		return nil
+	}
+	ov, versions, _ := db.ds.Snapshot()
+	if len(ov) == 0 {
+		return nil
+	}
+	start := time.Now()
+	// A fresh overlay-free handle: the fold must read base cells only.
+	arr, err := exec.OpenArray(db.bp, db.cat)
+	if err != nil {
+		return err
+	}
+	changes := make(map[int][]chunk.CellChange, len(ov))
+	for cn, cells := range ov {
+		chs := make([]chunk.CellChange, len(cells))
+		for i, c := range cells {
+			chs[i] = chunk.CellChange{Offset: c.Offset, Value: c.Value, Delete: c.Delete}
+		}
+		changes[cn] = chs
+	}
+	next, err := arr.ApplyChunkChanges(changes)
+	if err != nil {
+		return err
+	}
+	if err := db.compactHook("applied"); err != nil {
+		return err
+	}
+	db.ex.Context().SwapArrayState(uint64(next.State().First))
+	db.cat.DeltaChunks = db.ds.Touched()
+	if err := db.compactHook("swapped"); err != nil {
+		return err
+	}
+	if err := db.commitLocked(); err != nil {
+		return err
+	}
+	if err := db.compactHook("committed"); err != nil {
+		return err
+	}
+	if err := db.ds.Drain(versions); err != nil {
+		return err
+	}
+	db.compactions.Inc()
+	db.compactSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// compactHook runs the test fail-point, if any.
+func (db *DB) compactHook(stage string) error {
+	if db.compactTestHook != nil {
+		return db.compactTestHook(stage)
+	}
+	return nil
+}
+
+// StartCompactor launches the background compactor: every interval it
+// folds whatever deltas have accumulated. Idempotent while running;
+// Close (or StopCompactor) stops it.
+func (db *DB) StartCompactor(interval time.Duration) {
+	if db.ds == nil || interval <= 0 || db.compactStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	db.compactStop = stop
+	db.compactWG.Add(1)
+	go func() {
+		defer db.compactWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// An error leaves the deltas in place (still durable in
+				// their own log); the next tick retries.
+				db.Compact()
+			}
+		}
+	}()
+}
+
+// StopCompactor stops the background compactor and waits for an
+// in-flight compaction to finish. No-op when none is running.
+func (db *DB) StopCompactor() {
+	if db.compactStop == nil {
+		return
+	}
+	close(db.compactStop)
+	db.compactWG.Wait()
+	db.compactStop = nil
+}
+
+// Invalidate bumps the global cache epoch, discarding every cached
+// result and decoded chunk — the pre-delta, whole-DB invalidation
+// behavior. Exposed so benchmarks can compare it against the per-chunk
+// version path that ingest normally uses.
+func (db *DB) Invalidate() { db.ex.InvalidateHandles() }

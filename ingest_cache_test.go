@@ -1,0 +1,168 @@
+package repro
+
+import (
+	"testing"
+)
+
+// queryCached runs sql and reports whether it was served from the
+// result cache.
+func queryCached(t *testing.T, db *DB, sql string) bool {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	return res.Cached
+}
+
+// timeSelectQuery selects time.year = 'y0', which covers only the
+// chunks whose time-block coordinate is 0 (times 0..2 of 0..5 under
+// chunk shape {4,4,3}) — half the array. Used to verify that ingest
+// into the other half does not evict its cached result.
+const timeSelectQuery = `
+select sum(volume), city
+from fact, store, time
+where time.year = 'y0'
+group by city`
+
+// TestNoopWritesKeepCache is the invalidation-over-reach regression
+// test: an empty update batch and DropCaches must not bump the global
+// epoch. DropCaches empties cache content (that is its job) but a
+// subsequently repopulated entry proves the epoch still matches.
+func TestNoopWritesKeepCache(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	db.EnableQueryCache(16 << 20)
+
+	if queryCached(t, db, retailQuery) {
+		t.Fatal("first execution cached")
+	}
+	if !queryCached(t, db, retailQuery) {
+		t.Fatal("second execution not cached")
+	}
+
+	// Empty update: no new array version, so the entry must survive.
+	if err := db.UpdateArrayCells(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !queryCached(t, db, retailQuery) {
+		t.Fatal("empty update batch evicted the result cache")
+	}
+
+	// DropCaches clears content without burning an epoch: the next run
+	// misses (content gone) but its repopulation is immediately served.
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if queryCached(t, db, retailQuery) {
+		t.Fatal("DropCaches left the entry behind")
+	}
+	if !queryCached(t, db, retailQuery) {
+		t.Fatal("cache did not repopulate after DropCaches")
+	}
+
+	// A real update still invalidates.
+	v, ok, err := db.ArrayGet([]int64{4, 0, 0})
+	if err != nil || !ok {
+		t.Fatal("seed cell missing")
+	}
+	if err := db.UpdateArrayCells([]ArrayCellUpdate{{Keys: []int64{4, 0, 0}, Value: v + 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if queryCached(t, db, retailQuery) {
+		t.Fatal("real update served a stale cached result")
+	}
+}
+
+// TestPerChunkInvalidation is the tentpole's cache behavior: ingest
+// into chunks a query cannot observe keeps its cached result; ingest
+// into an observable chunk evicts exactly it.
+func TestPerChunkInvalidation(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	db.EnableQueryCache(16 << 20)
+
+	queryCached(t, db, timeSelectQuery) // populate
+	if !queryCached(t, db, timeSelectQuery) {
+		t.Fatal("select query not cached")
+	}
+	queryCached(t, db, retailQuery) // populate the unselective query too
+	if !queryCached(t, db, retailQuery) {
+		t.Fatal("full query not cached")
+	}
+
+	// Ingest into time index 5 — outside the y0 query's chunk window.
+	if err := db.UpdateCell([]int64{4, 0, 5}, 4321); err != nil {
+		t.Fatal(err)
+	}
+	if !queryCached(t, db, timeSelectQuery) {
+		t.Fatal("ingest outside the query's chunks evicted its cached result")
+	}
+	// The selection-free query observes every chunk: it must miss, and
+	// must see the new value.
+	res, err := db.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("unselective query served stale result after ingest")
+	}
+
+	// Ingest into time index 0 — inside the y0 window: evict.
+	if err := db.UpdateCell([]int64{4, 0, 0}, 8765); err != nil {
+		t.Fatal(err)
+	}
+	if queryCached(t, db, timeSelectQuery) {
+		t.Fatal("ingest into the query's chunks did not evict its cached result")
+	}
+}
+
+// TestCompactionKeepsCache: folding deltas changes no observable
+// content, so cached results (and their keys) must survive a Compact.
+func TestCompactionKeepsCache(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadRetail(t, db)
+	db.EnableQueryCache(16 << 20)
+
+	retailIngest(t, db)
+	queryCached(t, db, retailQuery) // populate post-ingest
+	if !queryCached(t, db, retailQuery) {
+		t.Fatal("post-ingest query not cached")
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if !queryCached(t, db, retailQuery) {
+		t.Fatal("compaction evicted a still-valid cached result")
+	}
+	// And the served-after-compaction rows must match a fresh run.
+	res, err := db.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Invalidate() // force fresh execution
+	fresh, err := db.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(fresh.Rows) {
+		t.Fatalf("cached rows diverge after compaction: %d vs %d", len(res.Rows), len(fresh.Rows))
+	}
+	for i := range res.Rows {
+		if res.Rows[i].Sum != fresh.Rows[i].Sum {
+			t.Fatalf("row %d: cached sum %d != fresh sum %d", i, res.Rows[i].Sum, fresh.Rows[i].Sum)
+		}
+	}
+}

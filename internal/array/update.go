@@ -52,6 +52,18 @@ func (a *Array) Update(updates []CellUpdate) (*Array, error) {
 			Delete: u.Delete,
 		})
 	}
+	return a.ApplyChunkChanges(changes)
+}
+
+// ApplyChunkChanges is Update for callers that already resolved cell
+// locations to (chunk, offset) — the delta compactor, whose overlay is
+// stored by location. Same copy-on-write contract as Update; the
+// receiver must read base cells only (no overlay attached), or the
+// changes would fold over already-merged data.
+func (a *Array) ApplyChunkChanges(changes map[int][]chunk.CellChange) (*Array, error) {
+	if len(changes) == 0 {
+		return a, nil
+	}
 	store, err := a.store.Update(changes)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,349 @@
+// Package htapbench benchmarks the HTAP ingest path (olapbench -fig
+// htap): a mixed workload of cell ingest and cached analytical queries,
+// run twice over identical data — once with the engine's per-chunk
+// version invalidation, once with the pre-delta whole-DB epoch bump —
+// and reports the result-cache hit rate each mode sustains. It lives
+// apart from internal/bench for the same reason clusterbench does: it
+// drives a whole repro.DB, and the root package's tests import
+// internal/bench, so importing repro from there would cycle.
+package htapbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	repro "repro"
+)
+
+// HTAPOptions tunes the mixed ingest+query benchmark.
+type HTAPOptions struct {
+	// Scale multiplies the product and store dimension sizes; 0 = 1.0.
+	Scale float64
+	// Rounds is how many ingest-then-query rounds each mode runs; 0 = 40.
+	Rounds int
+	// BatchCells is the ingest batch size per round; 0 = 16.
+	BatchCells int
+}
+
+func (o HTAPOptions) withDefaults() HTAPOptions {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 40
+	}
+	if o.BatchCells <= 0 {
+		o.BatchCells = 16
+	}
+	return o
+}
+
+// HTAPMode is one invalidation strategy's side of the comparison.
+type HTAPMode struct {
+	Mode string `json:"mode"` // "per-chunk" or "global"
+	// Hits and Misses count cached result-cache answers across every
+	// query after the warm-up round.
+	Hits    int     `json:"cache_hits"`
+	Misses  int     `json:"cache_misses"`
+	HitRate float64 `json:"cache_hit_rate"`
+	// QueryNS and IngestNS are the summed wall times of the query and
+	// ingest sides of the workload.
+	QueryNS     int64 `json:"query_ns"`
+	IngestNS    int64 `json:"ingest_ns"`
+	IngestCells int   `json:"ingest_cells"`
+	Compactions int64 `json:"compactions"`
+}
+
+// HTAPFigure is the whole comparison: both modes over the same data and
+// the same deterministic workload, plus the cross-mode agreement check.
+type HTAPFigure struct {
+	Facts      int        `json:"facts"`
+	Rounds     int        `json:"rounds"`
+	Queries    int        `json:"queries_per_round"`
+	BatchCells int        `json:"batch_cells"`
+	Modes      []HTAPMode `json:"modes"`
+	// Agree reports whether both modes' databases answer the full
+	// consolidation query identically after the final compaction.
+	Agree bool `json:"agree"`
+}
+
+// Dimension sizes before scaling. Times is fixed: the year attribute
+// splits it in half, and the workload ingests only into year y1 so the
+// y0 queries' chunk windows stay untouched.
+const (
+	baseProducts = 48
+	baseStores   = 32
+	timeKeys     = 12
+)
+
+// htapQueries is the per-round query set. The first four select year
+// y0 — disjoint from every ingested chunk, so per-chunk invalidation
+// keeps their cached results while the global epoch bump discards them.
+// The last selects year y1 and is legitimately invalidated by every
+// ingest batch in both modes.
+var htapQueries = []string{
+	`select sum(volume), city from fact, store, time where time.year = 'y0' group by city`,
+	`select sum(volume), type from fact, product, time where time.year = 'y0' group by type`,
+	`select sum(volume), region from fact, store, time where time.year = 'y0' group by region`,
+	`select sum(volume), count(*), month from fact, time where time.year = 'y0' group by month`,
+	`select sum(volume), city from fact, store, time where time.year = 'y1' group by city`,
+}
+
+// fullQuery is the agreement check: an unselective consolidation that
+// observes every chunk, so both modes must answer it identically once
+// their deltas are folded.
+const fullQuery = `select sum(volume), city, type from fact, product, store group by city, type`
+
+// RunHTAP builds the data set twice, replays the same deterministic
+// mixed workload against both invalidation modes, and returns the
+// comparison.
+func RunHTAP(opts HTAPOptions) (*HTAPFigure, error) {
+	opts = opts.withDefaults()
+	products := scaled(baseProducts, opts.Scale)
+	stores := scaled(baseStores, opts.Scale)
+
+	fig := &HTAPFigure{
+		Rounds:     opts.Rounds,
+		Queries:    len(htapQueries),
+		BatchCells: opts.BatchCells,
+	}
+	dbs := make([]*repro.DB, 2)
+	for i, mode := range []string{"per-chunk", "global"} {
+		db, facts, err := buildHTAPDB(products, stores)
+		if err != nil {
+			return nil, err
+		}
+		defer db.Close()
+		dbs[i] = db
+		fig.Facts = facts
+		m, err := runMode(db, mode, products, stores, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Modes = append(fig.Modes, *m)
+	}
+
+	a, err := dbs[0].Query(fullQuery)
+	if err != nil {
+		return nil, err
+	}
+	b, err := dbs[1].Query(fullQuery)
+	if err != nil {
+		return nil, err
+	}
+	fig.Agree = rowsEqual(a.Rows, b.Rows)
+	return fig, nil
+}
+
+// runMode replays the workload: each round ingests one batch into the
+// y1 half of the cube, then runs every query once, counting cache hits
+// after the warm-up round. The "global" mode bumps the whole-DB epoch
+// after each batch — the pre-delta invalidation behavior.
+func runMode(db *repro.DB, mode string, products, stores int, opts HTAPOptions) (*HTAPMode, error) {
+	m := &HTAPMode{Mode: mode}
+	// Deterministic cell sequence; no shared state across modes, so both
+	// replay the identical workload.
+	rng := uint64(1)
+	next := func(n int) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int64((rng >> 33) % uint64(n))
+	}
+	for round := 0; round < opts.Rounds; round++ {
+		batch := make([]repro.IngestCell, opts.BatchCells)
+		for i := range batch {
+			// Times timeKeys/2.. are year y1: outside every y0 query's
+			// chunk window.
+			batch[i] = repro.IngestCell{
+				Keys:  []int64{next(products), next(stores), int64(timeKeys/2) + next(timeKeys/2)},
+				Value: int64(round*1000 + i),
+			}
+		}
+		start := time.Now()
+		if err := db.InsertCells(batch); err != nil {
+			return nil, err
+		}
+		if mode == "global" {
+			db.Invalidate()
+		}
+		m.IngestNS += time.Since(start).Nanoseconds()
+		m.IngestCells += len(batch)
+
+		for _, q := range htapQueries {
+			qs := time.Now()
+			res, err := db.Query(q)
+			if err != nil {
+				return nil, err
+			}
+			m.QueryNS += time.Since(qs).Nanoseconds()
+			if round == 0 {
+				continue // warm-up: nothing is cached yet
+			}
+			if res.Cached {
+				m.Hits++
+			} else {
+				m.Misses++
+			}
+		}
+		// Fold periodically, like the background compactor would.
+		if (round+1)%10 == 0 {
+			if err := db.Compact(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := db.Compact(); err != nil {
+		return nil, err
+	}
+	if m.Hits+m.Misses > 0 {
+		m.HitRate = float64(m.Hits) / float64(m.Hits+m.Misses)
+	}
+	m.Compactions = db.CompactionsTotal()
+	return m, nil
+}
+
+// buildHTAPDB loads the scaled retail-style cube: products x stores x
+// timeKeys, attrs cycling so selections stay meaningful at any scale,
+// facts on a fixed lattice.
+func buildHTAPDB(products, stores int) (*repro.DB, int, error) {
+	db, err := repro.Open(repro.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	fail := func(err error) (*repro.DB, int, error) {
+		db.Close()
+		return nil, 0, err
+	}
+	schema := &repro.StarSchema{
+		Fact: repro.FactSchema{Name: "fact", Dims: []string{"product", "store", "time"}, Measure: "volume"},
+		Dimensions: []repro.DimensionSchema{
+			{Name: "product", Key: "pid", Attrs: []string{"type", "category"}},
+			{Name: "store", Key: "sid", Attrs: []string{"city", "region"}},
+			{Name: "time", Key: "tid", Attrs: []string{"month", "year"}},
+		},
+	}
+	if err := db.CreateStarSchema(schema); err != nil {
+		return fail(err)
+	}
+	load := func(name string, n int, attrs func(k int64) []string) error {
+		rows := make([]repro.DimensionRow, n)
+		for k := int64(0); k < int64(n); k++ {
+			rows[k] = repro.DimensionRow{Key: k, Attrs: attrs(k)}
+		}
+		return db.LoadDimension(name, rows)
+	}
+	if err := load("product", products, func(k int64) []string {
+		return []string{fmt.Sprintf("type%d", k%8), fmt.Sprintf("cat%d", k%4)}
+	}); err != nil {
+		return fail(err)
+	}
+	if err := load("store", stores, func(k int64) []string {
+		return []string{fmt.Sprintf("city%d", k%8), fmt.Sprintf("region%d", k%4)}
+	}); err != nil {
+		return fail(err)
+	}
+	if err := load("time", timeKeys, func(k int64) []string {
+		return []string{fmt.Sprintf("m%d", k%(timeKeys/2)), fmt.Sprintf("y%d", k/(timeKeys/2))}
+	}); err != nil {
+		return fail(err)
+	}
+	var facts []repro.FactTuple
+	for p := int64(0); p < int64(products); p++ {
+		for s := int64(0); s < int64(stores); s++ {
+			for tm := int64(0); tm < timeKeys; tm++ {
+				if (p+s+tm)%3 == 0 {
+					facts = append(facts, repro.FactTuple{
+						Keys: []int64{p, s, tm}, Measure: p*100 + s*10 + tm,
+					})
+				}
+			}
+		}
+	}
+	if err := db.LoadFactRows(facts); err != nil {
+		return fail(err)
+	}
+	if err := db.BuildArray(repro.ArrayConfig{ChunkShape: []int{8, 8, 3}}); err != nil {
+		return fail(err)
+	}
+	if err := db.BuildBitmapIndexes(); err != nil {
+		return fail(err)
+	}
+	db.EnableQueryCache(32 << 20)
+	return db, len(facts), nil
+}
+
+func scaled(n int, scale float64) int {
+	if s := int(float64(n)*scale + 0.5); s >= 8 {
+		return s
+	}
+	return 8
+}
+
+func rowsEqual(a, b []repro.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Sum != b[i].Sum || a[i].Count != b[i].Count {
+			return false
+		}
+		if len(a[i].Groups) != len(b[i].Groups) {
+			return false
+		}
+		for j := range a[i].Groups {
+			if a[i].Groups[j] != b[i].Groups[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteHTAPTable renders the comparison as an aligned table, one line
+// per invalidation mode.
+func WriteHTAPTable(w io.Writer, fig *HTAPFigure) {
+	fmt.Fprintf(w, "HTAP mixed workload: %d facts, %d rounds x (%d-cell ingest + %d queries), agree=%v\n",
+		fig.Facts, fig.Rounds, fig.BatchCells, fig.Queries, fig.Agree)
+	fmt.Fprintf(w, "%-10s %9s %8s %8s %12s %12s %12s\n",
+		"mode", "hit-rate", "hits", "misses", "query-time", "ingest-time", "compactions")
+	for _, m := range fig.Modes {
+		fmt.Fprintf(w, "%-10s %8.1f%% %8d %8d %12v %12v %12d\n",
+			m.Mode, m.HitRate*100, m.Hits, m.Misses,
+			time.Duration(m.QueryNS).Round(time.Microsecond),
+			time.Duration(m.IngestNS).Round(time.Microsecond),
+			m.Compactions)
+	}
+}
+
+// HTAPSnapshot is the machine-readable record of one comparison
+// (BENCH_htap.json).
+type HTAPSnapshot struct {
+	Scale     float64   `json:"scale"`
+	WrittenAt time.Time `json:"written_at"`
+	*HTAPFigure
+}
+
+// WriteHTAPSnapshot writes BENCH_htap.json into dir (created as needed)
+// and returns the path.
+func WriteHTAPSnapshot(dir string, fig *HTAPFigure, opts HTAPOptions) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_htap.json")
+	data, err := json.MarshalIndent(&HTAPSnapshot{
+		Scale:      opts.Scale,
+		WrittenAt:  time.Now().UTC(),
+		HTAPFigure: fig,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -13,11 +13,16 @@
 //   - Group, a context-cancel-safe singleflight, so N concurrent
 //     identical queries trigger one engine execution.
 //
-// Correctness is epoch-based: every entry is tagged with the
+// Correctness is layered. Whole-object replacement (loads, rebuilds,
+// in-place updates) is epoch-based: every entry is tagged with the
 // ExecContext generation current when its data was read, and a probe
-// with a newer epoch lazily discards it. Updates, loads, and DropCaches
-// bump the generation, so no probe can ever see rows or cells from a
-// replaced object version.
+// with a newer epoch lazily discards it. Streaming ingest through the
+// delta store is finer-grained: decoded-chunk entries additionally
+// carry the chunk's delta version, so an ingest batch invalidates only
+// the chunks it touched, and result-cache keys embed a version vector
+// over the chunks a plan can see, so results stay hittable while
+// unrelated chunks absorb writes. DropCaches clears content without
+// bumping the generation — nothing changed, the caches are just cold.
 package cache
 
 import (
@@ -151,6 +156,17 @@ func (c *ResultCache) removeLocked(el *list.Element) {
 	c.lru.Remove(el)
 	delete(c.entries, e.key)
 	c.bytes -= e.bytes
+}
+
+// Clear discards every entry, keeping the counters: the cold-cache
+// protocol (DropCaches) empties content without pretending the data
+// changed.
+func (c *ResultCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.bytes = 0
 }
 
 // Bytes reports the retained entry bytes.

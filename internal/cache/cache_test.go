@@ -86,14 +86,14 @@ func TestResultCacheOversizeSkipped(t *testing.T) {
 
 func TestChunkCacheEpochAndLRU(t *testing.T) {
 	c := NewChunkCache(cellBytes*10, obs.NewRegistry())
-	v1 := c.View(1)
+	v1 := c.View(1, nil)
 	cells := []chunk.Cell{{Offset: 0, Value: 42}}
 	v1.PutDecoded(7, cells)
 	if got, ok := v1.GetDecoded(7); !ok || got[0].Value != 42 {
 		t.Fatalf("GetDecoded = %v, %v", got, ok)
 	}
 	// A view bound to a newer epoch discards the stale chunk.
-	v2 := c.View(2)
+	v2 := c.View(2, nil)
 	if _, ok := v2.GetDecoded(7); ok {
 		t.Fatal("stale-epoch chunk served")
 	}

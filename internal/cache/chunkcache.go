@@ -15,8 +15,11 @@ const cellBytes = 16
 // ChunkCache pins hot decoded chunks above the buffer pool, so a
 // repeated array probe pays neither the page fetch nor the chunk-offset
 // decode. Entries are keyed by chunk number and tagged with the epoch
-// their bytes were read under; a probe from a newer epoch discards the
-// entry. Plain byte-bounded LRU — decoded chunks are near-uniform in
+// their bytes were read under plus the chunk's delta version; a probe
+// under a newer epoch or a newer version discards the entry — so an
+// ingest batch invalidates exactly the chunks it touched, and a
+// compaction (which changes no chunk's observable content) invalidates
+// nothing. Plain byte-bounded LRU — decoded chunks are near-uniform in
 // recompute cost, so no weighting is needed. Safe for concurrent use.
 type ChunkCache struct {
 	mu       sync.Mutex
@@ -25,7 +28,7 @@ type ChunkCache struct {
 	entries  map[int]*list.Element // chunk number -> *chunkEntry
 	lru      *list.List
 
-	hits, misses, evictions, invalidated *obs.Counter
+	hits, misses, evictions, invalidated, invalidations *obs.Counter
 }
 
 type chunkEntry struct {
@@ -33,6 +36,7 @@ type chunkEntry struct {
 	cells    []chunk.Cell
 	bytes    int64
 	epoch    uint64
+	version  uint64
 }
 
 // NewChunkCache creates a decoded-chunk cache bounded by maxBytes,
@@ -50,11 +54,14 @@ func NewChunkCache(maxBytes int64, reg *obs.Registry) *ChunkCache {
 			"chunk cache entries evicted by the LRU"),
 		invalidated: reg.Counter("cache_chunk_invalidated_total",
 			"chunk cache entries discarded for carrying an old epoch"),
+		invalidations: reg.Counter("cache_chunk_invalidations_total",
+			"chunk cache entries discarded for carrying an old per-chunk delta version"),
 	}
 }
 
-// get returns the decoded cells of chunkNum if cached under epoch.
-func (c *ChunkCache) get(chunkNum int, epoch uint64) ([]chunk.Cell, bool) {
+// get returns the decoded cells of chunkNum if cached under epoch and
+// version.
+func (c *ChunkCache) get(chunkNum int, epoch, version uint64) ([]chunk.Cell, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[chunkNum]
@@ -63,9 +70,13 @@ func (c *ChunkCache) get(chunkNum int, epoch uint64) ([]chunk.Cell, bool) {
 		return nil, false
 	}
 	e := el.Value.(*chunkEntry)
-	if e.epoch != epoch {
+	if e.epoch != epoch || e.version != version {
 		c.removeLocked(el)
-		c.invalidated.Inc()
+		if e.epoch == epoch {
+			c.invalidations.Inc()
+		} else {
+			c.invalidated.Inc()
+		}
 		c.misses.Inc()
 		return nil, false
 	}
@@ -74,10 +85,10 @@ func (c *ChunkCache) get(chunkNum int, epoch uint64) ([]chunk.Cell, bool) {
 	return e.cells, true
 }
 
-// put stores the decoded cells of chunkNum under epoch. The slice is
-// retained and served to later readers, which treat decoded cells as
-// read-only throughout the engine.
-func (c *ChunkCache) put(chunkNum int, cells []chunk.Cell, epoch uint64) {
+// put stores the decoded cells of chunkNum under epoch and version. The
+// slice is retained and served to later readers, which treat decoded
+// cells as read-only throughout the engine.
+func (c *ChunkCache) put(chunkNum int, cells []chunk.Cell, epoch, version uint64) {
 	bytes := int64(len(cells)) * cellBytes
 	if bytes > c.maxBytes/4 {
 		return
@@ -87,7 +98,7 @@ func (c *ChunkCache) put(chunkNum int, cells []chunk.Cell, epoch uint64) {
 	if el, ok := c.entries[chunkNum]; ok {
 		c.removeLocked(el)
 	}
-	e := &chunkEntry{chunkNum: chunkNum, cells: cells, bytes: bytes, epoch: epoch}
+	e := &chunkEntry{chunkNum: chunkNum, cells: cells, bytes: bytes, epoch: epoch, version: version}
 	c.entries[chunkNum] = c.lru.PushFront(e)
 	c.bytes += bytes
 	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
@@ -131,24 +142,37 @@ func (c *ChunkCache) Stats() Stats {
 	}
 }
 
-// View binds the cache to one epoch, yielding the chunk.DecodedCache a
-// chunk store consults. The epoch is captured when an array clone is
-// handed out (under the same lock that guards the handle cache), so a
-// clone that raced a catalog mutation populates entries no current
-// probe will accept.
-func (c *ChunkCache) View(epoch uint64) chunk.DecodedCache {
-	return &chunkView{cache: c, epoch: epoch}
+// Clear discards every entry, keeping the counters: the cold-cache
+// protocol (DropCaches) empties content without pretending the data
+// changed.
+func (c *ChunkCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[int]*list.Element)
+	c.lru.Init()
+	c.bytes = 0
+}
+
+// View binds the cache to one epoch and one per-chunk delta version
+// vector, yielding the chunk.DecodedCache a chunk store consults. Both
+// are captured when an array clone is handed out, so a clone that raced
+// a catalog mutation or an ingest batch populates entries no current
+// probe will accept. versions may be nil (no deltas ever: every chunk
+// reads as version 0).
+func (c *ChunkCache) View(epoch uint64, versions map[int]uint64) chunk.DecodedCache {
+	return &chunkView{cache: c, epoch: epoch, versions: versions}
 }
 
 type chunkView struct {
-	cache *ChunkCache
-	epoch uint64
+	cache    *ChunkCache
+	epoch    uint64
+	versions map[int]uint64 // read-only snapshot, shared across clones
 }
 
 func (v *chunkView) GetDecoded(chunkNum int) ([]chunk.Cell, bool) {
-	return v.cache.get(chunkNum, v.epoch)
+	return v.cache.get(chunkNum, v.epoch, v.versions[chunkNum])
 }
 
 func (v *chunkView) PutDecoded(chunkNum int, cells []chunk.Cell) {
-	v.cache.put(chunkNum, cells, v.epoch)
+	v.cache.put(chunkNum, cells, v.epoch, v.versions[chunkNum])
 }

@@ -50,6 +50,13 @@ type Catalog struct {
 	// written before version 2 (the planner then falls back to
 	// heuristics).
 	Stats *Stats `json:"stats,omitempty"`
+
+	// DeltaChunks is the sorted set of array chunks ever touched by
+	// live ingest, persisted at compaction commits so the relational
+	// engines' dirty filter survives restarts. Omitted (and ignored)
+	// on databases that never ingested, so the field needs no catalog
+	// version bump.
+	DeltaChunks []int `json:"delta_chunks,omitempty"`
 }
 
 // NewCatalog returns an empty catalog.

@@ -74,6 +74,17 @@ type Store struct {
 	// a closure per chunk.
 	mem          *arena.Arena
 	scratchAlloc CellAllocator
+
+	// overlay, when set via SetOverlay, is an immutable per-chunk delta
+	// snapshot merged over the base cells on every read path, so a query
+	// clone sees (base + deltas as of clone time) without the chunk
+	// files changing. Clones share the snapshot (it is never mutated).
+	overlay map[int][]OverlayCell
+
+	// mergeScratch is the reused merge destination for the scan path
+	// when a chunk has overlay cells; like scratchCells it is valid only
+	// until the next read on this store.
+	mergeScratch []Cell
 }
 
 // Builder accumulates cells and writes them out as a Store.
@@ -284,8 +295,19 @@ func (s *Store) EncodedBytes() int64 {
 	return n
 }
 
-// ChunkCells reports the valid-cell count of one chunk without reading it.
-func (s *Store) ChunkCells(chunkNum int) int64 { return int64(s.entries[chunkNum].cells) }
+// ChunkCells reports the valid-cell count of one chunk without reading
+// it. With an overlay attached the figure is an upper bound (an overlay
+// entry may overwrite or delete a base cell): callers only use it to
+// skip chunks with a zero bound, and a zero bound implies the merged
+// chunk is empty. A nonzero bound over an actually-empty merge (all
+// deletes) just costs one read that yields no cells.
+func (s *Store) ChunkCells(chunkNum int) int64 {
+	n := int64(s.entries[chunkNum].cells)
+	if ov := s.overlay[chunkNum]; len(ov) > 0 {
+		n += int64(len(ov))
+	}
+	return n
+}
 
 // Clone returns a Store sharing the immutable directory but with its own
 // decode cache and scratch buffers, for use from another goroutine. The
@@ -298,6 +320,7 @@ func (s *Store) Clone() *Store {
 	c.scratchCells = nil
 	c.mem = nil
 	c.scratchAlloc = nil
+	c.mergeScratch = nil
 	return &c
 }
 
@@ -345,10 +368,14 @@ func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
 		return nil, fmt.Errorf("chunk: chunk number %d out of [0,%d)", chunkNum, len(s.entries))
 	}
 	e := s.entries[chunkNum]
-	if !e.ref.Valid() {
+	ov := s.overlay[chunkNum]
+	if !e.ref.Valid() && len(ov) == 0 {
 		return nil, nil
 	}
 	if s.shared != nil {
+		// Cached cells were merged with this store's overlay snapshot
+		// before being offered; the cache's per-chunk version tag keeps
+		// entries from crossing snapshots.
 		if cells, ok := s.shared.GetDecoded(chunkNum); ok {
 			return cells, nil
 		}
@@ -362,16 +389,22 @@ func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
 	// A shared cache takes ownership of what it is offered (PutDecoded),
 	// so anything that might reach it must live on the GC heap — never in
 	// an arena that resets at end of query.
-	data, err := s.lob.Read(e.ref)
-	if err != nil {
-		return nil, fmt.Errorf("chunk: read chunk %d: %w", chunkNum, err)
+	var cells []Cell
+	if e.ref.Valid() {
+		data, err := s.lob.Read(e.ref)
+		if err != nil {
+			return nil, fmt.Errorf("chunk: read chunk %d: %w", chunkNum, err)
+		}
+		cells, err = s.codec.Decode(data, s.geom.ChunkCapacity())
+		if err != nil {
+			return nil, fmt.Errorf("chunk: decode chunk %d: %w", chunkNum, err)
+		}
+		if uint64(len(cells)) != e.cells {
+			return nil, fmt.Errorf("chunk: chunk %d decoded %d cells, directory says %d", chunkNum, len(cells), e.cells)
+		}
 	}
-	cells, err := s.codec.Decode(data, s.geom.ChunkCapacity())
-	if err != nil {
-		return nil, fmt.Errorf("chunk: decode chunk %d: %w", chunkNum, err)
-	}
-	if uint64(len(cells)) != e.cells {
-		return nil, fmt.Errorf("chunk: chunk %d decoded %d cells, directory says %d", chunkNum, len(cells), e.cells)
+	if len(ov) > 0 {
+		cells = mergeOverlayInto(make([]Cell, 0, len(cells)+len(ov)), cells, ov)
 	}
 	if s.shared != nil {
 		s.shared.PutDecoded(chunkNum, cells)
@@ -428,7 +461,7 @@ func (s *Store) ScanChunkRange(ctx context.Context, lo, hi int, fn func(chunkNum
 		hi = len(s.entries)
 	}
 	for cn := lo; cn < hi; cn++ {
-		if !s.entries[cn].ref.Valid() {
+		if !s.entries[cn].ref.Valid() && len(s.overlay[cn]) == 0 {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
@@ -452,38 +485,48 @@ func (s *Store) ScanChunkRange(ctx context.Context, lo, hi int, fn func(chunkNum
 // buffers. The result is invalidated by the next readChunkScratch call.
 func (s *Store) readChunkScratch(cn int) ([]Cell, error) {
 	e := s.entries[cn]
+	ov := s.overlay[cn]
 	if s.shared != nil {
 		// A cached chunk is served as-is (read-only, outlives the next
 		// call — strictly better than the scratch contract); a miss
 		// decodes into scratch without populating the cache, so one full
-		// scan cannot flush the probe working set.
+		// scan cannot flush the probe working set. Cached cells are
+		// already merged with this snapshot's overlay.
 		if cells, ok := s.shared.GetDecoded(cn); ok {
 			return cells, nil
 		}
 	}
-	data, err := s.lob.ReadInto(e.ref, s.scratchEnc)
-	if err != nil {
-		return nil, fmt.Errorf("chunk: read chunk %d: %w", cn, err)
-	}
-	s.scratchEnc = data
 	var cells []Cell
-	if s.scratchAlloc != nil {
-		// Arena-backed scratch: grows from the arena on the first chunks,
-		// then reuses the high-water slice — zero allocations once warm.
-		cells, err = s.codec.DecodeAlloc(data, s.geom.ChunkCapacity(), s.scratchAlloc)
-	} else if oc, ok := s.codec.(OffsetCodec); ok {
-		cells, err = oc.DecodeInto(data, s.geom.ChunkCapacity(), s.scratchCells)
-		if err == nil {
-			s.scratchCells = cells
+	if e.ref.Valid() {
+		data, err := s.lob.ReadInto(e.ref, s.scratchEnc)
+		if err != nil {
+			return nil, fmt.Errorf("chunk: read chunk %d: %w", cn, err)
 		}
-	} else {
-		cells, err = s.codec.Decode(data, s.geom.ChunkCapacity())
+		s.scratchEnc = data
+		if s.scratchAlloc != nil {
+			// Arena-backed scratch: grows from the arena on the first chunks,
+			// then reuses the high-water slice — zero allocations once warm.
+			cells, err = s.codec.DecodeAlloc(data, s.geom.ChunkCapacity(), s.scratchAlloc)
+		} else if oc, ok := s.codec.(OffsetCodec); ok {
+			cells, err = oc.DecodeInto(data, s.geom.ChunkCapacity(), s.scratchCells)
+			if err == nil {
+				s.scratchCells = cells
+			}
+		} else {
+			cells, err = s.codec.Decode(data, s.geom.ChunkCapacity())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chunk: decode chunk %d: %w", cn, err)
+		}
+		if uint64(len(cells)) != e.cells {
+			return nil, fmt.Errorf("chunk: chunk %d decoded %d cells, directory says %d", cn, len(cells), e.cells)
+		}
 	}
-	if err != nil {
-		return nil, fmt.Errorf("chunk: decode chunk %d: %w", cn, err)
-	}
-	if uint64(len(cells)) != e.cells {
-		return nil, fmt.Errorf("chunk: chunk %d decoded %d cells, directory says %d", cn, len(cells), e.cells)
+	if len(ov) > 0 {
+		// Merge into the reused merge buffer, never in place: cells may
+		// alias the decode scratch slice the next read reuses.
+		s.mergeScratch = mergeOverlayInto(s.mergeScratch[:0], cells, ov)
+		cells = s.mergeScratch
 	}
 	return cells, nil
 }

@@ -373,13 +373,13 @@ func arraySelectConsolidateParallelRange(ctx context.Context, a *array.Array, se
 // StarJoinConsolidateParallelContext is StarJoinConsolidateContext with
 // the fact scan partitioned by extent ranges across workers.
 func StarJoinConsolidateParallelContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec, workers int) (*Result, Metrics, error) {
-	return starJoinParallel(ctx, ff, dims, nil, spec, workers, Restriction{})
+	return starJoinParallel(ctx, ff, dims, nil, spec, workers, Restriction{}, nil)
 }
 
 // StarJoinSelectConsolidateParallelContext is the filtering variant of
 // StarJoinConsolidateParallelContext.
 func StarJoinSelectConsolidateParallelContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int) (*Result, Metrics, error) {
-	return starJoinParallel(ctx, ff, dims, sels, spec, workers, Restriction{})
+	return starJoinParallel(ctx, ff, dims, sels, spec, workers, Restriction{}, nil)
 }
 
 // starJoinParallel partitions the fact file into extent-aligned tuple
@@ -390,12 +390,12 @@ func StarJoinSelectConsolidateParallelContext(ctx context.Context, ff *factfile.
 // a private clone of the result cube. A cluster Restriction narrows the
 // extent window before the workers split it, so a sharded run is the
 // worker split applied to the shard's slice.
-func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int, r Restriction) (*Result, Metrics, error) {
+func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int, r Restriction, df *dirtyFilter) (*Result, Metrics, error) {
 	extLo, extHi := r.ExtentRange(ff.NumExtents())
 	workers = ClampWorkers(workers, extHi-extLo)
 	if workers <= 1 {
 		lo, hi := r.TupleRange(ff)
-		return starJoin(ctx, ff, dims, sels, spec, lo, hi)
+		return starJoin(ctx, ff, dims, sels, spec, lo, hi, df)
 	}
 	// The shared state (dimension hashes + template cube) lives in its
 	// own arena, read-only to the workers and released once the partials
@@ -428,6 +428,12 @@ func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.Di
 		lo := uint64(extLo+span*w/workers) * perExt
 		hi := uint64(extLo+span*(w+1)/workers) * perExt
 		keys := make([]int64, n)
+		// The dirty filter is shared read-only; each worker brings its
+		// own coordinate scratch.
+		var dfCoords []int
+		if df != nil {
+			dfCoords = make([]int, n)
+		}
 		agg := newAggSetIn(ar)
 		p.err = ff.ScanRange(lo, hi, func(_ uint64, rec []byte) error {
 			if p.m.TuplesScanned%cancelCheckInterval == 0 {
@@ -438,6 +444,9 @@ func starJoinParallel(ctx context.Context, ff *factfile.File, dims []*catalog.Di
 			p.m.TuplesScanned++
 			for i := range keys {
 				keys[i] = catalog.FactKey(rec, i)
+			}
+			if df != nil && df.dirty(keys, dfCoords) {
+				return nil
 			}
 			for i, f := range filters {
 				if f != nil {
@@ -480,5 +489,5 @@ func BitmapSelectConsolidateParallelContext(ctx context.Context, ff *factfile.Fi
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return bitmapSelect(ctx, ff, dims, src, sels, spec, workers, 0, ff.NumTuples())
+	return bitmapSelect(ctx, ff, dims, src, sels, spec, workers, 0, ff.NumTuples(), nil)
 }

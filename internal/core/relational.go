@@ -243,13 +243,13 @@ func (s *aggSet) grow() {
 // probe every dimension hash, locate the group in the aggregation hash
 // table, and fold the measure in.
 func StarJoinConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(context.Background(), ff, dims, nil, spec, 0, ff.NumTuples())
+	return starJoin(context.Background(), ff, dims, nil, spec, 0, ff.NumTuples(), nil)
 }
 
 // StarJoinConsolidateContext is StarJoinConsolidate with cancellation,
 // checked every cancelCheckInterval fact tuples of the scan.
 func StarJoinConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(ctx, ff, dims, nil, spec, 0, ff.NumTuples())
+	return starJoin(ctx, ff, dims, nil, spec, 0, ff.NumTuples(), nil)
 }
 
 // StarJoinSelectConsolidate is StarJoinConsolidate with selection
@@ -258,19 +258,21 @@ func StarJoinConsolidateContext(ctx context.Context, ff *factfile.File, dims []*
 // non-members are dropped tuple by tuple. This is the "no index"
 // relational baseline the bitmap algorithm of §4.5 is built to beat.
 func StarJoinSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(context.Background(), ff, dims, sels, spec, 0, ff.NumTuples())
+	return starJoin(context.Background(), ff, dims, sels, spec, 0, ff.NumTuples(), nil)
 }
 
 // StarJoinSelectConsolidateContext is StarJoinSelectConsolidate with
 // cancellation, checked every cancelCheckInterval fact tuples.
 func StarJoinSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
-	return starJoin(ctx, ff, dims, sels, spec, 0, ff.NumTuples())
+	return starJoin(ctx, ff, dims, sels, spec, 0, ff.NumTuples(), nil)
 }
 
 // starJoin scans the half-open tuple range [tLo, tHi) of the fact file
 // — the full file for a plain query, one shard's extent-aligned slice
-// under a cluster Restriction.
-func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, tLo, tHi uint64) (*Result, Metrics, error) {
+// under a cluster Restriction. With a dirty filter attached, tuples
+// landing in delta-touched chunks are skipped (the caller folds those
+// chunks from the merged array afterwards).
+func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, tLo, tHi uint64, df *dirtyFilter) (*Result, Metrics, error) {
 	var m Metrics
 	// One pooled arena per query: the dimension hash tables, the
 	// aggregation set, and the result cube live in it; the result
@@ -289,6 +291,10 @@ func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionT
 
 	n := len(dims)
 	keys := make([]int64, n)
+	var dfCoords []int
+	if df != nil {
+		dfCoords = make([]int, n)
+	}
 	agg := newAggSetIn(ar)
 	err = ff.ScanRange(tLo, tHi, func(_ uint64, rec []byte) error {
 		if m.TuplesScanned%cancelCheckInterval == 0 {
@@ -299,6 +305,9 @@ func starJoin(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionT
 		m.TuplesScanned++
 		for i := range keys {
 			keys[i] = catalog.FactKey(rec, i)
+		}
+		if df != nil && df.dirty(keys, dfCoords) {
+			return nil
 		}
 		for i, f := range filters {
 			if f != nil {
@@ -438,7 +447,7 @@ func BitmapSelectConsolidate(ff *factfile.File, dims []*catalog.DimensionTable,
 // cancelCheckInterval fetched tuples.
 func BitmapSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
 	src BitmapIndexSource, sels []Selection, spec GroupSpec) (*Result, Metrics, error) {
-	return bitmapSelect(ctx, ff, dims, src, sels, spec, 1, 0, ff.NumTuples())
+	return bitmapSelect(ctx, ff, dims, src, sels, spec, 1, 0, ff.NumTuples(), nil)
 }
 
 // bitmapSelect is the §4.5 algorithm with a parallel degree for the
@@ -450,7 +459,7 @@ func BitmapSelectConsolidateContext(ctx context.Context, ff *factfile.File, dims
 // shard's extent-aligned slice under a cluster Restriction (the bitmap
 // phase itself is whole-file: bitmaps index global tuple numbers).
 func bitmapSelect(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
-	src BitmapIndexSource, sels []Selection, spec GroupSpec, workers int, tLo, tHi uint64) (*Result, Metrics, error) {
+	src BitmapIndexSource, sels []Selection, spec GroupSpec, workers int, tLo, tHi uint64, df *dirtyFilter) (*Result, Metrics, error) {
 	var m Metrics
 	// The working bitmaps (ResultBitmap + per-predicate merge buffer),
 	// the dimension hash tables, and the result cube all live in one
@@ -502,6 +511,10 @@ func bitmapSelect(ctx context.Context, ff *factfile.File, dims []*catalog.Dimens
 
 	n := len(dims)
 	keys := make([]int64, n)
+	var dfCoords []int
+	if df != nil {
+		dfCoords = make([]int, n)
+	}
 	agg := newAggSetIn(ar)
 	err = ff.FetchBits(rangeBits{bits: result, lo: tLo, hi: tHi}, func(_ uint64, rec []byte) error {
 		if m.TuplesFetched%cancelCheckInterval == 0 {
@@ -512,6 +525,9 @@ func bitmapSelect(ctx context.Context, ff *factfile.File, dims []*catalog.Dimens
 		m.TuplesFetched++
 		for i := range keys {
 			keys[i] = catalog.FactKey(rec, i)
+		}
+		if df != nil && df.dirty(keys, dfCoords) {
+			return nil
 		}
 		idx, ok := st.groupIndex(keys)
 		if !ok {

@@ -126,14 +126,7 @@ func ArraySelectConsolidateRestricted(ctx context.Context, a *array.Array, sels 
 // star join (sels may be nil) over the restriction's extent-aligned
 // tuple range.
 func StarJoinConsolidateRestricted(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable, sels []Selection, spec GroupSpec, workers int, r Restriction) (*Result, Metrics, error) {
-	if err := r.Validate(); err != nil {
-		return nil, Metrics{}, err
-	}
-	if workers > 1 {
-		return starJoinParallel(ctx, ff, dims, sels, spec, workers, r)
-	}
-	lo, hi := r.TupleRange(ff)
-	return starJoin(ctx, ff, dims, sels, spec, lo, hi)
+	return StarJoinConsolidateRestrictedOverlay(ctx, ff, dims, sels, spec, workers, r, nil)
 }
 
 // BitmapSelectConsolidateRestricted is the unified entry point of the
@@ -142,12 +135,5 @@ func StarJoinConsolidateRestricted(ctx context.Context, ff *factfile.File, dims 
 // fetch is limited to the restriction's tuple window.
 func BitmapSelectConsolidateRestricted(ctx context.Context, ff *factfile.File, dims []*catalog.DimensionTable,
 	src BitmapIndexSource, sels []Selection, spec GroupSpec, workers int, r Restriction) (*Result, Metrics, error) {
-	if err := r.Validate(); err != nil {
-		return nil, Metrics{}, err
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	lo, hi := r.TupleRange(ff)
-	return bitmapSelect(ctx, ff, dims, src, sels, spec, workers, lo, hi)
+	return BitmapSelectConsolidateRestrictedOverlay(ctx, ff, dims, src, sels, spec, workers, r, nil)
 }

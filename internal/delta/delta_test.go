@@ -1,0 +1,194 @@
+package delta
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+)
+
+func TestApplySnapshotDrain(t *testing.T) {
+	s, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Last write wins within a batch.
+	if err := s.Apply(ctx, []Cell{
+		{Chunk: 2, Offset: 7, Value: 10},
+		{Chunk: 2, Offset: 7, Value: 11},
+		{Chunk: 5, Offset: 0, Value: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ov, versions, touched := s.Snapshot()
+	if got := ov[2]; !reflect.DeepEqual(got, []chunk.OverlayCell{{Offset: 7, Value: 11}}) {
+		t.Fatalf("chunk 2 overlay = %v", got)
+	}
+	if versions[2] != 1 || versions[5] != 1 {
+		t.Fatalf("versions = %v", versions)
+	}
+	if !reflect.DeepEqual(touched, []int{2, 5}) {
+		t.Fatalf("touched = %v", touched)
+	}
+
+	// A write after the snapshot keeps its chunk across Drain; the
+	// unchanged chunk drains.
+	if err := s.Apply(ctx, []Cell{{Chunk: 2, Offset: 9, Value: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(versions); err != nil {
+		t.Fatal(err)
+	}
+	ov2, _, touched2 := s.Snapshot()
+	if _, ok := ov2[5]; ok {
+		t.Fatal("chunk 5 survived drain")
+	}
+	if got := ov2[2]; len(got) != 2 {
+		t.Fatalf("chunk 2 after drain = %v (want both cells kept)", got)
+	}
+	if !reflect.DeepEqual(touched2, []int{2, 5}) {
+		t.Fatalf("touched after drain = %v (must persist)", touched2)
+	}
+	st := s.Stats()
+	if st.Cells != 2 || st.DirtyChunks != 1 || st.TouchedChunks != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWALReplayAndRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.deltawal")
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Apply(ctx, []Cell{{Chunk: 1, Offset: 3, Value: 42}, {Chunk: 4, Offset: 0, Value: 7, Delete: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(ctx, []Cell{{Chunk: 1, Offset: 3, Value: 43}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, versions, _ := re.Snapshot()
+	if got := ov[1]; !reflect.DeepEqual(got, []chunk.OverlayCell{{Offset: 3, Value: 43}}) {
+		t.Fatalf("replayed chunk 1 = %v", got)
+	}
+	if got := ov[4]; !reflect.DeepEqual(got, []chunk.OverlayCell{{Offset: 0, Value: 7, Delete: true}}) {
+		t.Fatalf("replayed chunk 4 = %v", got)
+	}
+	if versions[1] != 2 {
+		t.Fatalf("replayed versions = %v", versions)
+	}
+
+	// Drain chunk 4 only; the rewritten WAL must replay just chunk 1.
+	snap := map[int]uint64{4: versions[4]}
+	if err := re.Drain(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov2, _, _ := re2.Snapshot()
+	if _, ok := ov2[4]; ok {
+		t.Fatal("drained chunk 4 came back after rewrite")
+	}
+	if got := ov2[1]; !reflect.DeepEqual(got, []chunk.OverlayCell{{Offset: 3, Value: 43}}) {
+		t.Fatalf("rewritten chunk 1 = %v", got)
+	}
+	re2.Close()
+}
+
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.deltawal")
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Apply(ctx, []Cell{{Chunk: 0, Offset: 1, Value: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(ctx, []Cell{{Chunk: 0, Offset: 2, Value: 6}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the last record: chop off its final byte.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, _, _ := re.Snapshot()
+	if got := ov[0]; !reflect.DeepEqual(got, []chunk.OverlayCell{{Offset: 1, Value: 5}}) {
+		t.Fatalf("after torn tail, chunk 0 = %v (want only the first batch)", got)
+	}
+	re.Close()
+}
+
+func TestBackpressure(t *testing.T) {
+	s, err := Open("", 2*cellCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Fill to the budget; the store admits the batch that crosses it.
+	if err := s.Apply(ctx, []Cell{{Chunk: 0, Offset: 0, Value: 1}, {Chunk: 0, Offset: 1, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A further Apply must block until a Drain frees room.
+	_, versions, _ := s.Snapshot()
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Apply(ctx, []Cell{{Chunk: 1, Offset: 0, Value: 3}})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("over-budget Apply returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := s.Drain(versions); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// And a canceled context unblocks a waiter with its error.
+	if err := s.Apply(ctx, []Cell{{Chunk: 2, Offset: 0, Value: 1}, {Chunk: 2, Offset: 1, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		done <- s.Apply(cctx, []Cell{{Chunk: 3, Offset: 0, Value: 4}})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("canceled Apply = %v", err)
+	}
+	s.Close()
+}

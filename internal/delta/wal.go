@@ -1,0 +1,189 @@
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/chunk"
+)
+
+// The delta store keeps its own write-ahead file rather than sharing
+// the page WAL: the page WAL is checkpoint-truncated on every commit,
+// while delta batches must survive until the compaction that folds them
+// commits. The format is a flat sequence of self-delimiting records:
+//
+//	[u32 payload length][u32 CRC32-C of payload][payload]
+//	payload: uvarint cell count, then per cell
+//	         uvarint chunk, uvarint offset, varint value, u8 delete
+//
+// Replay stops cleanly at the first short or corrupt record (a crash
+// mid-append), truncating the tail — every fully fsynced batch before
+// it is intact because records are appended and synced in order.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type walFile struct {
+	path string
+	f    *os.File
+}
+
+// openWAL opens (creating if absent) the delta WAL and replays its
+// batches. The file is truncated after the last valid record.
+func openWAL(path string) (*walFile, [][]Cell, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var batches [][]Cell
+	valid := 0
+	for len(data)-valid >= 8 {
+		n := binary.LittleEndian.Uint32(data[valid:])
+		crc := binary.LittleEndian.Uint32(data[valid+4:])
+		if uint64(len(data)-valid-8) < uint64(n) {
+			break // torn tail
+		}
+		payload := data[valid+8 : valid+8+int(n)]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break // corrupt tail
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			break
+		}
+		batches = append(batches, batch)
+		valid += 8 + int(n)
+	}
+	if valid != len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &walFile{path: path, f: f}, batches, nil
+}
+
+func encodeBatch(cells []Cell) []byte {
+	payload := binary.AppendUvarint(nil, uint64(len(cells)))
+	for _, c := range cells {
+		payload = binary.AppendUvarint(payload, uint64(c.Chunk))
+		payload = binary.AppendUvarint(payload, uint64(c.Offset))
+		payload = binary.AppendVarint(payload, c.Value)
+		if c.Delete {
+			payload = append(payload, 1)
+		} else {
+			payload = append(payload, 0)
+		}
+	}
+	rec := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, crcTable))
+	return append(rec, payload...)
+}
+
+func decodeBatch(payload []byte) ([]Cell, error) {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return nil, fmt.Errorf("delta: corrupt batch header")
+	}
+	payload = payload[sz:]
+	cells := make([]Cell, 0, n)
+	for i := uint64(0); i < n; i++ {
+		cn, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return nil, fmt.Errorf("delta: corrupt cell chunk")
+		}
+		payload = payload[sz:]
+		off, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return nil, fmt.Errorf("delta: corrupt cell offset")
+		}
+		payload = payload[sz:]
+		v, sz := binary.Varint(payload)
+		if sz <= 0 {
+			return nil, fmt.Errorf("delta: corrupt cell value")
+		}
+		payload = payload[sz:]
+		if len(payload) < 1 {
+			return nil, fmt.Errorf("delta: corrupt cell flag")
+		}
+		del := payload[0] != 0
+		payload = payload[1:]
+		cells = append(cells, Cell{Chunk: int(cn), Offset: uint32(off), Value: v, Delete: del})
+	}
+	return cells, nil
+}
+
+// append logs one batch and fsyncs before returning: a batch is visible
+// to queries only after it is durable.
+func (w *walFile) append(cells []Cell) error {
+	if _, err := w.f.Write(encodeBatch(cells)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// rewrite replaces the WAL with one batch per remaining dirty chunk,
+// via a temp file renamed into place so a crash leaves either the old
+// or the new log, never a mix.
+func (w *walFile) rewrite(remaining map[int][]chunk.OverlayCell) error {
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	chunks := make([]int, 0, len(remaining))
+	for cn := range remaining {
+		chunks = append(chunks, cn)
+	}
+	sort.Ints(chunks)
+	for _, cn := range chunks {
+		batch := make([]Cell, 0, len(remaining[cn]))
+		for _, c := range remaining[cn] {
+			batch = append(batch, Cell{Chunk: cn, Offset: c.Offset, Value: c.Value, Delete: c.Delete})
+		}
+		if _, err := f.Write(encodeBatch(batch)); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	old := w.f
+	nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return err
+	}
+	w.f = nf
+	return old.Close()
+}
+
+func (w *walFile) close() error { return w.f.Close() }

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"strconv"
 	"sync"
 
 	"repro/internal/arena"
@@ -9,7 +12,9 @@ import (
 	"repro/internal/btree"
 	"repro/internal/cache"
 	"repro/internal/catalog"
+	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/factfile"
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -61,6 +66,13 @@ type ExecContext struct {
 	flight     cache.Group
 	sfDedup    *obs.Counter
 	sfWait     *obs.Histogram
+
+	// ds, when set, is the HTAP delta overlay store. Query clones attach
+	// its snapshot (merge-on-read) and its per-chunk version vector
+	// (fine-grained chunk-cache invalidation); the executor folds the
+	// version vector into result-cache keys. Set once at open, before
+	// queries run.
+	ds *delta.Store
 }
 
 // NewExecContext creates the shared execution state for a catalog,
@@ -249,15 +261,64 @@ func (c *ExecContext) invalidateLocked() {
 	c.dims, c.ff, c.arr = nil, nil, nil
 }
 
-// DropCaches empties the buffer pool, emulating the paper's cold-cache
-// measurement protocol. All cached object handles are invalidated too,
-// so a catalog mutation between queries can never leave a handle
-// serving a replaced object.
+// DropCaches empties the buffer pool and both query-cache layers,
+// emulating the paper's cold-cache measurement protocol, and drops the
+// cached object handles so the next query re-opens (and re-reads) the
+// master structures. It does NOT bump the invalidation generation:
+// nothing changed, the caches are merely cold — bumping here would
+// needlessly invalidate entries that survive in other tiers (and it
+// used to, see the regression test).
 func (c *ExecContext) DropCaches() error {
 	c.mu.Lock()
-	c.invalidateLocked()
+	c.dims, c.ff, c.arr = nil, nil, nil
+	rc, cc := c.resCache, c.chunkCache
 	c.mu.Unlock()
+	if rc != nil {
+		rc.Clear()
+	}
+	if cc != nil {
+		cc.Clear()
+	}
 	return c.bp.DropAll()
+}
+
+// SetDeltaStore attaches the HTAP delta overlay store. Call once at
+// open, before queries run.
+func (c *ExecContext) SetDeltaStore(ds *delta.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ds = ds
+}
+
+// DeltaStore returns the attached delta store (nil when ingest is not
+// wired up, e.g. contexts built directly in tests).
+func (c *ExecContext) DeltaStore() *delta.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ds
+}
+
+// ArrayState reports the catalog's current array master reference,
+// read under the handle lock — the compactor swaps it concurrently
+// with queries (SwapArrayState), so readers must come through here
+// rather than touching the catalog field directly.
+func (c *ExecContext) ArrayState() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cat.ArrayState
+}
+
+// SwapArrayState publishes a compacted array version: the catalog's
+// master reference is replaced and the cached array handle dropped, but
+// the generation is NOT bumped — the merged content every reader
+// observes is unchanged (deltas moved from overlay to base), so every
+// cache entry and every relational handle stays exactly as valid as it
+// was.
+func (c *ExecContext) SwapArrayState(state uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cat.ArrayState = state
+	c.arr = nil
 }
 
 // Dimensions returns the shared dimension table handles, opening them on
@@ -292,8 +353,77 @@ func (c *ExecContext) FactFile() (*factfile.File, error) {
 // ArrayClone returns a private clone of the OLAP array: the master copy
 // (dimension maps, B-trees, chunk directory) is opened once and shared;
 // the clone carries its own chunk-decode cache so the caller can read
-// without synchronizing with other queries.
+// without synchronizing with other queries. With a delta store
+// attached, the clone also carries an immutable overlay snapshot, so
+// every read through it yields (base + deltas as of clone time), stable
+// against concurrent ingest and compaction.
 func (c *ExecContext) ArrayClone() (*array.Array, error) {
+	cl, _, err := c.arrayCloneSnapshot()
+	return cl, err
+}
+
+// arrayCloneSnapshot is ArrayClone plus the sorted ever-touched chunk
+// list captured in the same delta snapshot, for callers that also build
+// the relational dirty filter — touched must be taken atomically with
+// the overlay, or the engines could disagree on a chunk ingested
+// between the two reads.
+func (c *ExecContext) arrayCloneSnapshot() (*array.Array, []int, error) {
+	var ov map[int][]chunk.OverlayCell
+	var versions map[int]uint64
+	var touched []int
+	if ds := c.DeltaStore(); ds != nil {
+		ov, versions, touched = ds.Snapshot()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.arr == nil {
+		arr, err := OpenArray(c.bp, c.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.arr = arr
+	}
+	cl := c.arr.Clone()
+	if len(ov) > 0 {
+		cl.Store().SetOverlay(ov)
+	}
+	if c.chunkCache != nil {
+		// Bind the clone to the current epoch and version vector while
+		// still holding the lock: a clone handed out just before an
+		// invalidation (or racing an ingest batch) populates entries
+		// tagged so that no later probe accepts them.
+		cl.Store().SetDecodedCache(c.chunkCache.View(c.gen, versions))
+	}
+	return cl, touched, nil
+}
+
+// OverlayFold builds the relational engines' delta-fold input: an array
+// clone carrying the overlay snapshot plus the ever-touched chunk set,
+// captured atomically. Nil when no delta store is attached or nothing
+// was ever ingested — the common case, costing relational plans
+// nothing.
+func (c *ExecContext) OverlayFold() (*core.OverlayFold, error) {
+	ds := c.DeltaStore()
+	if ds == nil || len(ds.Touched()) == 0 {
+		// Nothing ever ingested: no fold, and — crucially — no array
+		// open. Relational-only databases never have one.
+		return nil, nil
+	}
+	cl, touched, err := c.arrayCloneSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if len(touched) == 0 {
+		return nil, nil
+	}
+	return &core.OverlayFold{Arr: cl, Chunks: touched}, nil
+}
+
+// masterArray opens (if needed) and returns the shared master array.
+// Only its immutable structures — dimension maps and geometry — may be
+// read through the returned handle; reads that decode chunks must go
+// through ArrayClone.
+func (c *ExecContext) masterArray() (*array.Array, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.arr == nil {
@@ -303,12 +433,56 @@ func (c *ExecContext) ArrayClone() (*array.Array, error) {
 		}
 		c.arr = arr
 	}
-	cl := c.arr.Clone()
-	if c.chunkCache != nil {
-		// Bind the clone to the current epoch while still holding the
-		// lock: a clone handed out just before an invalidation populates
-		// entries tagged with the old epoch, which no later probe accepts.
-		cl.Store().SetDecodedCache(c.chunkCache.View(c.gen))
+	return c.arr, nil
+}
+
+// deltaKeySuffix is the result-cache key extension for live ingest: a
+// hash of the (chunk, version) pairs of every ever-touched chunk the
+// query could observe. With selections and a built array, the touched
+// set is first intersected with the selections' candidate chunks — an
+// ingest batch landing outside the query's chunk window cannot change
+// its result, so the key (and the cached entry) survives it. Empty
+// when no delta store is attached or nothing relevant was ever
+// ingested, so cold-path keys stay byte-identical to the pre-delta
+// format.
+func (c *ExecContext) deltaKeySuffix(sels []core.Selection) string {
+	ds := c.DeltaStore()
+	if ds == nil {
+		return ""
 	}
-	return cl, nil
+	versions, touched := ds.Versions()
+	if len(touched) == 0 {
+		return ""
+	}
+	if len(sels) > 0 && c.ArrayState() != 0 {
+		// Best-effort narrowing: on any error fall back to the full
+		// touched set, which is always a correct (conservative) key.
+		if arr, err := c.masterArray(); err == nil {
+			if cand, err := core.SelectionChunks(arr, sels); err == nil {
+				candSet := make(map[int]struct{}, len(cand))
+				for _, cn := range cand {
+					candSet[cn] = struct{}{}
+				}
+				narrowed := make([]int, 0, len(touched))
+				for _, cn := range touched {
+					if _, ok := candSet[cn]; ok {
+						narrowed = append(narrowed, cn)
+					}
+				}
+				touched = narrowed
+			}
+		}
+	}
+	if len(touched) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, cn := range touched {
+		binary.LittleEndian.PutUint64(buf[:], uint64(cn))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], versions[cn])
+		h.Write(buf[:])
+	}
+	return "|cv" + strconv.FormatUint(h.Sum64(), 16)
 }

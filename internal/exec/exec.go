@@ -169,8 +169,10 @@ func (e *Executor) InvalidateHandles() { e.ctx.InvalidateHandles() }
 // handles, emulating the paper's cold-cache measurement protocol.
 func (e *Executor) DropCaches() error { return e.ctx.DropCaches() }
 
-// HasArray reports whether an OLAP array is built.
-func (e *Executor) HasArray() bool { return e.ctx.Catalog().ArrayState != 0 }
+// HasArray reports whether an OLAP array is built. Read through the
+// context's lock: the delta compactor swaps the catalog's array state
+// concurrently with planning.
+func (e *Executor) HasArray() bool { return e.ctx.ArrayState() != 0 }
 
 // HasBitmapIndexes reports whether bitmap indices cover every selection
 // in spec.
@@ -316,6 +318,13 @@ func (e *Executor) executeSpec(ctx context.Context, spec *query.Spec, engine Eng
 		statsGen = st.CollectedUnix
 	}
 	key := fingerprint(spec, plan, statsGen)
+	// With live ingest, the fingerprint alone is not enough: two
+	// executions of the same query can observe different delta states.
+	// The suffix folds in the versions of the touched chunks the query
+	// could read, so an ingest batch invalidates only the cached results
+	// it could actually change; it is empty when nothing was ever
+	// ingested, keeping legacy keys byte-identical.
+	key += e.ctx.deltaKeySuffix(spec.Selections)
 	prof.Fingerprint = fingerprintHash(key)
 
 	rc, epoch := e.ctx.resultCache()

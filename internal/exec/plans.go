@@ -397,7 +397,11 @@ func (p *starJoinPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, 
 	if deg < 1 {
 		deg = 1
 	}
-	return core.StarJoinConsolidateRestricted(ctx, ff, dims, p.spec.Selections, p.spec.Group, deg, p.shard)
+	fold, err := ec.OverlayFold()
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	return core.StarJoinConsolidateRestrictedOverlay(ctx, ff, dims, p.spec.Selections, p.spec.Group, deg, p.shard, fold)
 }
 
 func (p *starJoinPlan) Explain() PlanDesc {
@@ -511,7 +515,11 @@ func (p *bitmapPlan) Run(ctx context.Context, ec *ExecContext) (*core.Result, co
 		Lob:  storage.NewLOBStore(ec.BufferPool()),
 		Refs: ec.Catalog().BitmapIndexes,
 	}
-	return core.BitmapSelectConsolidateRestricted(ctx, ff, dims, src, p.spec.Selections, p.spec.Group, p.degree, p.shard)
+	fold, err := ec.OverlayFold()
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	return core.BitmapSelectConsolidateRestrictedOverlay(ctx, ff, dims, src, p.spec.Selections, p.spec.Group, p.degree, p.shard, fold)
 }
 
 func (p *bitmapPlan) Explain() PlanDesc {

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"repro/client"
+)
+
+// TestServerIngestRoundTrip drives the HTAP wire surface end to end:
+// ingest a batch over the protocol, see it in query results immediately,
+// read the delta-store counters, compact, and see the same results from
+// the folded base.
+func TestServerIngestRoundTrip(t *testing.T) {
+	srv, db := startServer(t, Config{})
+	conn, err := client.Dial(srv.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+
+	before, err := conn.Query(ctx, retailQuery, client.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite one cell, insert one, delete one.
+	batch := []client.IngestCell{
+		{Keys: []int64{4, 0, 0}, Value: 999},
+		{Keys: []int64{1, 0, 0}, Value: 50},
+		{Keys: []int64{0, 0, 0}, Delete: true},
+	}
+	if err := conn.Ingest(ctx, batch); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	st, err := conn.DeltaStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 3 || st.DirtyChunks == 0 {
+		t.Fatalf("delta stats after ingest: %+v", st)
+	}
+
+	after, err := conn.Query(ctx, retailQuery, client.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsEqualClient(before.Rows, after.Rows) {
+		t.Fatal("ingest over the wire did not change query results")
+	}
+	// The wire answer must match the embedded answer exactly.
+	local, err := db.Query(retailQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Rows) != len(after.Rows) {
+		t.Fatalf("wire rows %d != embedded rows %d", len(after.Rows), len(local.Rows))
+	}
+	for i := range local.Rows {
+		if local.Rows[i].Sum != after.Rows[i].Sum {
+			t.Fatalf("row %d: wire sum %d != embedded sum %d", i, after.Rows[i].Sum, local.Rows[i].Sum)
+		}
+	}
+
+	if _, err := conn.Compact(ctx); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	st, err = conn.DeltaStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 0 || st.Compactions == 0 {
+		t.Fatalf("delta stats after compact: %+v", st)
+	}
+	folded, err := conn.Query(ctx, retailQuery, client.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqualClient(after.Rows, folded.Rows) {
+		t.Fatal("results diverge after compaction")
+	}
+
+	// A malformed batch (wrong key arity) is a per-request error; the
+	// connection survives it.
+	err = conn.Ingest(ctx, []client.IngestCell{{Keys: []int64{1}, Value: 7}})
+	if !client.IsCode(err, client.CodeExec) {
+		t.Fatalf("short-key ingest: err = %v, want exec error", err)
+	}
+	if err := conn.Ping(); err != nil {
+		t.Fatalf("connection broken after rejected ingest: %v", err)
+	}
+}
+
+func rowsEqualClient(a, b []client.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Sum != b[i].Sum || a[i].Count != b[i].Count {
+			return false
+		}
+		if len(a[i].Groups) != len(b[i].Groups) {
+			return false
+		}
+		for j := range a[i].Groups {
+			if a[i].Groups[j] != b[i].Groups[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -505,6 +505,46 @@ func (c *conn) serve() {
 			}
 			c.handleGetProfiles(gp)
 			c.srv.frameLatency.ObserveDuration(time.Since(start))
+		case wire.FrameIngest:
+			ing, err := wire.DecodeIngest(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+				goto out
+			}
+			// Off the frame loop: an ingest may block on delta-store
+			// backpressure, and a Cancel frame (or disconnect) must be able
+			// to release it.
+			c.qwg.Add(1)
+			go func() {
+				defer c.qwg.Done()
+				c.handleIngest(ing)
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+			}()
+		case wire.FrameDeltaStats:
+			dsr, err := wire.DecodeDeltaStatsReq(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			// Metadata, served on the frame loop like SetOption.
+			c.handleDeltaStats(dsr)
+			c.srv.frameLatency.ObserveDuration(time.Since(start))
+		case wire.FrameCompact:
+			cr, err := wire.DecodeCompactReq(fb.Bytes())
+			fb.Release()
+			if err != nil {
+				c.writeError(0, wire.CodeProtocol, err.Error())
+				goto out
+			}
+			c.qwg.Add(1)
+			go func() {
+				defer c.qwg.Done()
+				c.handleCompact(cr)
+				c.srv.frameLatency.ObserveDuration(time.Since(start))
+			}()
 		default:
 			fb.Release()
 			c.writeError(0, wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", t))
@@ -746,6 +786,73 @@ func (c *conn) handleQuery(q *wire.Query, sub *wire.SubQuery) {
 		done.Trace = res.Trace.String()
 	}
 	c.writeFrame(wire.FrameResultDone, done.Encode())
+}
+
+// handleIngest applies one Ingest frame's cell batch through the
+// database's HTAP delta path and acknowledges with the applied count.
+// It skips query admission — writes land in the delta store, not the
+// scan pipeline — but still registers with the drain tracker (shutdown
+// waits for it) and the cancel registry (a Cancel frame or disconnect
+// releases a backpressure wait).
+func (c *conn) handleIngest(ing *wire.Ingest) {
+	if !c.srv.beginQuery() {
+		c.writeError(ing.ID, wire.CodeShutdown, "server is draining")
+		return
+	}
+	defer c.srv.endQuery()
+	ctx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	c.registerQuery(ing.ID, cancel)
+	defer c.unregisterQuery(ing.ID)
+
+	cells := make([]repro.IngestCell, len(ing.Cells))
+	for i, wc := range ing.Cells {
+		cells[i] = repro.IngestCell{Keys: wc.Keys, Value: wc.Value, Delete: wc.Delete}
+	}
+	if err := c.srv.db.InsertCellsContext(ctx, cells); err != nil {
+		if ctx.Err() != nil {
+			c.writeError(ing.ID, wire.CodeCanceled, "ingest canceled")
+		} else {
+			c.writeError(ing.ID, wire.CodeExec, err.Error())
+		}
+		return
+	}
+	c.writeFrame(wire.FrameIngestAck,
+		(&wire.IngestAck{ID: ing.ID, Cells: uint32(len(ing.Cells))}).Encode())
+}
+
+// handleDeltaStats answers a DeltaStats frame with the delta store's
+// current counters plus the lifetime compaction count.
+func (c *conn) handleDeltaStats(req *wire.DeltaStatsReq) {
+	st := c.srv.db.DeltaStats()
+	out := &wire.DeltaStatsResult{
+		ID:            req.ID,
+		Cells:         st.Cells,
+		Bytes:         st.Bytes,
+		DirtyChunks:   int64(st.DirtyChunks),
+		TouchedChunks: int64(st.TouchedChunks),
+		BudgetBytes:   st.BudgetBytes,
+		Compactions:   c.srv.db.CompactionsTotal(),
+	}
+	c.writeFrame(wire.FrameDeltaStatsResult, out.Encode())
+}
+
+// handleCompact runs one explicit compaction and acknowledges with its
+// elapsed time. Like ingest it tracks draining but skips admission; the
+// database serializes concurrent compactions internally.
+func (c *conn) handleCompact(req *wire.CompactReq) {
+	if !c.srv.beginQuery() {
+		c.writeError(req.ID, wire.CodeShutdown, "server is draining")
+		return
+	}
+	defer c.srv.endQuery()
+	start := time.Now()
+	if err := c.srv.db.Compact(); err != nil {
+		c.writeError(req.ID, wire.CodeExec, err.Error())
+		return
+	}
+	c.writeFrame(wire.FrameCompactAck,
+		(&wire.CompactAck{ID: req.ID, ElapsedNS: time.Since(start).Nanoseconds()}).Encode())
 }
 
 // handleGetProfiles answers a GetProfiles frame from the database's

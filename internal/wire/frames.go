@@ -631,3 +631,190 @@ func DecodeProfilesResult(p []byte) (*ProfilesResult, error) {
 	}
 	return f, nil
 }
+
+// IngestCell is one cell state in an Ingest frame: dimension keys plus
+// the new measure, or a deletion. States are absolute, so retransmits
+// (and server-side WAL replays) are idempotent.
+type IngestCell struct {
+	Keys   []int64
+	Value  int64
+	Delete bool
+}
+
+// Ingest is the HTAP write frame: apply one batch of cell states
+// through the server's delta store. Answered with IngestAck, or Error
+// (unknown keys, no array, backpressure timeout).
+type Ingest struct {
+	ID    uint32
+	Cells []IngestCell
+}
+
+// Encode renders the Ingest payload.
+func (f *Ingest) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = binary.AppendUvarint(b, uint64(len(f.Cells)))
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		b = binary.AppendUvarint(b, uint64(len(c.Keys)))
+		for _, k := range c.Keys {
+			b = binary.AppendVarint(b, k)
+		}
+		b = binary.AppendVarint(b, c.Value)
+		if c.Delete {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// DecodeIngest parses an Ingest payload.
+func DecodeIngest(p []byte) (*Ingest, error) {
+	d := &dec{b: p}
+	f := &Ingest{ID: d.u32()}
+	n := d.uvarint()
+	if d.err == nil && n <= uint64(len(d.b)) { // each cell needs >= 1 byte
+		f.Cells = make([]IngestCell, 0, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		nk := d.uvarint()
+		if d.err != nil || nk > uint64(len(d.b))+1 {
+			d.fail()
+			break
+		}
+		c := IngestCell{Keys: make([]int64, 0, nk)}
+		for k := uint64(0); k < nk; k++ {
+			c.Keys = append(c.Keys, d.varint())
+		}
+		c.Value = d.varint()
+		c.Delete = d.u8() != 0
+		f.Cells = append(f.Cells, c)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// IngestAck acknowledges an Ingest frame once the batch is durable in
+// the server's delta WAL and visible to queries.
+type IngestAck struct {
+	ID    uint32
+	Cells uint32 // cells applied
+}
+
+// Encode renders the IngestAck payload.
+func (f *IngestAck) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	return binary.AppendUvarint(b, uint64(f.Cells))
+}
+
+// DecodeIngestAck parses an IngestAck payload.
+func DecodeIngestAck(p []byte) (*IngestAck, error) {
+	d := &dec{b: p}
+	f := &IngestAck{ID: d.u32(), Cells: uint32(d.uvarint())}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DeltaStatsReq asks for the server's delta-store counters.
+type DeltaStatsReq struct {
+	ID uint32
+}
+
+// Encode renders the DeltaStats payload.
+func (f *DeltaStatsReq) Encode() []byte { return binary.BigEndian.AppendUint32(nil, f.ID) }
+
+// DecodeDeltaStatsReq parses a DeltaStats payload.
+func DecodeDeltaStatsReq(p []byte) (*DeltaStatsReq, error) {
+	d := &dec{b: p}
+	f := &DeltaStatsReq{ID: d.u32()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DeltaStatsResult answers DeltaStats with the store's counters.
+type DeltaStatsResult struct {
+	ID            uint32
+	Cells         int64
+	Bytes         int64
+	DirtyChunks   int64
+	TouchedChunks int64
+	BudgetBytes   int64
+	Compactions   int64
+}
+
+// Encode renders the DeltaStatsResult payload.
+func (f *DeltaStatsResult) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	b = binary.AppendVarint(b, f.Cells)
+	b = binary.AppendVarint(b, f.Bytes)
+	b = binary.AppendVarint(b, f.DirtyChunks)
+	b = binary.AppendVarint(b, f.TouchedChunks)
+	b = binary.AppendVarint(b, f.BudgetBytes)
+	return binary.AppendVarint(b, f.Compactions)
+}
+
+// DecodeDeltaStatsResult parses a DeltaStatsResult payload.
+func DecodeDeltaStatsResult(p []byte) (*DeltaStatsResult, error) {
+	d := &dec{b: p}
+	f := &DeltaStatsResult{
+		ID:            d.u32(),
+		Cells:         d.varint(),
+		Bytes:         d.varint(),
+		DirtyChunks:   d.varint(),
+		TouchedChunks: d.varint(),
+		BudgetBytes:   d.varint(),
+		Compactions:   d.varint(),
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CompactReq asks the server to fold the delta overlay into the chunk
+// store now (the manual trigger beside the background compactor).
+type CompactReq struct {
+	ID uint32
+}
+
+// Encode renders the Compact payload.
+func (f *CompactReq) Encode() []byte { return binary.BigEndian.AppendUint32(nil, f.ID) }
+
+// DecodeCompactReq parses a Compact payload.
+func DecodeCompactReq(p []byte) (*CompactReq, error) {
+	d := &dec{b: p}
+	f := &CompactReq{ID: d.u32()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CompactAck acknowledges a completed compaction.
+type CompactAck struct {
+	ID        uint32
+	ElapsedNS int64
+}
+
+// Encode renders the CompactAck payload.
+func (f *CompactAck) Encode() []byte {
+	b := binary.BigEndian.AppendUint32(nil, f.ID)
+	return binary.AppendVarint(b, f.ElapsedNS)
+}
+
+// DecodeCompactAck parses a CompactAck payload.
+func DecodeCompactAck(p []byte) (*CompactAck, error) {
+	d := &dec{b: p}
+	f := &CompactAck{ID: d.u32(), ElapsedNS: d.varint()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -59,7 +59,9 @@ import (
 // tree) and the GetProfiles/ProfilesResult pair. Version 3 added the
 // SubQuery frame (a coordinator's shard-restricted query), the PARTIAL
 // session option, and the per-shard completeness report on ResultDone.
-const Version uint16 = 3
+// Version 4 added the HTAP ingest frames: Ingest/IngestAck,
+// DeltaStats/DeltaStatsResult, and Compact/CompactAck.
+const Version uint16 = 4
 
 // Magic opens every Hello frame; it lets the server reject a client
 // that is not speaking this protocol at all (an HTTP request, say)
@@ -90,16 +92,22 @@ const (
 	FrameSetOption   FrameType = 0x06
 	FrameGetProfiles FrameType = 0x07
 	FrameSubQuery    FrameType = 0x08
+	FrameIngest      FrameType = 0x09
+	FrameDeltaStats  FrameType = 0x0A
+	FrameCompact     FrameType = 0x0B
 
-	FrameHelloAck       FrameType = 0x10
-	FrameResultHeader   FrameType = 0x11
-	FrameRowBatch       FrameType = 0x12
-	FrameResultDone     FrameType = 0x13
-	FrameExplainResult  FrameType = 0x14
-	FrameError          FrameType = 0x15
-	FramePong           FrameType = 0x16
-	FrameOptionAck      FrameType = 0x17
-	FrameProfilesResult FrameType = 0x18
+	FrameHelloAck         FrameType = 0x10
+	FrameResultHeader     FrameType = 0x11
+	FrameRowBatch         FrameType = 0x12
+	FrameResultDone       FrameType = 0x13
+	FrameExplainResult    FrameType = 0x14
+	FrameError            FrameType = 0x15
+	FramePong             FrameType = 0x16
+	FrameOptionAck        FrameType = 0x17
+	FrameProfilesResult   FrameType = 0x18
+	FrameIngestAck        FrameType = 0x19
+	FrameDeltaStatsResult FrameType = 0x1A
+	FrameCompactAck       FrameType = 0x1B
 )
 
 // String implements fmt.Stringer.
@@ -121,6 +129,12 @@ func (t FrameType) String() string {
 		return "get-profiles"
 	case FrameSubQuery:
 		return "sub-query"
+	case FrameIngest:
+		return "ingest"
+	case FrameDeltaStats:
+		return "delta-stats"
+	case FrameCompact:
+		return "compact"
 	case FrameHelloAck:
 		return "hello-ack"
 	case FrameResultHeader:
@@ -139,6 +153,12 @@ func (t FrameType) String() string {
 		return "option-ack"
 	case FrameProfilesResult:
 		return "profiles-result"
+	case FrameIngestAck:
+		return "ingest-ack"
+	case FrameDeltaStatsResult:
+		return "delta-stats-result"
+	case FrameCompactAck:
+		return "compact-ack"
 	default:
 		return fmt.Sprintf("frame(0x%02x)", uint8(t))
 	}

@@ -99,6 +99,8 @@ type ArrayCellUpdate struct {
 // the authoritative store (rebuild the relational side from source to
 // re-align it).
 func (db *DB) UpdateArrayCells(updates []ArrayCellUpdate) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	arr, err := exec.OpenArray(db.bp, db.cat)
 	if err != nil {
 		return err
@@ -110,6 +112,11 @@ func (db *DB) UpdateArrayCells(updates []ArrayCellUpdate) error {
 	next, err := arr.Update(converted)
 	if err != nil {
 		return err
+	}
+	if uint64(next.State().First) == db.cat.ArrayState {
+		// Empty batch: no new array version was produced, so don't bump
+		// the cache epoch — every cached result is still valid.
+		return nil
 	}
 	db.cat.ArrayState = uint64(next.State().First)
 	if err := exec.RefreshArrayStats(db.bp, db.cat); err != nil {

@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -120,10 +122,16 @@ type Options struct {
 	// "lru" (default), "clock", or "2q". 2Q keeps hot dimension and
 	// index pages resident while large fact scans sweep the pool.
 	Replacer string
+	// DeltaBudgetBytes caps the in-memory ingest delta store: once the
+	// uncompacted overlay reaches this many bytes, InsertCells blocks
+	// (backpressure) until a compaction drains it. 0 means unlimited.
+	DeltaBudgetBytes int64
 }
 
-// DB is an open database handle. It is not safe for concurrent use; open
-// one handle per goroutine or serialize access.
+// DB is an open database handle. Queries (through Sessions), the ingest
+// path (InsertCells and friends), and the background compactor are safe
+// for concurrent use; the bulk write APIs (loads, builds, Commit,
+// UpdateArrayCells) must not run concurrently with each other.
 type DB struct {
 	disk storage.DiskManager
 	bp   *storage.BufferPool
@@ -131,8 +139,31 @@ type DB struct {
 	cat  *catalog.Catalog
 	log  *wal.Log
 	ex   *exec.Executor
+	ds   *delta.Store
 	path string
+
+	// writeMu serializes the writers that mutate the committed state:
+	// user commits, array updates, and the compactor's fold+commit.
+	// The ingest path does not take it — deltas live outside the page
+	// store until the compactor folds them.
+	writeMu sync.Mutex
+
+	// Background compactor lifecycle (StartCompactor / Close).
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+
+	compactions    *obs.Counter
+	compactSeconds *obs.Histogram
+
+	// compactTestHook, when set by a test, runs at each named stage of
+	// Compact ("applied", "swapped", "committed") so crash tests can
+	// fail or kill the process at precise points.
+	compactTestHook func(stage string) error
 }
+
+// testWrapDisk, when set by a test before Open, wraps the disk manager
+// (fault injection for crash-recovery tests).
+var testWrapDisk func(storage.DiskManager) storage.DiskManager
 
 // Open opens (creating as needed) a database. For file-backed databases
 // with logging enabled, any committed WAL suffix is replayed first, so a
@@ -153,6 +184,9 @@ func Open(opts Options) (*DB, error) {
 			}
 		}
 		db.disk = d
+	}
+	if testWrapDisk != nil {
+		db.disk = testWrapDisk(db.disk)
 	}
 	frames := 0
 	if opts.BufferPoolBytes > 0 {
@@ -189,8 +223,28 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.cat = cat
 	db.ex = exec.NewExecutor(db.bp, cat)
+	dwal := ""
+	if opts.Path != "" && !opts.DisableWAL {
+		dwal = deltaWALPath(opts.Path)
+	}
+	ds, err := delta.Open(dwal, opts.DeltaBudgetBytes)
+	if err != nil {
+		db.closeQuietly()
+		return nil, fmt.Errorf("repro: delta recover: %w", err)
+	}
+	db.ds = ds
+	ds.SeedTouched(cat.DeltaChunks)
+	db.ex.Context().SetDeltaStore(ds)
+	reg := db.ex.Context().Registry()
+	reg.GaugeFunc("delta_cells", "overlay cells awaiting compaction",
+		func() float64 { return float64(ds.Stats().Cells) })
+	reg.GaugeFunc("delta_bytes", "estimated bytes held by the ingest delta store",
+		func() float64 { return float64(ds.Stats().Bytes) })
+	db.compactions = reg.Counter("compactions_total",
+		"delta compactions folded into the chunk store")
+	db.compactSeconds = reg.Histogram("compaction_seconds",
+		"wall time per delta compaction", nil)
 	if db.log != nil {
-		reg := db.ex.Context().Registry()
 		l := db.log
 		reg.CounterFunc("wal_page_images_total",
 			"redo page images appended to the WAL",
@@ -208,7 +262,16 @@ func Open(opts Options) (*DB, error) {
 // walPath derives the log path from the volume path.
 func walPath(path string) string { return path + ".wal" }
 
+// deltaWALPath derives the ingest delta log path from the volume path.
+// It is a separate file from the page WAL because the page WAL is
+// truncated at every checkpoint, while delta records must survive until
+// a compaction folds them into the chunk store.
+func deltaWALPath(path string) string { return path + ".deltawal" }
+
 func (db *DB) closeQuietly() {
+	if db.ds != nil {
+		db.ds.Close()
+	}
 	if db.log != nil {
 		db.log.Close()
 	}
@@ -219,8 +282,23 @@ func (db *DB) closeQuietly() {
 // redo images of every dirty page are forced to the WAL, a commit record
 // is fsynced, the pages are flushed to the volume, and the log is
 // checkpointed. Without a WAL (in-memory or DisableWAL) it degenerates
-// to a flush.
+// to a flush. Ingested deltas are NOT part of the page store — they are
+// already durable in their own log and are folded in by Compact.
 func (db *DB) Commit() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if err := db.commitLocked(); err != nil {
+		return err
+	}
+	db.ex.InvalidateHandles()
+	return nil
+}
+
+// commitLocked is the durable half of Commit, shared with the compactor
+// — which must NOT invalidate handles, because a compaction changes no
+// observable content and the caches keyed by epoch should survive it.
+// Callers hold writeMu.
+func (db *DB) commitLocked() error {
 	if err := db.cat.Save(db.bp, db.sb); err != nil {
 		return err
 	}
@@ -240,13 +318,20 @@ func (db *DB) Commit() error {
 			return err
 		}
 	}
-	db.ex.InvalidateHandles()
 	return nil
 }
 
-// Close commits outstanding work and releases the database.
+// Close stops the background compactor, commits outstanding work, and
+// releases the database. Uncompacted deltas survive in the delta log
+// and are replayed by the next Open.
 func (db *DB) Close() error {
+	db.StopCompactor()
 	commitErr := db.Commit()
+	if db.ds != nil {
+		if err := db.ds.Close(); err != nil && commitErr == nil {
+			commitErr = err
+		}
+	}
 	if db.log != nil {
 		if err := db.log.Close(); err != nil && commitErr == nil {
 			commitErr = err
