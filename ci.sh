@@ -38,6 +38,13 @@ GOMAXPROCS=4 go test -race -count=1 -run 'Parallel|ClampWorkers' \
 echo "== warm arena decode allocates nothing =="
 go test -run TestWarmDecodeZeroAlloc -count=1 ./internal/chunk/
 
+echo "== codec differential (every codec x engine x degree bit-identical) =="
+go test -count=1 -run 'TestCodecDifferential|TestCompactionRecode' .
+
+echo "== fuzz smoke (store directory + codec decoders, 10s each) =="
+go test -run='^$' -fuzz=FuzzStoreDir -fuzztime=10s ./internal/chunk/
+go test -run='^$' -fuzz=FuzzCodecDecode -fuzztime=10s ./internal/chunk/
+
 echo "== warm StarJoin/bitmap allocations bounded and flat =="
 go test -run TestWarmStarJoinBoundedAllocs -count=1 ./internal/core/
 
@@ -214,11 +221,12 @@ if [ -z "$addr" ]; then
 fi
 obs=$(sed -n 's/.*msg="observability endpoint" addr=\([^ ]*\).*/\1/p' "$smokedir/htapd.log")
 
-# Drive the REPL: a query, then the delta and compact meta-commands,
-# both of which must answer over the wire.
-printf 'select sum(volume), h01 from fact, dim0 group by h01\ndelta\ncompact\ndelta\n\n' \
+# Drive the REPL: a query, then the insert, delta, and compact
+# meta-commands, all of which must answer over the wire.
+printf 'select sum(volume), h01 from fact, dim0 group by h01\ninsert 1,2,3=55\ndelta\ncompact\ndelta\n\n' \
     | "$smokedir/olapcli" -connect "$addr" >"$smokedir/htap.out"
 grep -q "plan=" "$smokedir/htap.out"
+grep -q "ingested 1 cells" "$smokedir/htap.out"
 grep -q "delta: cells=" "$smokedir/htap.out"
 grep -q "compacted in" "$smokedir/htap.out"
 

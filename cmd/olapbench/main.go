@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	olapbench [-fig all|4|5|6|7|8|9|10|storage|ablations|cluster|htap] [-scale 1.0]
+//	olapbench [-fig all|4|5|6|7|8|9|10|storage|ablations|cluster|htap|codec] [-scale 1.0]
 //	          [-trials 3] [-warm] [-seed N]
 //
 // Absolute times depend on the machine; the shapes (who wins, by what
@@ -21,6 +21,11 @@
 // against the whole-DB epoch bump it replaced: the same mixed
 // ingest+query workload runs under both, and the table reports the
 // result-cache hit rate each sustains.
+//
+// -fig codec sweeps density x codec over one large chunk (encoded
+// size, raw decode time, warm Query 1 latency), locating the
+// chunk-offset / difference-sequence crossover and checking the
+// adaptive selector never loses to a forced codec.
 package main
 
 import (
@@ -32,11 +37,12 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bench/clusterbench"
+	"repro/internal/bench/codecbench"
 	"repro/internal/bench/htapbench"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 4..10, storage, ablations")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 4..10, storage, ablations, cluster, htap, codec")
 	scale := flag.Float64("scale", 1.0, "data set scale factor (1.0 = paper size)")
 	trials := flag.Int("trials", 3, "trials per measurement (fastest kept)")
 	warm := flag.Bool("warm", false, "skip the cold-cache protocol")
@@ -154,6 +160,27 @@ func main() {
 			path, err := htapbench.WriteHTAPSnapshot(*snapshotDir, hfig, hopts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "olapbench: htap: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "snapshot: %s\n", path)
+		}
+		return
+	}
+	// The codec sweep only runs when asked for by name: it builds one
+	// database per (density, codec) pair, which "all" should not imply.
+	if strings.ToLower(*fig) == "codec" {
+		kopts := codecbench.CodecOptions{Scale: *scale}
+		fmt.Fprintln(os.Stderr, "building and running codec sweep...")
+		kfig, err := codecbench.RunCodec(kopts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olapbench: codec: %v\n", err)
+			os.Exit(1)
+		}
+		codecbench.WriteCodecTable(os.Stdout, kfig)
+		if *snapshotDir != "" {
+			path, err := codecbench.WriteCodecSnapshot(*snapshotDir, kfig, kopts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "olapbench: codec: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "snapshot: %s\n", path)

@@ -23,6 +23,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -142,6 +143,21 @@ func main() {
 			} else {
 				fmt.Printf("compacted in %v\n", time.Since(start).Round(time.Microsecond))
 			}
+			continue
+		}
+		// "insert k1,k2,...=v [k,...=v ...]" ingests cell states through
+		// the HTAP delta path (value "del" deletes the cell).
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "insert "); ok {
+			cells, err := parseInsertCells(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			if err := db.InsertCells(cells); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Printf("ingested %d cells\n", len(cells))
 			continue
 		}
 		// "recent" lists the flight recorder's latest query profiles;
@@ -299,6 +315,25 @@ func remoteMain(addr, engineName string, maxRows, workers int, partial bool) int
 			} else {
 				fmt.Printf("compacted in %v\n", elapsed.Round(time.Microsecond))
 			}
+			continue
+		}
+		// "insert k1,k2,...=v [...]" ships cell states to the server's
+		// ingest path over the wire Ingest frame ("del" deletes).
+		if v, ok := strings.CutPrefix(strings.ToLower(sql), "insert "); ok {
+			cells, err := parseInsertCells(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			remote := make([]client.IngestCell, len(cells))
+			for i, c := range cells {
+				remote[i] = client.IngestCell{Keys: c.Keys, Value: c.Value, Delete: c.Delete}
+			}
+			if err := conn.Ingest(context.Background(), remote); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Printf("ingested %d cells\n", len(cells))
 			continue
 		}
 		// "recent" and "profile <id>" read the server's flight recorder.
@@ -464,6 +499,42 @@ func printRemoteProfiles(conn *client.Conn, queryID string, limit int) {
 	fmt.Println(buf.String())
 }
 
+// parseInsertCells parses the "insert" meta-command's argument: one or
+// more whitespace-separated assignments "k1,k2,...,kn=value", where the
+// keys are the fact's dimension keys in schema order and value "del"
+// deletes the cell.
+func parseInsertCells(arg string) ([]repro.IngestCell, error) {
+	var cells []repro.IngestCell
+	for _, tok := range strings.Fields(arg) {
+		keysStr, valStr, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("insert wants k1,k2,...=value, got %q", tok)
+		}
+		var cell repro.IngestCell
+		for _, k := range strings.Split(keysStr, ",") {
+			key, err := strconv.ParseInt(strings.TrimSpace(k), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad dimension key %q in %q", k, tok)
+			}
+			cell.Keys = append(cell.Keys, key)
+		}
+		if valStr == "del" {
+			cell.Delete = true
+		} else {
+			v, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad measure %q in %q (integer or \"del\")", valStr, tok)
+			}
+			cell.Value = v
+		}
+		cells = append(cells, cell)
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("insert wants at least one k1,k2,...=value assignment")
+	}
+	return cells, nil
+}
+
 // printDeltaStats renders the delta store's counters (the "delta"
 // meta-command, local and remote).
 func printDeltaStats(cells, bytes, dirty, touched, budget, compactions int64) {
@@ -492,6 +563,19 @@ func printStats(db *repro.DB) {
 	if es.Queries > 0 {
 		fmt.Printf("queries: %d latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			es.Queries, es.LatencyP50*1e3, es.LatencyP95*1e3, es.LatencyP99*1e3)
+	}
+	if es.ArrayCodec != "" {
+		names := make([]string, 0, len(es.ArrayCodecs))
+		for name := range es.ArrayCodecs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			u := es.ArrayCodecs[name]
+			parts = append(parts, fmt.Sprintf("%s=%d chunks/%d B", name, u.Chunks, u.EncodedBytes))
+		}
+		fmt.Printf("array codecs (%s): %s\n", es.ArrayCodec, strings.Join(parts, ", "))
 	}
 	if es.HasCache {
 		fmt.Printf("result cache: hits=%d misses=%d evictions=%d invalidated=%d bytes=%d entries=%d\n",

@@ -69,6 +69,7 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 0, "coordinator: base backoff before a shard retry, doubled and jittered per attempt (0 = 100ms)")
 	compactInterval := flag.Duration("compact-interval", 0, "background delta compaction interval (0 = no background compactor; compact only on explicit request)")
 	deltaMaxMB := flag.Int("delta-max-mb", 0, "delta store byte budget in MiB; ingest blocks over it until a compaction drains (0 = unlimited)")
+	recodec := flag.Bool("recodec", true, "let compaction re-pick per-chunk codecs on adaptive stores as density shifts (false pins existing tags)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -86,6 +87,7 @@ func main() {
 		Path:             *path,
 		Replacer:         *replacer,
 		DeltaBudgetBytes: int64(*deltaMaxMB) << 20,
+		DisableRecodec:   !*recodec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "olapd: %v\n", err)

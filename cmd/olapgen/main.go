@@ -7,7 +7,7 @@
 //
 //	olapgen -out sales.db -dims 40x40x40x100 -density 0.1 \
 //	        [-facts N] [-h1 10] [-h2 10] [-seed 1] [-chunk 20x20x20x10] \
-//	        [-codec chunk-offset|lzw|dense] [-no-array] [-no-bitmaps]
+//	        [-codec adaptive|chunk-offset|diff-seq|lzw|dense] [-no-array] [-no-bitmaps]
 package main
 
 import (
@@ -43,7 +43,7 @@ func main() {
 	h2 := flag.Int("h2", 10, "distinct hX2 values per dimension")
 	seed := flag.Int64("seed", 1, "generation seed")
 	chunkStr := flag.String("chunk", "", "chunk shape, e.g. 20x20x20x10 (default: engine heuristic)")
-	codec := flag.String("codec", "", "chunk codec: chunk-offset (default), lzw, dense")
+	codec := flag.String("codec", "", "chunk codec: adaptive (default), chunk-offset, diff-seq, lzw, dense")
 	noArray := flag.Bool("no-array", false, "skip building the OLAP array")
 	noBitmaps := flag.Bool("no-bitmaps", false, "skip building bitmap indexes")
 	flag.Parse()

@@ -51,4 +51,10 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := run(filepath.Join(t.TempDir(), "y.db"), "8x8", 0.1, 0, 4, 2, 1, "", "nosuch", true, true); err == nil {
 		t.Fatal("run accepted unknown codec")
 	}
+	// The v2 codec names are accepted.
+	for _, codec := range []string{"adaptive", "diff-seq"} {
+		if err := run(filepath.Join(t.TempDir(), codec+".db"), "8x8", 0.2, 0, 4, 2, 1, "", codec, true, false); err != nil {
+			t.Fatalf("run with codec %s: %v", codec, err)
+		}
+	}
 }

@@ -24,6 +24,13 @@ func retailSchema() *StarSchema {
 // loadRetail fills a small deterministic retail database.
 func loadRetail(t testing.TB, db *DB) {
 	t.Helper()
+	loadRetailArray(t, db, ArrayConfig{ChunkShape: []int{4, 4, 3}})
+}
+
+// loadRetailArray is loadRetail with the array configuration exposed, for
+// tests that exercise specific codecs or chunk shapes.
+func loadRetailArray(t testing.TB, db *DB, cfg ArrayConfig) {
+	t.Helper()
 	if err := db.CreateStarSchema(retailSchema()); err != nil {
 		t.Fatalf("CreateStarSchema: %v", err)
 	}
@@ -63,7 +70,7 @@ func loadRetail(t testing.TB, db *DB) {
 	if err := db.LoadFactRows(facts); err != nil {
 		t.Fatalf("LoadFactRows: %v", err)
 	}
-	if err := db.BuildArray(ArrayConfig{ChunkShape: []int{4, 4, 3}}); err != nil {
+	if err := db.BuildArray(cfg); err != nil {
 		t.Fatalf("BuildArray: %v", err)
 	}
 	if err := db.BuildBitmapIndexes(); err != nil {
@@ -266,15 +273,25 @@ func TestDBSizes(t *testing.T) {
 	if rep.FactFileBytes <= 0 || rep.DimensionBytes <= 0 || rep.ArrayBytes <= 0 {
 		t.Fatalf("report = %+v", rep)
 	}
-	if rep.ArrayCodec != "chunk-offset" {
+	if rep.ArrayCodec != "adaptive" {
 		t.Fatalf("codec = %s", rep.ArrayCodec)
 	}
 	if rep.FactTuples == 0 || rep.ArrayChunks == 0 {
 		t.Fatalf("report = %+v", rep)
 	}
-	if rep.ArrayEncodedBytes != int64(rep.FactTuples)*12 {
-		t.Fatalf("encoded bytes = %d, want %d (12 per valid cell)",
+	// Adaptive selection can only improve on forcing the paper's
+	// chunk-offset codec (12 bytes per valid cell) everywhere.
+	if rep.ArrayEncodedBytes > int64(rep.FactTuples)*12 {
+		t.Fatalf("encoded bytes = %d, want <= %d (12 per valid cell)",
 			rep.ArrayEncodedBytes, rep.FactTuples*12)
+	}
+	var chunks, encoded int64
+	for _, u := range rep.ArrayCodecs {
+		chunks += u.Chunks
+		encoded += u.EncodedBytes
+	}
+	if encoded != rep.ArrayEncodedBytes || chunks == 0 {
+		t.Fatalf("per-codec usage %v does not sum to %d encoded bytes", rep.ArrayCodecs, rep.ArrayEncodedBytes)
 	}
 }
 

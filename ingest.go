@@ -138,6 +138,11 @@ func (db *DB) Compact() error {
 	if err != nil {
 		return err
 	}
+	// On an adaptive store the rewrite re-picks each touched chunk's
+	// codec (a chunk an ingest stream filled in migrates from chunk-
+	// offset pairs to difference sequences, and back after deletes)
+	// unless the operator pinned the existing tags.
+	arr.Store().SetRecodec(!db.disableRecodec)
 	changes := make(map[int][]chunk.CellChange, len(ov))
 	for cn, cells := range ov {
 		chs := make([]chunk.CellChange, len(cells))
@@ -155,6 +160,12 @@ func (db *DB) Compact() error {
 	}
 	db.ex.Context().SwapArrayState(uint64(next.State().First))
 	db.cat.DeltaChunks = db.ds.Touched()
+	// Republish the codec mix (chunks may have re-picked codecs above).
+	// cat.Stats itself stays untouched: concurrent queries cost plans
+	// against it without locks, and compaction changes no answer.
+	if err := db.refreshCodecSnapshot(); err != nil {
+		return err
+	}
 	if err := db.compactHook("swapped"); err != nil {
 		return err
 	}

@@ -133,8 +133,10 @@ type FactSource interface {
 type BuildConfig struct {
 	// ChunkShape is the tile shape; nil selects chunk.DefaultChunkShape.
 	ChunkShape []int
-	// Codec compresses chunks; nil selects the paper's chunk-offset
-	// compression.
+	// Codec forces one compression codec for every chunk; nil selects
+	// adaptive mode, where the builder trial-sizes each chunk and tags it
+	// with the smallest of the paper's chunk-offset compression, the
+	// difference-sequence codec, and the dense codec.
 	Codec chunk.Codec
 }
 
@@ -217,11 +219,7 @@ func Build(bp *storage.BufferPool, dims []*catalog.DimensionTable, facts FactSou
 	if err != nil {
 		return nil, err
 	}
-	codec := cfg.Codec
-	if codec == nil {
-		codec = chunk.OffsetCodec{}
-	}
-	builder := chunk.NewBuilder(geom, codec)
+	builder := chunk.NewBuilder(geom, cfg.Codec)
 	coords := make([]int, len(a.dims))
 	for {
 		keys, measure, ok, err := facts.Next()

@@ -59,7 +59,9 @@ func (a *Array) Update(updates []CellUpdate) (*Array, error) {
 // locations to (chunk, offset) — the delta compactor, whose overlay is
 // stored by location. Same copy-on-write contract as Update; the
 // receiver must read base cells only (no overlay attached), or the
-// changes would fold over already-merged data.
+// changes would fold over already-merged data. On an adaptive store the
+// rewrite re-picks each touched chunk's codec, so compaction migrates
+// chunks whose density shifted to the now-smaller encoding.
 func (a *Array) ApplyChunkChanges(changes map[int][]chunk.CellChange) (*Array, error) {
 	if len(changes) == 0 {
 		return a, nil

@@ -186,6 +186,14 @@ func TestStorageTableSmallScale(t *testing.T) {
 		if r.ArrayBytes >= r.FactFileBytes {
 			t.Fatalf("%s: array %d >= fact file %d", r.Name, r.ArrayBytes, r.FactFileBytes)
 		}
+		// The per-codec breakdown must account for every encoded byte.
+		var codecBytes int64
+		for _, u := range r.Codecs {
+			codecBytes += u.EncodedBytes
+		}
+		if codecBytes != r.ArrayBytes {
+			t.Fatalf("%s: codec mix %v sums to %d, array %d", r.Name, r.Codecs, codecBytes, r.ArrayBytes)
+		}
 	}
 	var buf bytes.Buffer
 	WriteStorageTable(&buf, rows)
@@ -205,7 +213,7 @@ func TestCodecAblationSmallScale(t *testing.T) {
 	if err != nil {
 		t.Fatalf("CodecAblation: %v", err)
 	}
-	if len(fig.Points) != 3 {
+	if len(fig.Points) != 5 {
 		t.Fatalf("points = %d", len(fig.Points))
 	}
 	sums := map[int64]bool{}

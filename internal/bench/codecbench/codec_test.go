@@ -1,0 +1,59 @@
+package codecbench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+// TestRunCodecSmall runs a scaled-down sweep end to end: every codec
+// answers Query 1 identically (RunCodec fails otherwise), the adaptive
+// store is never larger than the smallest pickable forced codec, and
+// the snapshot round-trips.
+func TestRunCodecSmall(t *testing.T) {
+	opts := CodecOptions{Scale: 0.25, Densities: []float64{0.05, 0.8}}
+	fig, err := RunCodec(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != len(opts.Densities)*len(Modes) {
+		t.Fatalf("points = %d, want %d", len(fig.Points), len(opts.Densities)*len(Modes))
+	}
+	for _, p := range fig.Points {
+		if p.Cells == 0 || p.EncodedBytes == 0 || p.DecodeNS == 0 || p.QueryNS == 0 {
+			t.Fatalf("incomplete point %+v", p)
+		}
+		if p.Codec != chunk.CodecAdaptive && p.Picked != p.Codec {
+			t.Fatalf("forced %s tagged %s", p.Codec, p.Picked)
+		}
+	}
+	for _, b := range fig.Bands {
+		// The selector does exact size arithmetic over the same
+		// candidates, so it can never lose to a forced pickable codec.
+		if b.AdaptiveBytes > b.SmallestBytes {
+			t.Fatalf("adaptive %d B > smallest forced %s %d B at density %.2f",
+				b.AdaptiveBytes, b.SmallestForced, b.SmallestBytes, b.Density)
+		}
+	}
+
+	var table strings.Builder
+	WriteCodecTable(&table, fig)
+	if !strings.Contains(table.String(), "codec sweep") {
+		t.Fatalf("table output:\n%s", table.String())
+	}
+	dir := t.TempDir()
+	path, err := WriteCodecSnapshot(dir, fig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_codec.json" {
+		t.Fatalf("snapshot path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(data), "\"bands\"") {
+		t.Fatalf("snapshot = (%q, %v)", data, err)
+	}
+}

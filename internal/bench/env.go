@@ -33,7 +33,7 @@ import (
 type EnvConfig struct {
 	Data            datagen.Config
 	ChunkShape      []int  // nil = chunk.DefaultChunkShape
-	Codec           string // "" = chunk-offset
+	Codec           string // "" = adaptive per-chunk selection
 	BuildBitmaps    bool
 	BufferPoolBytes int // 0 = the paper's 16 MB
 	// Replacer selects the buffer pool replacement policy ("" = lru).

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
@@ -19,6 +20,25 @@ func FormatBytes(n int64) string {
 	default:
 		return fmt.Sprintf("%d B", n)
 	}
+}
+
+// FormatCodecMix renders a per-codec usage map as
+// "codec:chunks/bytes" terms in stable (sorted) codec order.
+func FormatCodecMix(codecs map[string]CodecUsage) string {
+	if len(codecs) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(codecs))
+	for name := range codecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		u := codecs[name]
+		parts = append(parts, fmt.Sprintf("%s:%d/%s", name, u.Chunks, FormatBytes(u.EncodedBytes)))
+	}
+	return strings.Join(parts, " ")
 }
 
 // formatDuration renders a duration with benchmark-friendly precision.
@@ -111,7 +131,7 @@ func WriteFigure(w io.Writer, fig *Figure) {
 // WriteStorageTable renders the storage comparison.
 func WriteStorageTable(w io.Writer, rows []StorageRow) {
 	fmt.Fprintln(w, "== storage: compressed array vs fact file (§3.2/§5.5.1) ==")
-	out := [][]string{{"data set", "density", "facts", "fact file", "array(offset)", "array/fact", "dense array", "chunks"}}
+	out := [][]string{{"data set", "density", "facts", "fact file", "array(adaptive)", "array/fact", "dense array", "chunks", "codec mix"}}
 	for _, r := range rows {
 		out = append(out, []string{
 			r.Name,
@@ -122,6 +142,7 @@ func WriteStorageTable(w io.Writer, rows []StorageRow) {
 			fmt.Sprintf("%.2f", float64(r.ArrayBytes)/float64(r.FactFileBytes)),
 			FormatBytes(r.DenseBytes),
 			fmt.Sprintf("%d", r.Chunks),
+			FormatCodecMix(r.Codecs),
 		})
 	}
 	writeAligned(w, out)
@@ -169,10 +190,11 @@ func WriteFigureCSV(w io.Writer, fig *Figure) {
 // WriteStorageCSV renders the storage table as CSV.
 func WriteStorageCSV(w io.Writer, rows []StorageRow) {
 	fmt.Fprintln(w, "# storage")
-	fmt.Fprintln(w, "name,density,facts,fact_file_bytes,array_bytes,dense_bytes,chunks")
+	fmt.Fprintln(w, "name,density,facts,fact_file_bytes,array_bytes,dense_bytes,chunks,codec_mix")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%q,%.6f,%d,%d,%d,%d,%d\n",
-			r.Name, r.Density, r.Facts, r.FactFileBytes, r.ArrayBytes, r.DenseBytes, r.Chunks)
+		fmt.Fprintf(w, "%q,%.6f,%d,%d,%d,%d,%d,%q\n",
+			r.Name, r.Density, r.Facts, r.FactFileBytes, r.ArrayBytes, r.DenseBytes, r.Chunks,
+			FormatCodecMix(r.Codecs))
 	}
 	fmt.Fprintln(w)
 }

@@ -19,9 +19,18 @@ type StorageRow struct {
 	Facts         int64   // valid cells / fact tuples
 	Density       float64 // Facts / Cells
 	FactFileBytes int64   // relational fact file (pages)
-	ArrayBytes    int64   // chunk-offset array, encoded payload
+	ArrayBytes    int64   // adaptive array, encoded payload
 	DenseBytes    int64   // uncompressed array estimate (8 B/cell + validity)
 	Chunks        int
+	// Codecs breaks the encoded payload down by the per-chunk codec
+	// the adaptive builder picked.
+	Codecs map[string]CodecUsage
+}
+
+// CodecUsage is one codec's share of an array's chunks and payload.
+type CodecUsage struct {
+	Chunks       int64
+	EncodedBytes int64
 }
 
 // StorageTable reproduces the storage comparison: the compressed array
@@ -43,6 +52,10 @@ func (h *Harness) StorageTable() ([]StorageRow, error) {
 			return err
 		}
 		g := arr.Geometry()
+		codecs := make(map[string]CodecUsage)
+		for name, st := range arr.Store().CodecStats() {
+			codecs[name] = CodecUsage{Chunks: st.Chunks, EncodedBytes: st.EncodedBytes}
+		}
 		rows = append(rows, StorageRow{
 			Name:          name,
 			Cells:         g.NumCells(),
@@ -52,6 +65,7 @@ func (h *Harness) StorageTable() ([]StorageRow, error) {
 			ArrayBytes:    arr.Store().EncodedBytes(),
 			DenseBytes:    g.NumCells()*8 + g.NumCells()/8,
 			Chunks:        g.NumChunks(),
+			Codecs:        codecs,
 		})
 		return nil
 	}
@@ -73,8 +87,9 @@ func (h *Harness) StorageTable() ([]StorageRow, error) {
 	return rows, nil
 }
 
-// CodecAblation compares the three chunk codecs (chunk-offset vs LZW vs
-// dense) on storage size and Query 1 time — the §3.3 design choice.
+// CodecAblation compares the chunk codecs (and the adaptive per-chunk
+// selector) on storage size and Query 1 time — the §3.3 design choice.
+// The density x codec crossover sweep is olapbench -fig codec.
 func (h *Harness) CodecAblation() (*Figure, error) {
 	fig := &Figure{
 		ID:     "ablation-codec",
@@ -83,7 +98,7 @@ func (h *Harness) CodecAblation() (*Figure, error) {
 		Series: []string{"array"},
 	}
 	data := scaleData(datagen.DataSet2(0.05, h.Opts.seed()), h.Opts.scale())
-	for i, codec := range []string{chunk.CodecOffset, chunk.CodecLZW, chunk.CodecDense} {
+	for i, codec := range []string{chunk.CodecAdaptive, chunk.CodecOffset, chunk.CodecDiffSeq, chunk.CodecLZW, chunk.CodecDense} {
 		env, err := h.env(EnvConfig{Data: data, Codec: codec})
 		if err != nil {
 			return nil, err

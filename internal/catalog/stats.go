@@ -51,6 +51,24 @@ type ArrayStats struct {
 	EncodedBytes int64 `json:"encoded_bytes"`
 	// Pages is the chunk store footprint in pages.
 	Pages int64 `json:"pages"`
+	// Codec is the store's codec mode: a forced codec name, or
+	// "adaptive" for per-chunk selection. Empty in stats collected
+	// before codec modes existed.
+	Codec string `json:"codec,omitempty"`
+	// FormatVersion is the chunk-store directory format (1 = legacy
+	// store-wide codec, 2 = per-chunk codec tags). Zero in older stats.
+	FormatVersion int `json:"format_version,omitempty"`
+	// Codecs breaks the encoded payload down by chunk codec; nil in
+	// older stats.
+	Codecs map[string]CodecStats `json:"codecs,omitempty"`
+}
+
+// CodecStats describes the chunks one codec encodes within a store.
+type CodecStats struct {
+	// Chunks is the number of non-empty chunks tagged with this codec.
+	Chunks int64 `json:"chunks"`
+	// EncodedBytes is their combined compressed payload.
+	EncodedBytes int64 `json:"encoded_bytes"`
 }
 
 // BitmapIndexStats describes one bitmap join index.

@@ -44,7 +44,9 @@ type Codec interface {
 	DecodeAlloc(data []byte, capacity int, alloc CellAllocator) ([]Cell, error)
 }
 
-// CodecByName returns the codec registered under name.
+// CodecByName returns the codec registered under name. CodecAdaptive is
+// not a codec — it is the builder mode that picks one per chunk — so it
+// is rejected here; configuration surfaces map it to a nil Codec.
 func CodecByName(name string) (Codec, error) {
 	switch name {
 	case CodecOffset:
@@ -53,6 +55,8 @@ func CodecByName(name string) (Codec, error) {
 		return DenseCodec{}, nil
 	case CodecLZW:
 		return LZWCodec{}, nil
+	case CodecDiffSeq:
+		return DiffSeqCodec{}, nil
 	default:
 		return nil, fmt.Errorf("chunk: unknown codec %q", name)
 	}
@@ -60,10 +64,37 @@ func CodecByName(name string) (Codec, error) {
 
 // Codec names.
 const (
-	CodecOffset = "chunk-offset"
-	CodecDense  = "dense"
-	CodecLZW    = "lzw"
+	CodecOffset  = "chunk-offset"
+	CodecDense   = "dense"
+	CodecLZW     = "lzw"
+	CodecDiffSeq = "diff-seq"
+	// CodecAdaptive is the builder mode that picks a codec per chunk by
+	// exact size arithmetic; it appears in store metadata and
+	// configuration, never as a Codec value.
+	CodecAdaptive = "adaptive"
 )
+
+// codecTable maps the per-chunk codec IDs persisted in the v2 store
+// directory to codecs. Append only — the IDs are on disk.
+var codecTable = []Codec{OffsetCodec{}, DenseCodec{}, LZWCodec{}, DiffSeqCodec{}}
+
+// codecID returns c's persisted ID.
+func codecID(c Codec) uint8 {
+	for i, t := range codecTable {
+		if t.Name() == c.Name() {
+			return uint8(i)
+		}
+	}
+	panic(fmt.Sprintf("chunk: codec %q has no persisted ID", c.Name()))
+}
+
+// codecByID resolves a persisted per-chunk codec ID.
+func codecByID(id uint64) (Codec, error) {
+	if id >= uint64(len(codecTable)) {
+		return nil, fmt.Errorf("chunk: unknown codec id %d", id)
+	}
+	return codecTable[id], nil
+}
 
 // checkSorted validates Encode's input contract.
 func checkSorted(cells []Cell, capacity int) error {
@@ -246,13 +277,27 @@ func (c LZWCodec) Decode(data []byte, capacity int) ([]Cell, error) {
 	return c.DecodeAlloc(data, capacity, nil)
 }
 
-// DecodeAlloc implements Codec. The intermediate dense image stays on
-// the GC heap (it is transient); only the decoded cells use alloc.
+// DecodeAlloc implements Codec. The decoded cell slice comes from alloc
+// like every other codec; only the intermediate dense image lives on the
+// GC heap. It is read at its exact expected size (a valid stream is
+// always bmBytes+capacity*8 bytes), never with io.ReadAll, so corrupt
+// input cannot balloon the decode — any overrun or shortfall is an
+// error.
 func (LZWCodec) DecodeAlloc(data []byte, capacity int, alloc CellAllocator) ([]Cell, error) {
 	r := lzw.NewReader(bytes.NewReader(data), lzw.LSB, 8)
 	defer r.Close()
-	dense, err := io.ReadAll(r)
-	if err != nil {
+	want := (capacity+7)/8 + capacity*8
+	dense := make([]byte, want)
+	if _, err := io.ReadFull(r, dense); err != nil {
+		return nil, fmt.Errorf("chunk: lzw decode: %w", err)
+	}
+	var trailer [1]byte
+	switch _, err := io.ReadFull(r, trailer[:]); err {
+	case io.EOF:
+		// Exactly the dense image: the valid case.
+	case nil:
+		return nil, fmt.Errorf("chunk: lzw stream longer than the %d-byte dense image", want)
+	default:
 		return nil, fmt.Errorf("chunk: lzw decode: %w", err)
 	}
 	return DenseCodec{}.DecodeAlloc(dense, capacity, alloc)

@@ -8,7 +8,7 @@ import (
 )
 
 func allCodecs() []Codec {
-	return []Codec{OffsetCodec{}, DenseCodec{}, LZWCodec{}}
+	return []Codec{OffsetCodec{}, DenseCodec{}, LZWCodec{}, DiffSeqCodec{}}
 }
 
 func randomCells(rng *rand.Rand, capacity int, density float64) []Cell {
@@ -58,7 +58,7 @@ func TestCodecRoundtripAll(t *testing.T) {
 }
 
 func TestCodecByName(t *testing.T) {
-	for _, name := range []string{CodecOffset, CodecDense, CodecLZW} {
+	for _, name := range []string{CodecOffset, CodecDense, CodecLZW, CodecDiffSeq} {
 		c, err := CodecByName(name)
 		if err != nil || c.Name() != name {
 			t.Fatalf("CodecByName(%q) = (%v, %v)", name, c, err)
@@ -95,6 +95,55 @@ func TestCodecDecodeRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := (LZWCodec{}).Decode([]byte{0xFF, 0x00, 0x01}, 100); err == nil {
 		t.Error("lzw codec accepted garbage")
+	}
+	// Diff-seq: run count beyond capacity, truncated directory, empty
+	// run, non-maximal adjacent runs, run past capacity, value shortfall.
+	for _, bad := range [][]byte{
+		{200},                       // 200 runs > capacity 100
+		{5, 1, 2},                   // directory truncated
+		{1, 0, 0},                   // empty run
+		{2, 0, 2, 0, 2},             // second run with gap 0 (not maximal)
+		{1, 90, 20},                 // run ends at 110 > capacity
+		{1, 0, 2, 1, 2, 3, 4},       // 2 cells but <16 value bytes
+		{0, 9, 9, 9, 9, 9, 9, 9, 9}, // 0 runs but trailing value bytes
+	} {
+		if _, err := (DiffSeqCodec{}).Decode(bad, 100); err == nil {
+			t.Errorf("diff-seq codec accepted corrupt input %v", bad)
+		}
+	}
+}
+
+// Diff-seq must beat chunk-offset on clustered/dense chunks and lose to
+// it on scattered-sparse ones — the crossover pickCodec selects on.
+func TestDiffSeqOffsetCrossover(t *testing.T) {
+	const capacity = 100_000 // 3-byte difference entries, like a paper-sized chunk
+	rng := rand.New(rand.NewSource(17))
+	sparse := randomCells(rng, capacity, 0.01)
+	dense := randomCells(rng, capacity, 0.9)
+	sizeOf := func(c Codec, cells []Cell) int {
+		enc, err := c.Encode(cells, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(enc)
+	}
+	if d, o := sizeOf(DiffSeqCodec{}, sparse), sizeOf(OffsetCodec{}, sparse); d <= o {
+		t.Fatalf("1%% density: diff-seq %dB <= offset %dB; offset should win scattered-sparse", d, o)
+	}
+	if d, o := sizeOf(DiffSeqCodec{}, dense), sizeOf(OffsetCodec{}, dense); d >= o {
+		t.Fatalf("90%% density: diff-seq %dB >= offset %dB; diff-seq should win dense", d, o)
+	}
+	if got := pickCodec(sparse, capacity).Name(); got != CodecOffset {
+		t.Fatalf("pickCodec(sparse) = %s", got)
+	}
+	if got := pickCodec(dense, capacity).Name(); got != CodecDiffSeq {
+		t.Fatalf("pickCodec(dense) = %s", got)
+	}
+	// The estimator must agree byte-for-byte with the encoder.
+	for _, cells := range [][]Cell{sparse, dense, nil} {
+		if est, real := diffSeqSize(cells, capacity), sizeOf(DiffSeqCodec{}, cells); est != real {
+			t.Fatalf("diffSeqSize = %d, encoded = %d", est, real)
+		}
 	}
 }
 

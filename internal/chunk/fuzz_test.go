@@ -1,0 +1,183 @@
+package chunk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeedStores builds one adaptive (v2) and one forced-codec store and
+// returns their marshaled directories plus a hand-built v1 directory, so
+// the fuzzer starts from valid blobs of every format it must parse.
+func fuzzSeedStores(f *testing.F) [][]byte {
+	f.Helper()
+	bp := newStorePool(256)
+	g, err := NewGeometry([]int{40, 20}, []int{20, 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seeds [][]byte
+	for _, codec := range []Codec{nil, OffsetCodec{}, DenseCodec{}} {
+		b := NewBuilder(g, codec)
+		for i := 0; i < 8; i++ {
+			if err := b.AddAt(0, i*50, int64(i)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		for off := 0; off < 360; off++ {
+			if err := b.AddAt(1, off, int64(off)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		s, err := b.Write(bp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, s.marshalMeta())
+		if codec != nil {
+			seeds = append(seeds, marshalMetaV1(s, codec.Name()))
+		}
+	}
+	return seeds
+}
+
+// FuzzStoreDir throws arbitrary bytes at the store-directory parser. It
+// must never panic, and anything it accepts must be internally
+// consistent: a known version, a geometry, one entry per chunk, and
+// codec tags that resolve in the codec table.
+func FuzzStoreDir(f *testing.F) {
+	for _, seed := range fuzzSeedStores(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 2})
+	f.Add([]byte{0, 99})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := unmarshalStoreDir(data)
+		if err != nil {
+			return
+		}
+		if d.geom == nil {
+			t.Fatal("accepted directory with nil geometry")
+		}
+		if d.version != 1 && d.version != storeFormatVersion {
+			t.Fatalf("accepted directory with version %d", d.version)
+		}
+		if d.version == 1 && d.codec == nil {
+			t.Fatal("v1 directory parsed as adaptive")
+		}
+		if len(d.entries) != d.geom.NumChunks() {
+			t.Fatalf("%d entries for %d chunks", len(d.entries), d.geom.NumChunks())
+		}
+		for i, e := range d.entries {
+			if int(e.codec) >= len(codecTable) {
+				t.Fatalf("entry %d tagged with unknown codec %d", i, e.codec)
+			}
+		}
+	})
+}
+
+// FuzzCodecDecode feeds arbitrary payloads to every codec's decoder
+// (selected by the first input byte). Decoders must never panic and must
+// bound their allocations by the declared capacity; whatever they accept
+// must survive an encode/decode round trip unchanged.
+func FuzzCodecDecode(f *testing.F) {
+	codecs := allCodecs()
+	rng := rand.New(rand.NewSource(71))
+	for sel := range codecs {
+		for _, density := range []float64{0.02, 0.5, 1.0} {
+			const capacity = 600
+			cells := randomCells(rng, capacity, density)
+			enc, err := codecs[sel].Encode(cells, capacity)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(uint8(sel), uint16(capacity), enc)
+		}
+	}
+	f.Add(uint8(0), uint16(0), []byte{})
+	f.Add(uint8(3), uint16(100), []byte{200})
+	f.Fuzz(func(t *testing.T, sel uint8, capRaw uint16, data []byte) {
+		codec := codecs[int(sel)%len(codecs)]
+		capacity := int(capRaw)%4096 + 1
+		cells, err := codec.Decode(data, capacity)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must describe a valid chunk: sorted unique
+		// offsets inside the capacity.
+		for i, c := range cells {
+			if int(c.Offset) >= capacity {
+				t.Fatalf("%s: decoded offset %d >= capacity %d", codec.Name(), c.Offset, capacity)
+			}
+			if i > 0 && cells[i-1].Offset >= c.Offset {
+				t.Fatalf("%s: decoded offsets not strictly sorted at %d", codec.Name(), i)
+			}
+		}
+		// The arena path must agree with the heap path byte for byte.
+		viaAlloc, err := codec.DecodeAlloc(data, capacity, func(n int) []Cell { return make([]Cell, n) })
+		if err != nil || !cellsEqual(viaAlloc, cells) {
+			t.Fatalf("%s: DecodeAlloc diverges from Decode: %v", codec.Name(), err)
+		}
+		// Round trip: re-encoding what was accepted reproduces it.
+		enc, err := codec.Encode(cells, capacity)
+		if err != nil {
+			t.Fatalf("%s: re-encode of accepted cells failed: %v", codec.Name(), err)
+		}
+		again, err := codec.Decode(enc, capacity)
+		if err != nil || !cellsEqual(again, cells) {
+			t.Fatalf("%s: round trip after accept diverges: %v", codec.Name(), err)
+		}
+	})
+}
+
+// The v1 fallback and the v2 parser must agree on the fields they share.
+func TestStoreDirV1V2Agree(t *testing.T) {
+	bp := newStorePool(256)
+	g, err := NewGeometry([]int{24, 10}, []int{8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := buildRandomStore(t, bp, g, DenseCodec{}, 0.4, 7)
+	v2, err := unmarshalStoreDir(s.marshalMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := unmarshalStoreDir(marshalMetaV1(s, CodecDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.version != 2 || v1.version != 1 {
+		t.Fatalf("versions = %d, %d", v2.version, v1.version)
+	}
+	if v1.totalPages != v2.totalPages || v1.validCells != v2.validCells {
+		t.Fatalf("totals diverge: %d/%d vs %d/%d",
+			v1.totalPages, v1.validCells, v2.totalPages, v2.validCells)
+	}
+	if len(v1.entries) != len(v2.entries) {
+		t.Fatalf("entry counts diverge: %d vs %d", len(v1.entries), len(v2.entries))
+	}
+	for i := range v1.entries {
+		if v1.entries[i] != v2.entries[i] {
+			t.Fatalf("entry %d diverges: %+v vs %+v", i, v1.entries[i], v2.entries[i])
+		}
+	}
+	if !bytes.Equal(v1.geom.Marshal(), v2.geom.Marshal()) {
+		t.Fatal("geometries diverge")
+	}
+}
+
+// Guard against the sentinel colliding with a real v1 blob: geometry
+// marshaling must never start with a zero dimension count.
+func TestV1BlobNeverStartsWithZero(t *testing.T) {
+	g, err := NewGeometry([]int{3}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := binary.Uvarint(g.Marshal())
+	if first == 0 {
+		t.Fatal("geometry blob starts with 0; v2 sentinel is ambiguous")
+	}
+}

@@ -238,6 +238,12 @@ func UnmarshalGeometry(data []byte) (*Geometry, int, error) {
 		return nil, 0, fmt.Errorf("chunk: corrupt geometry header")
 	}
 	used := sz
+	// Each dimension contributes at least two bytes (dim + chunk side),
+	// so a header claiming more dimensions than the remaining bytes could
+	// hold is corrupt — reject it before allocating.
+	if n > uint64(len(data)-used)/2 {
+		return nil, 0, fmt.Errorf("chunk: geometry claims %d dimensions in %d bytes", n, len(data)-used)
+	}
 	dims := make([]int, n)
 	shape := make([]int, n)
 	for i := range dims {

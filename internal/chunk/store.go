@@ -15,13 +15,16 @@ import (
 var ErrStopScan = errors.New("chunk: stop scan")
 
 // chunkEntry is the per-chunk metadata: the blob holding the encoded
-// chunk, its encoded length, and its valid-cell count. The paper (§3.3)
-// keeps exactly this: "we use some meta data to hold the OID and the
-// length of each chunk".
+// chunk, its encoded length, its valid-cell count, and the ID of the
+// codec that encoded it. The paper (§3.3) keeps exactly this directory
+// ("we use some meta data to hold the OID and the length of each
+// chunk"); the codec tag is the v2 addition that lets each chunk carry
+// the encoding the adaptive builder picked for it.
 type chunkEntry struct {
 	ref   storage.LOBRef
 	bytes uint64
 	cells uint64
+	codec uint8
 }
 
 // DecodedCache is an optional process-level cache of decoded chunks a
@@ -42,12 +45,24 @@ type DecodedCache interface {
 // a metadata directory blob. A Store is immutable once built; rebuilding
 // writes a new Store.
 type Store struct {
-	bp      *storage.BufferPool
-	lob     *storage.LOBStore
-	geom    *Geometry
+	bp   *storage.BufferPool
+	lob  *storage.LOBStore
+	geom *Geometry
+	// codec is the forced store-wide codec, or nil for an adaptive
+	// store whose chunks carry their own tags. Reads always go through
+	// each entry's tag; codec only governs how updates re-encode.
 	codec   Codec
 	entries []chunkEntry
 	meta    storage.LOBRef
+
+	// version is the directory format the store was opened from (1 for
+	// legacy store-wide-codec directories, 2 for per-chunk tags). New
+	// directories are always written as v2.
+	version int
+	// recodec, for adaptive stores, lets Update re-pick each rewritten
+	// chunk's codec as its density shifts (the default). Cleared via
+	// SetRecodec, rewritten chunks keep their existing tags.
+	recodec bool
 
 	totalPages int64
 	validCells int64
@@ -95,7 +110,9 @@ type Builder struct {
 	n     int64
 }
 
-// NewBuilder creates a builder for the given geometry and codec.
+// NewBuilder creates a builder for the given geometry and codec. A nil
+// codec selects adaptive mode: each chunk is trial-sized under every
+// candidate codec at write time and tagged with the winner.
 func NewBuilder(geom *Geometry, codec Codec) *Builder {
 	return &Builder{geom: geom, codec: codec, cells: make(map[int][]Cell)}
 }
@@ -141,6 +158,8 @@ func (b *Builder) Write(bp *storage.BufferPool) (*Store, error) {
 		geom:       b.geom,
 		codec:      b.codec,
 		entries:    make([]chunkEntry, b.geom.NumChunks()),
+		version:    storeFormatVersion,
+		recodec:    true,
 		cacheChunk: -1,
 	}
 	for cn := 0; cn < b.geom.NumChunks(); cn++ {
@@ -155,7 +174,11 @@ func (b *Builder) Write(bp *storage.BufferPool) (*Store, error) {
 				return nil, fmt.Errorf("chunk: duplicate cell at chunk %d offset %d", cn, cells[i].Offset)
 			}
 		}
-		enc, err := b.codec.Encode(cells, b.geom.ChunkCapacity())
+		codec := b.codec
+		if codec == nil {
+			codec = pickCodec(cells, b.geom.ChunkCapacity())
+		}
+		enc, err := codec.Encode(cells, b.geom.ChunkCapacity())
 		if err != nil {
 			return nil, fmt.Errorf("chunk: encode chunk %d: %w", cn, err)
 		}
@@ -163,7 +186,7 @@ func (b *Builder) Write(bp *storage.BufferPool) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chunk: write chunk %d: %w", cn, err)
 		}
-		s.entries[cn] = chunkEntry{ref: ref, bytes: uint64(len(enc)), cells: uint64(len(cells))}
+		s.entries[cn] = chunkEntry{ref: ref, bytes: uint64(len(enc)), cells: uint64(len(cells)), codec: codecID(codec)}
 		s.totalPages += int64(pages)
 		s.validCells += int64(len(cells))
 	}
@@ -190,10 +213,29 @@ func (b *Builder) Write(bp *storage.BufferPool) (*Store, error) {
 	return s, nil
 }
 
-// marshalMeta serializes the store directory.
+// storeFormatVersion is the directory format this build writes.
+// v1: geometry | codec name | totals | per-chunk {ref, bytes, cells},
+// with one store-wide codec. v2 prefixes a 0 sentinel (a v1 directory
+// starts with its geometry's dimension count, which is never 0) and a
+// version, names the codec mode ("adaptive" or a forced codec), and
+// tags every chunk entry with its own codec ID.
+const storeFormatVersion = 2
+
+// modeName is the codec mode recorded in the directory: the forced
+// codec's name, or CodecAdaptive for per-chunk selection.
+func (s *Store) modeName() string {
+	if s.codec == nil {
+		return CodecAdaptive
+	}
+	return s.codec.Name()
+}
+
+// marshalMeta serializes the store directory (always format v2).
 func (s *Store) marshalMeta() []byte {
-	out := s.geom.Marshal()
-	name := s.codec.Name()
+	out := binary.AppendUvarint(nil, 0) // v2 sentinel
+	out = binary.AppendUvarint(out, storeFormatVersion)
+	out = append(out, s.geom.Marshal()...)
+	name := s.modeName()
 	out = binary.AppendUvarint(out, uint64(len(name)))
 	out = append(out, name...)
 	out = binary.AppendUvarint(out, uint64(s.totalPages))
@@ -202,54 +244,90 @@ func (s *Store) marshalMeta() []byte {
 		out = binary.AppendUvarint(out, uint64(e.ref.First))
 		out = binary.AppendUvarint(out, e.bytes)
 		out = binary.AppendUvarint(out, e.cells)
+		out = binary.AppendUvarint(out, uint64(e.codec))
 	}
 	return out
 }
 
-// Open loads a Store from its metadata blob reference.
-func Open(bp *storage.BufferPool, meta storage.LOBRef) (*Store, error) {
-	lob := storage.NewLOBStore(bp)
-	data, err := lob.Read(meta)
-	if err != nil {
-		return nil, err
+// storeDir is a parsed store directory.
+type storeDir struct {
+	version    int
+	geom       *Geometry
+	codec      Codec // nil = adaptive
+	totalPages int64
+	validCells int64
+	entries    []chunkEntry
+}
+
+// unmarshalStoreDir parses a store directory blob, either format. It is
+// the pure half of Open, separated so corrupt-input handling can be
+// fuzzed without a buffer pool.
+func unmarshalStoreDir(data []byte) (*storeDir, error) {
+	first, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("chunk: corrupt store directory header")
+	}
+	d := &storeDir{version: 1}
+	if first == 0 {
+		// Versioned directory: a v1 blob starts with its dimension
+		// count, which NewGeometry guarantees is never 0.
+		data = data[sz:]
+		v, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("chunk: corrupt store format version")
+		}
+		if v != storeFormatVersion {
+			return nil, fmt.Errorf("chunk: store directory format v%d (this build reads v1 and v%d)", v, storeFormatVersion)
+		}
+		d.version = int(v)
+		data = data[sz:]
 	}
 	geom, used, err := UnmarshalGeometry(data)
 	if err != nil {
 		return nil, err
 	}
+	d.geom = geom
 	data = data[used:]
 	nameLen, sz := binary.Uvarint(data)
 	if sz <= 0 || uint64(len(data)-sz) < nameLen {
 		return nil, fmt.Errorf("chunk: corrupt codec name")
 	}
 	data = data[sz:]
-	codec, err := CodecByName(string(data[:nameLen]))
-	if err != nil {
-		return nil, err
+	name := string(data[:nameLen])
+	if d.version >= 2 && name == CodecAdaptive {
+		d.codec = nil
+	} else {
+		if d.codec, err = CodecByName(name); err != nil {
+			return nil, err
+		}
 	}
 	data = data[nameLen:]
 	totalPages, sz := binary.Uvarint(data)
 	if sz <= 0 {
 		return nil, fmt.Errorf("chunk: corrupt page count")
 	}
+	d.totalPages = int64(totalPages)
 	data = data[sz:]
 	validCells, sz := binary.Uvarint(data)
 	if sz <= 0 {
 		return nil, fmt.Errorf("chunk: corrupt cell count")
 	}
+	d.validCells = int64(validCells)
 	data = data[sz:]
-	s := &Store{
-		bp:         bp,
-		lob:        lob,
-		geom:       geom,
-		codec:      codec,
-		entries:    make([]chunkEntry, geom.NumChunks()),
-		meta:       meta,
-		totalPages: int64(totalPages),
-		validCells: int64(validCells),
-		cacheChunk: -1,
+	// Bound the directory allocation by the bytes actually present: every
+	// entry takes at least three uvarints (four with a codec tag), so a
+	// blob whose geometry claims more chunks than its tail could possibly
+	// encode is corrupt, not a request for a huge allocation.
+	minEntry := uint64(3)
+	if d.version >= 2 {
+		minEntry = 4
 	}
-	for i := range s.entries {
+	if geom.NumChunks() <= 0 || uint64(geom.NumChunks()) > uint64(len(data))/minEntry {
+		return nil, fmt.Errorf("chunk: directory truncated: %d chunks, %d bytes of entries",
+			geom.NumChunks(), len(data))
+	}
+	d.entries = make([]chunkEntry, geom.NumChunks())
+	for i := range d.entries {
 		ref, sz := binary.Uvarint(data)
 		if sz <= 0 {
 			return nil, fmt.Errorf("chunk: corrupt entry %d", i)
@@ -265,9 +343,54 @@ func Open(bp *storage.BufferPool, meta storage.LOBRef) (*Store, error) {
 			return nil, fmt.Errorf("chunk: corrupt entry %d cells", i)
 		}
 		data = data[sz:]
-		s.entries[i] = chunkEntry{ref: storage.LOBRef{First: storage.PageID(ref)}, bytes: nbytes, cells: ncells}
+		e := chunkEntry{ref: storage.LOBRef{First: storage.PageID(ref)}, bytes: nbytes, cells: ncells}
+		if d.version >= 2 {
+			id, sz := binary.Uvarint(data)
+			if sz <= 0 {
+				return nil, fmt.Errorf("chunk: corrupt entry %d codec", i)
+			}
+			data = data[sz:]
+			if _, err := codecByID(id); err != nil {
+				return nil, fmt.Errorf("chunk: entry %d: %w", i, err)
+			}
+			e.codec = uint8(id)
+		} else {
+			// v1 directories encode one store-wide codec; propagate it
+			// into every entry's tag so readers have one code path.
+			e.codec = codecID(d.codec)
+		}
+		d.entries[i] = e
 	}
-	return s, nil
+	return d, nil
+}
+
+// Open loads a Store from its metadata blob reference. Both directory
+// formats open; a v1 store reads exactly as before (its store-wide codec
+// becomes every chunk's tag) and is migrated to v2 by its first
+// copy-on-write Update.
+func Open(bp *storage.BufferPool, meta storage.LOBRef) (*Store, error) {
+	lob := storage.NewLOBStore(bp)
+	data, err := lob.Read(meta)
+	if err != nil {
+		return nil, err
+	}
+	d, err := unmarshalStoreDir(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		bp:         bp,
+		lob:        lob,
+		geom:       d.geom,
+		codec:      d.codec,
+		entries:    d.entries,
+		meta:       meta,
+		version:    d.version,
+		recodec:    true,
+		totalPages: d.totalPages,
+		validCells: d.validCells,
+		cacheChunk: -1,
+	}, nil
 }
 
 // Meta returns the metadata blob reference identifying this store.
@@ -276,8 +399,55 @@ func (s *Store) Meta() storage.LOBRef { return s.meta }
 // Geometry returns the store's geometry.
 func (s *Store) Geometry() *Geometry { return s.geom }
 
-// CodecName returns the codec used to encode chunks.
-func (s *Store) CodecName() string { return s.codec.Name() }
+// CodecName returns the store's codec mode: the forced codec's name, or
+// "adaptive" when each chunk carries its own tag.
+func (s *Store) CodecName() string { return s.modeName() }
+
+// Adaptive reports whether codec selection is per-chunk.
+func (s *Store) Adaptive() bool { return s.codec == nil }
+
+// FormatVersion reports the directory format the store was opened from
+// (1 or 2); stores built by this version always write v2.
+func (s *Store) FormatVersion() int { return s.version }
+
+// SetRecodec controls whether copy-on-write updates of an adaptive store
+// re-pick each rewritten chunk's codec (the default) or keep the
+// existing tags. It has no effect on forced-codec stores.
+func (s *Store) SetRecodec(on bool) { s.recodec = on }
+
+// entryCodec returns the codec that encoded the given chunk.
+func (s *Store) entryCodec(cn int) Codec { return codecTable[s.entries[cn].codec] }
+
+// ChunkCodecName returns the per-chunk codec tag, or "" for an empty
+// chunk.
+func (s *Store) ChunkCodecName(cn int) string {
+	if cn < 0 || cn >= len(s.entries) || !s.entries[cn].ref.Valid() {
+		return ""
+	}
+	return s.entryCodec(cn).Name()
+}
+
+// CodecStat aggregates the chunks one codec encoded.
+type CodecStat struct {
+	Chunks       int64
+	EncodedBytes int64
+}
+
+// CodecStats breaks the store down by per-chunk codec tag — the
+// planner's and the metrics endpoint's view of the codec mix.
+func (s *Store) CodecStats() map[string]CodecStat {
+	out := make(map[string]CodecStat)
+	for cn, e := range s.entries {
+		if !e.ref.Valid() {
+			continue
+		}
+		st := out[s.entryCodec(cn).Name()]
+		st.Chunks++
+		st.EncodedBytes += int64(e.bytes)
+		out[s.entryCodec(cn).Name()] = st
+	}
+	return out
+}
 
 // NumValidCells reports the number of stored (valid) cells.
 func (s *Store) NumValidCells() int64 { return s.validCells }
@@ -395,7 +565,7 @@ func (s *Store) ReadChunk(chunkNum int) ([]Cell, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chunk: read chunk %d: %w", chunkNum, err)
 		}
-		cells, err = s.codec.Decode(data, s.geom.ChunkCapacity())
+		cells, err = s.entryCodec(chunkNum).Decode(data, s.geom.ChunkCapacity())
 		if err != nil {
 			return nil, fmt.Errorf("chunk: decode chunk %d: %w", chunkNum, err)
 		}
@@ -503,17 +673,18 @@ func (s *Store) readChunkScratch(cn int) ([]Cell, error) {
 			return nil, fmt.Errorf("chunk: read chunk %d: %w", cn, err)
 		}
 		s.scratchEnc = data
+		codec := s.entryCodec(cn)
 		if s.scratchAlloc != nil {
 			// Arena-backed scratch: grows from the arena on the first chunks,
 			// then reuses the high-water slice — zero allocations once warm.
-			cells, err = s.codec.DecodeAlloc(data, s.geom.ChunkCapacity(), s.scratchAlloc)
-		} else if oc, ok := s.codec.(OffsetCodec); ok {
+			cells, err = codec.DecodeAlloc(data, s.geom.ChunkCapacity(), s.scratchAlloc)
+		} else if oc, ok := codec.(OffsetCodec); ok {
 			cells, err = oc.DecodeInto(data, s.geom.ChunkCapacity(), s.scratchCells)
 			if err == nil {
 				s.scratchCells = cells
 			}
 		} else {
-			cells, err = s.codec.Decode(data, s.geom.ChunkCapacity())
+			cells, err = codec.Decode(data, s.geom.ChunkCapacity())
 		}
 		if err != nil {
 			return nil, fmt.Errorf("chunk: decode chunk %d: %w", cn, err)

@@ -1,0 +1,243 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// buildMixedStore writes an adaptive store whose chunk 0 is
+// scattered-sparse (chunk-offset territory) and chunk 1 is a dense run
+// (diff-seq territory). Capacity 400 keeps difference entries at 2
+// bytes, so a scattered cell costs more under diff-seq than under the
+// 12-byte offset pairs.
+func buildMixedStore(t *testing.T, bp *storage.BufferPool) (*Store, *Geometry) {
+	t.Helper()
+	g, err := NewGeometry([]int{40, 20}, []int{20, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(g, nil)
+	for i := 0; i < 8; i++ {
+		if err := b.AddAt(0, i*50, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for off := 0; off < 360; off++ {
+		if err := b.AddAt(1, off, int64(off)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := b.Write(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func readAll(t *testing.T, s *Store) map[int][]Cell {
+	t.Helper()
+	out := map[int][]Cell{}
+	for cn := 0; cn < s.Geometry().NumChunks(); cn++ {
+		cells, err := s.ReadChunk(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[cn] = append([]Cell(nil), cells...)
+	}
+	return out
+}
+
+func TestAdaptiveStoreRoundtrip(t *testing.T) {
+	bp := newStorePool(256)
+	s, _ := buildMixedStore(t, bp)
+
+	if !s.Adaptive() || s.CodecName() != CodecAdaptive {
+		t.Fatalf("Adaptive=%v CodecName=%q", s.Adaptive(), s.CodecName())
+	}
+	if s.FormatVersion() != 2 {
+		t.Fatalf("FormatVersion = %d", s.FormatVersion())
+	}
+	if got := s.ChunkCodecName(0); got != CodecOffset {
+		t.Fatalf("sparse chunk tagged %q, want %q", got, CodecOffset)
+	}
+	if got := s.ChunkCodecName(1); got != CodecDiffSeq {
+		t.Fatalf("dense chunk tagged %q, want %q", got, CodecDiffSeq)
+	}
+
+	want := readAll(t, s)
+	ro, err := Open(bp, s.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Adaptive() || ro.FormatVersion() != 2 {
+		t.Fatalf("reopened: Adaptive=%v FormatVersion=%d", ro.Adaptive(), ro.FormatVersion())
+	}
+	for cn, cells := range readAll(t, ro) {
+		if !cellsEqual(cells, want[cn]) {
+			t.Fatalf("chunk %d diverges after reopen", cn)
+		}
+		if ro.ChunkCodecName(cn) != s.ChunkCodecName(cn) {
+			t.Fatalf("chunk %d tag %q != %q", cn, ro.ChunkCodecName(cn), s.ChunkCodecName(cn))
+		}
+	}
+
+	// The per-codec breakdown must cover every non-empty chunk and sum
+	// to the store's encoded payload.
+	stats := ro.CodecStats()
+	var chunks, bytes int64
+	for _, st := range stats {
+		chunks += st.Chunks
+		bytes += st.EncodedBytes
+	}
+	if chunks != 2 || bytes != ro.EncodedBytes() {
+		t.Fatalf("CodecStats sums to %d chunks / %d bytes (want 2 / %d): %v",
+			chunks, bytes, ro.EncodedBytes(), stats)
+	}
+	if stats[CodecOffset].Chunks != 1 || stats[CodecDiffSeq].Chunks != 1 {
+		t.Fatalf("CodecStats mix = %v", stats)
+	}
+}
+
+// marshalMetaV1 renders a store's directory in the legacy v1 layout:
+// geometry, one store-wide codec name, totals, and untagged entries. It
+// exists only to fabricate pre-v2 stores for the migration tests.
+func marshalMetaV1(s *Store, codecName string) []byte {
+	out := s.geom.Marshal()
+	out = binary.AppendUvarint(out, uint64(len(codecName)))
+	out = append(out, codecName...)
+	out = binary.AppendUvarint(out, uint64(s.totalPages))
+	out = binary.AppendUvarint(out, uint64(s.validCells))
+	for _, e := range s.entries {
+		out = binary.AppendUvarint(out, uint64(e.ref.First))
+		out = binary.AppendUvarint(out, e.bytes)
+		out = binary.AppendUvarint(out, e.cells)
+	}
+	return out
+}
+
+// A v1-format directory (store-wide codec, no per-chunk tags) must open
+// and read bit-identically, and its first copy-on-write update must
+// migrate it to a v2 directory.
+func TestV1StoreMigration(t *testing.T) {
+	bp := newStorePool(256)
+	g, err := NewGeometry([]int{24, 10}, []int{8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := buildRandomStore(t, bp, g, OffsetCodec{}, 0.3, 33)
+	want := readAll(t, s)
+
+	// Rewrite the directory blob in the legacy layout and open through it.
+	v1meta := marshalMetaV1(s, CodecOffset)
+	ref, _, err := storage.NewLOBStore(bp).Write(v1meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := Open(bp, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.FormatVersion() != 1 {
+		t.Fatalf("FormatVersion = %d, want 1", v1.FormatVersion())
+	}
+	if v1.Adaptive() || v1.CodecName() != CodecOffset {
+		t.Fatalf("v1 store: Adaptive=%v CodecName=%q", v1.Adaptive(), v1.CodecName())
+	}
+	for cn, cells := range readAll(t, v1) {
+		if !cellsEqual(cells, want[cn]) {
+			t.Fatalf("chunk %d: v1 open diverges from v2 open", cn)
+		}
+		if cn < g.NumChunks() && len(cells) > 0 && v1.ChunkCodecName(cn) != CodecOffset {
+			t.Fatalf("chunk %d inherited tag %q", cn, v1.ChunkCodecName(cn))
+		}
+	}
+
+	// Copy-on-write off the v1 snapshot writes a v2 directory.
+	upd, err := v1.Update(map[int][]CellChange{0: {{Offset: 0, Value: 42}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(bp, upd.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.FormatVersion() != 2 {
+		t.Fatalf("post-update FormatVersion = %d, want 2", reopened.FormatVersion())
+	}
+	if v, ok, err := reopened.Get([]int{0, 0}); err != nil || !ok || v != 42 {
+		t.Fatalf("migrated store Get = (%d, %v, %v)", v, ok, err)
+	}
+}
+
+// Copy-on-write updates of an adaptive store must re-pick the codec of
+// chunks whose density shifted — and keep tags frozen under
+// SetRecodec(false).
+func TestUpdateRecodesAdaptiveChunks(t *testing.T) {
+	bp := newStorePool(256)
+	s, _ := buildMixedStore(t, bp)
+	if got := s.ChunkCodecName(0); got != CodecOffset {
+		t.Fatalf("precondition: sparse chunk tagged %q", got)
+	}
+
+	// Drive chunk 0 dense: fill offsets 0..299.
+	fill := make([]CellChange, 0, 300)
+	for off := 0; off < 300; off++ {
+		fill = append(fill, CellChange{Offset: uint32(off), Value: int64(off)})
+	}
+	upd, err := s.Update(map[int][]CellChange{0: fill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := upd.ChunkCodecName(0); got != CodecDiffSeq {
+		t.Fatalf("densified chunk tagged %q, want %q", got, CodecDiffSeq)
+	}
+
+	// Delete most of it again: the re-pick must flip back to offset.
+	del := make([]CellChange, 0, 296)
+	for off := 0; off < 300; off++ {
+		if off%50 != 0 {
+			del = append(del, CellChange{Offset: uint32(off), Delete: true})
+		}
+	}
+	back, err := upd.Update(map[int][]CellChange{0: del})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.ChunkCodecName(0); got != CodecOffset {
+		t.Fatalf("sparsified chunk tagged %q, want %q", got, CodecOffset)
+	}
+
+	// Frozen tags: the same densifying update keeps chunk-offset.
+	s.SetRecodec(false)
+	frozen, err := s.Update(map[int][]CellChange{0: fill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frozen.ChunkCodecName(0); got != CodecOffset {
+		t.Fatalf("frozen chunk tagged %q, want %q", got, CodecOffset)
+	}
+
+	// Whatever the tag, contents must match a reference replay: the 8
+	// original cells sat at offsets {0, 50, ..., 350}; fill overwrites
+	// the six below 300, leaving the survivors at 300 and 350.
+	for _, st := range []*Store{upd, frozen} {
+		cells, err := st.ReadChunk(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint32]int64{300: 6, 350: 7}
+		for off := 0; off < 300; off++ {
+			want[uint32(off)] = int64(off)
+		}
+		if len(cells) != len(want) {
+			t.Fatalf("merged chunk has %d cells, want %d", len(cells), len(want))
+		}
+		for _, c := range cells {
+			if want[c.Offset] != c.Value {
+				t.Fatalf("offset %d = %d, want %d", c.Offset, c.Value, want[c.Offset])
+			}
+		}
+	}
+}

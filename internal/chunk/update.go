@@ -27,6 +27,8 @@ func (s *Store) Update(changes map[int][]CellChange) (*Store, error) {
 		geom:       s.geom,
 		codec:      s.codec,
 		entries:    append([]chunkEntry(nil), s.entries...),
+		version:    storeFormatVersion,
+		recodec:    s.recodec,
 		cacheChunk: -1,
 	}
 	for cn, chs := range changes {
@@ -45,7 +47,21 @@ func (s *Store) Update(changes map[int][]CellChange) (*Store, error) {
 			out.entries[cn] = chunkEntry{ref: storage.InvalidLOBRef}
 			continue
 		}
-		enc, err := s.codec.Encode(merged, s.geom.ChunkCapacity())
+		// A rewritten chunk's density may have shifted, so an adaptive
+		// store re-picks its codec here — this is the path that turns a
+		// chunk-offset chunk into a diff-seq chunk after ingest fills it
+		// in (and back, after deletes). With recodec off, or for a chunk
+		// that had no encoding yet, the existing tag (resp. a fresh
+		// pick) is used; forced stores always keep their codec.
+		codec := s.codec
+		if codec == nil {
+			if s.recodec || !s.entries[cn].ref.Valid() {
+				codec = pickCodec(merged, s.geom.ChunkCapacity())
+			} else {
+				codec = s.entryCodec(cn)
+			}
+		}
+		enc, err := codec.Encode(merged, s.geom.ChunkCapacity())
 		if err != nil {
 			return nil, fmt.Errorf("chunk: re-encode chunk %d: %w", cn, err)
 		}
@@ -53,7 +69,7 @@ func (s *Store) Update(changes map[int][]CellChange) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chunk: write chunk %d: %w", cn, err)
 		}
-		out.entries[cn] = chunkEntry{ref: ref, bytes: uint64(len(enc)), cells: uint64(len(merged))}
+		out.entries[cn] = chunkEntry{ref: ref, bytes: uint64(len(enc)), cells: uint64(len(merged)), codec: codecID(codec)}
 	}
 
 	// Recompute footprint and cell counts from the directory (shared

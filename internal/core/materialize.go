@@ -21,7 +21,8 @@ type MaterializeOptions struct {
 	// default). Avg is not materializable exactly as int64 and is
 	// rejected — store Sum and Count instead.
 	Agg AggFunc
-	// ChunkShape and Codec configure the result array's chunk store.
+	// ChunkShape and Codec configure the result array's chunk store; a
+	// nil Codec selects per-chunk adaptive compression.
 	ChunkShape []int
 	Codec      chunk.Codec
 }

@@ -254,10 +254,29 @@ func TestOpsErrors(t *testing.T) {
 }
 
 func TestBuildArrayWithCodecNames(t *testing.T) {
-	for _, codec := range []string{"", "chunk-offset", "dense", "lzw"} {
+	for _, codec := range []string{"", "adaptive", "chunk-offset", "dense", "lzw", "diff-seq"} {
 		bp, cat, _ := buildTestDB(t, false, false)
 		if err := BuildArray(bp, cat, ArrayBuildConfig{Codec: codec, ChunkShape: []int{4, 5, 4}}); err != nil {
 			t.Fatalf("BuildArray(%q): %v", codec, err)
+		}
+		st := cat.Stats.Array
+		wantMode := codec
+		if codec == "" {
+			wantMode = "adaptive"
+		}
+		if st.Codec != wantMode || st.FormatVersion != 2 {
+			t.Fatalf("BuildArray(%q): stats report codec %q format v%d", codec, st.Codec, st.FormatVersion)
+		}
+		var chunks, bytes int64
+		for _, cs := range st.Codecs {
+			chunks += cs.Chunks
+			bytes += cs.EncodedBytes
+		}
+		if bytes != st.EncodedBytes {
+			t.Fatalf("BuildArray(%q): per-codec bytes %d != total %d", codec, bytes, st.EncodedBytes)
+		}
+		if wantMode != "adaptive" && len(st.Codecs) > 1 {
+			t.Fatalf("BuildArray(%q): forced store reports %v", codec, st.Codecs)
 		}
 		e := NewExecutor(bp, cat)
 		qr, err := e.ExecuteSQL(testQ1, ArrayEngine)

@@ -177,13 +177,21 @@ func RefreshArrayStats(bp *storage.BufferPool, cat *catalog.Catalog) error {
 		}
 	}
 	g := arr.Geometry()
+	store := arr.Store()
+	codecs := make(map[string]catalog.CodecStats)
+	for name, st := range store.CodecStats() {
+		codecs[name] = catalog.CodecStats{Chunks: st.Chunks, EncodedBytes: st.EncodedBytes}
+	}
 	cat.Stats.Array = &catalog.ArrayStats{
-		DimSizes:     g.Dims(),
-		ChunkShape:   g.ChunkShape(),
-		NumChunks:    g.NumChunks(),
-		ValidCells:   arr.NumValidCells(),
-		EncodedBytes: arr.Store().EncodedBytes(),
-		Pages:        catalog.PagesOf(arr.Store().SizeBytes()),
+		DimSizes:      g.Dims(),
+		ChunkShape:    g.ChunkShape(),
+		NumChunks:     g.NumChunks(),
+		ValidCells:    arr.NumValidCells(),
+		EncodedBytes:  store.EncodedBytes(),
+		Pages:         catalog.PagesOf(store.SizeBytes()),
+		Codec:         store.CodecName(),
+		FormatVersion: store.FormatVersion(),
+		Codecs:        codecs,
 	}
 	return nil
 }
@@ -234,8 +242,8 @@ func (s *factFileSource) Next() ([]int64, int64, bool, error) {
 type ArrayBuildConfig struct {
 	// ChunkShape overrides the default tile shape.
 	ChunkShape []int
-	// Codec names the chunk codec; empty selects chunk-offset
-	// compression.
+	// Codec names the chunk codec forced onto every chunk; empty or
+	// "adaptive" selects per-chunk adaptive selection.
 	Codec string
 }
 
@@ -251,7 +259,7 @@ func BuildArray(bp *storage.BufferPool, cat *catalog.Catalog, cfg ArrayBuildConf
 		return err
 	}
 	var codec chunk.Codec
-	if cfg.Codec != "" {
+	if cfg.Codec != "" && cfg.Codec != chunk.CodecAdaptive {
 		codec, err = chunk.CodecByName(cfg.Codec)
 		if err != nil {
 			return err

@@ -74,14 +74,14 @@ func (db *DB) LoadFactRows(rows []FactTuple) error {
 }
 
 // BuildArray constructs the OLAP Array ADT from the loaded star schema.
-// cfg zero value uses chunk-offset compression with the default chunk
-// shape.
+// cfg zero value uses per-chunk adaptive compression with the default
+// chunk shape; set Codec to force one codec store-wide.
 func (db *DB) BuildArray(cfg ArrayConfig) error {
 	if err := exec.BuildArray(db.bp, db.cat, cfg); err != nil {
 		return err
 	}
 	db.ex.InvalidateHandles()
-	return nil
+	return db.refreshCodecSnapshot()
 }
 
 // ArrayCellUpdate is one cell mutation for UpdateArrayCells.
@@ -123,7 +123,7 @@ func (db *DB) UpdateArrayCells(updates []ArrayCellUpdate) error {
 		return err
 	}
 	db.ex.InvalidateHandles()
-	return nil
+	return db.refreshCodecSnapshot()
 }
 
 // BuildBitmapIndexes builds the §4.4 join bitmap indices on every
@@ -164,9 +164,20 @@ type SizeReport struct {
 	// rounding — the number comparable to the paper's "6.5 MBytes of
 	// the compressed OLAP array".
 	ArrayEncodedBytes int64
-	// ArrayChunks and ArrayCodec describe the chunk store.
+	// ArrayChunks and ArrayCodec describe the chunk store; ArrayCodec is
+	// "adaptive" when chunks pick their codecs individually.
 	ArrayChunks int
 	ArrayCodec  string
+	// ArrayCodecs breaks the encoded payload down by chunk codec: how
+	// many chunks each codec won and the bytes it encodes. A forced
+	// store has a single entry.
+	ArrayCodecs map[string]CodecUsage
+}
+
+// CodecUsage describes the chunks one codec encodes within the array.
+type CodecUsage struct {
+	Chunks       int64
+	EncodedBytes int64
 }
 
 // Sizes computes the storage report for the loaded objects.
@@ -207,6 +218,10 @@ func (db *DB) Sizes() (*SizeReport, error) {
 		rep.ArrayEncodedBytes = arr.Store().EncodedBytes()
 		rep.ArrayChunks = arr.Geometry().NumChunks()
 		rep.ArrayCodec = arr.Store().CodecName()
+		rep.ArrayCodecs = make(map[string]CodecUsage)
+		for name, st := range arr.Store().CodecStats() {
+			rep.ArrayCodecs[name] = CodecUsage{Chunks: st.Chunks, EncodedBytes: st.EncodedBytes}
+		}
 	}
 	return rep, nil
 }

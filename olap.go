@@ -27,11 +27,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/catalog"
+	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/exec"
@@ -126,6 +129,12 @@ type Options struct {
 	// uncompacted overlay reaches this many bytes, InsertCells blocks
 	// (backpressure) until a compaction drains it. 0 means unlimited.
 	DeltaBudgetBytes int64
+	// DisableRecodec pins each chunk's compression codec across
+	// compactions. By default an adaptively-compressed store re-picks
+	// the codec of every chunk a compaction rewrites, so chunks migrate
+	// to the smallest encoding as ingest shifts their density; disabling
+	// it trades that space win for byte-stable chunk images.
+	DisableRecodec bool
 }
 
 // DB is an open database handle. Queries (through Sessions), the ingest
@@ -154,6 +163,13 @@ type DB struct {
 
 	compactions    *obs.Counter
 	compactSeconds *obs.Histogram
+	disableRecodec bool
+
+	// codecSnap is the latest array codec mix, republished by builds,
+	// cell updates, and compactions. Stats and the /metrics gauges
+	// read it instead of cat.Stats, which concurrent queries read
+	// without locks — the compactor must not mutate that in place.
+	codecSnap atomic.Pointer[codecSnapshot]
 
 	// compactTestHook, when set by a test, runs at each named stage of
 	// Compact ("applied", "swapped", "committed") so crash tests can
@@ -169,7 +185,7 @@ var testWrapDisk func(storage.DiskManager) storage.DiskManager
 // with logging enabled, any committed WAL suffix is replayed first, so a
 // crash between Commit and Checkpoint is recovered transparently.
 func Open(opts Options) (*DB, error) {
-	db := &DB{path: opts.Path}
+	db := &DB{path: opts.Path, disableRecodec: opts.DisableRecodec}
 	if opts.Path == "" {
 		db.disk = storage.NewMemDiskManager()
 	} else {
@@ -244,6 +260,7 @@ func Open(opts Options) (*DB, error) {
 		"delta compactions folded into the chunk store")
 	db.compactSeconds = reg.Histogram("compaction_seconds",
 		"wall time per delta compaction", nil)
+	db.registerCodecMetrics(reg)
 	if db.log != nil {
 		l := db.log
 		reg.CounterFunc("wal_page_images_total",
@@ -257,6 +274,63 @@ func Open(opts Options) (*DB, error) {
 			func() int64 { return int64(l.Stats().Fsyncs) })
 	}
 	return db, nil
+}
+
+// codecSnapshot is one published view of the array's codec mix.
+type codecSnapshot struct {
+	codec  string
+	codecs map[string]CodecUsage
+}
+
+// refreshCodecSnapshot republishes the codec mix after the array
+// changes. Unlike exec.RefreshArrayStats it never touches cat.Stats —
+// the compactor calls it while queries are planning against those
+// statistics lock-free.
+func (db *DB) refreshCodecSnapshot() error {
+	arr, err := exec.OpenArray(db.bp, db.cat)
+	if err != nil {
+		return err
+	}
+	store := arr.Store()
+	snap := &codecSnapshot{codec: store.CodecName(), codecs: make(map[string]CodecUsage)}
+	for name, st := range store.CodecStats() {
+		snap.codecs[name] = CodecUsage{Chunks: st.Chunks, EncodedBytes: st.EncodedBytes}
+	}
+	db.codecSnap.Store(snap)
+	return nil
+}
+
+// registerCodecMetrics registers one gauge pair per chunk codec, read
+// from the published codec snapshot (falling back to the catalog's
+// array statistics until the first build). The registry has no label
+// support, so the codec name is folded into the metric name, dashes
+// mapped to underscores.
+func (db *DB) registerCodecMetrics(reg *obs.Registry) {
+	for _, name := range []string{chunk.CodecOffset, chunk.CodecDense, chunk.CodecLZW, chunk.CodecDiffSeq} {
+		name := name
+		suffix := strings.ReplaceAll(name, "-", "_")
+		reg.GaugeFunc("codec_chunks_total_"+suffix,
+			"non-empty array chunks encoded with "+name,
+			func() float64 { return float64(db.codecUsage(name).Chunks) })
+		reg.GaugeFunc("codec_encoded_bytes_"+suffix,
+			"compressed chunk payload bytes encoded with "+name,
+			func() float64 { return float64(db.codecUsage(name).EncodedBytes) })
+	}
+}
+
+// codecUsage reads one codec's usage out of the published snapshot, or
+// the persisted array statistics before the first build or compaction
+// of this process.
+func (db *DB) codecUsage(name string) CodecUsage {
+	if snap := db.codecSnap.Load(); snap != nil {
+		return snap.codecs[name]
+	}
+	st := db.cat.Stats
+	if st == nil || st.Array == nil {
+		return CodecUsage{}
+	}
+	cs := st.Array.Codecs[name]
+	return CodecUsage{Chunks: cs.Chunks, EncodedBytes: cs.EncodedBytes}
 }
 
 // walPath derives the log path from the volume path.
@@ -379,6 +453,12 @@ type EngineStats struct {
 	LatencyP50 float64 `json:"latency_p50_seconds"`
 	LatencyP95 float64 `json:"latency_p95_seconds"`
 	LatencyP99 float64 `json:"latency_p99_seconds"`
+	// ArrayCodec is the array's codec mode ("adaptive" or a forced
+	// codec); empty when no array is built.
+	ArrayCodec string `json:"array_codec,omitempty"`
+	// ArrayCodecs breaks the array's encoded payload down by the codec
+	// each chunk is tagged with; nil when no array is built.
+	ArrayCodecs map[string]CodecUsage `json:"array_codecs,omitempty"`
 }
 
 // Stats returns a cross-layer engine snapshot: buffer pool counters,
@@ -395,6 +475,23 @@ func (db *DB) Stats() EngineStats {
 	}
 	es.ResultCache, es.ChunkCache, es.SingleflightDedup, es.HasCache = db.ex.Context().CacheStats()
 	es.Queries, es.LatencyP50, es.LatencyP95, es.LatencyP99 = db.ex.Context().QueryLatency()
+	if snap := db.codecSnap.Load(); snap != nil {
+		es.ArrayCodec = snap.codec
+		if len(snap.codecs) > 0 {
+			es.ArrayCodecs = make(map[string]CodecUsage, len(snap.codecs))
+			for name, u := range snap.codecs {
+				es.ArrayCodecs[name] = u
+			}
+		}
+	} else if st := db.cat.Stats; st != nil && st.Array != nil {
+		es.ArrayCodec = st.Array.Codec
+		if len(st.Array.Codecs) > 0 {
+			es.ArrayCodecs = make(map[string]CodecUsage, len(st.Array.Codecs))
+			for name, cs := range st.Array.Codecs {
+				es.ArrayCodecs[name] = CodecUsage{Chunks: cs.Chunks, EncodedBytes: cs.EncodedBytes}
+			}
+		}
+	}
 	return es
 }
 
